@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper.  Regenerated
+content is printed *and* persisted under ``benchmarks/results/`` so that
+EXPERIMENTS.md can quote it.
+
+Environment knobs:
+
+* ``REPRO_BENCH_STRIDE`` — source-position stride for the sweep-based
+  tables (3, 4, 5).  Default 4; set to 1 for the exhaustive sweep used in
+  EXPERIMENTS.md (adds ~20 s).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SweepCache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated artefact and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def bench_stride() -> int:
+    return int(os.environ.get("REPRO_BENCH_STRIDE", "4"))
+
+
+@pytest.fixture(scope="session")
+def sweep_cache(bench_stride) -> SweepCache:
+    """One shared sweep over all four paper topologies."""
+    return SweepCache.compute(stride=bench_stride)

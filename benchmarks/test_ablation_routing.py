@@ -1,0 +1,100 @@
+"""Ablation G — routing context: structured unicast on the lattices.
+
+The paper's closing claim is that its protocols "also can be applied to
+the infrastructure wireless networks" and it cites load-balanced routing
+[9] and power-efficient lattice routing [12] as companion work.  This
+ablation exercises that substrate:
+
+* structured (dimension-ordered / diagonal / brick) routes are verified
+  hop-optimal or near-optimal against BFS;
+* broadcast-vs-unicast: delivering one packet to all 511 destinations by
+  unicast costs an order of magnitude more than the paper's broadcast;
+* Valiant waypoint routing flattens hotspot load at ~2x hop cost.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.core import protocol_for
+from repro.routing import (bfs_route, evaluate_flows, hotspot_flows,
+                           random_flows, route, valiant_router)
+from repro.sim import compute_metrics
+from repro.topology import make_topology, paper_topologies
+
+
+def test_routing_vs_broadcast(benchmark):
+    rows = []
+    for label, mesh in paper_topologies().items():
+        src = (16, 8) if label != "3D-6" else (4, 4, 4)
+        # broadcast: one compiled schedule reaches all 511
+        compiled = protocol_for(label).compile(mesh, src)
+        bm = compute_metrics(compiled.trace, mesh)
+        # unicast: route to every destination separately
+        flows = [(src, mesh.coord(i)) for i in range(mesh.num_nodes)
+                 if mesh.coord(i) != src]
+        fr = evaluate_flows(mesh, flows)
+        rows.append({
+            "topology": label,
+            "broadcast tx": bm.tx,
+            "unicast tx": fr.total_hops,
+            "ratio": round(fr.total_hops / bm.tx, 1),
+            "broadcast E_J": bm.energy_j,
+            "unicast E_J": fr.energy_j,
+        })
+    emit("ablation_routing_broadcast", render_table(
+        rows, ["topology", "broadcast tx", "unicast tx", "ratio",
+               "broadcast E_J", "unicast E_J"],
+        title="Ablation G1: one-to-all by broadcast vs 511 unicasts"))
+    for r in rows:
+        assert r["broadcast tx"] * 5 < r["unicast tx"], r["topology"]
+
+    mesh = paper_topologies()["2D-4"]
+    benchmark(lambda: route(mesh, (1, 1), (32, 16)))
+
+
+def test_routing_load_balance(benchmark):
+    mesh = make_topology("2D-4")
+    sink = (16, 8)
+    flows = hotspot_flows(mesh, 128, sink, seed=7)
+    direct = evaluate_flows(mesh, flows)
+    balanced = evaluate_flows(mesh, flows, router=valiant_router(11))
+    uniform = evaluate_flows(mesh, random_flows(mesh, 128, seed=7))
+    rows = [
+        {"traffic": "hotspot, shortest-path", **direct.as_row()},
+        {"traffic": "hotspot, valiant waypoints", **balanced.as_row()},
+        {"traffic": "uniform, shortest-path", **uniform.as_row()},
+    ]
+    emit("ablation_routing_load", render_table(
+        rows, ["traffic", "flows", "total_hops", "max_hops", "energy_J",
+               "max_load", "load_imbalance"],
+        title="Ablation G2: load balance under hotspot traffic "
+              "(2D-4, 128 flows)"))
+    # the reference-[9] trade: flatter load for longer routes
+    assert balanced.load_imbalance < direct.load_imbalance
+    assert balanced.total_hops > direct.total_hops
+
+    benchmark(lambda: evaluate_flows(mesh, flows[:16]))
+
+
+def test_structured_routes_near_bfs(benchmark):
+    """Hop-count audit of every structured router against BFS."""
+    results = []
+    for label, mesh in paper_topologies().items():
+        pairs = random_flows(mesh, 40, seed=3)
+        worst_gap = 0
+        for src, dst in pairs:
+            structured = len(route(mesh, src, dst)) - 1
+            optimal = len(bfs_route(mesh, src, dst)) - 1
+            worst_gap = max(worst_gap, structured - optimal)
+        results.append({"topology": label, "worst hop gap": worst_gap})
+    emit("ablation_routing_optimality", render_table(
+        results, ["topology", "worst hop gap"],
+        title="Ablation G3: structured route length vs BFS shortest path"))
+    by = {r["topology"]: r["worst hop gap"] for r in results}
+    assert by["2D-4"] == 0          # Manhattan-optimal
+    assert by["2D-8"] == 0          # Chebyshev-optimal
+    assert by["3D-6"] == 0          # dimension-ordered optimal
+    assert by["2D-3"] <= 4          # parity sidesteps only
+
+    mesh = paper_topologies()["2D-3"]
+    benchmark(lambda: bfs_route(mesh, (1, 1), (32, 16)))

@@ -1,0 +1,50 @@
+"""Figure 6 — diagonal vs axis transmission ETR in the 2D-8 mesh.
+
+The paper's argument for building the 2D-8 relay structure out of
+diagonals: a relay that received along the diagonal reaches 5 new
+neighbours (ETR 5/8), one that received along the X axis only 3 (3/8).
+Derived from lattice geometry, and additionally verified on the paper's
+concrete Fig. 6 coordinates ((2,3)->(3,2) vs (2,2)->(3,2) on a 4x4 grid).
+"""
+
+from fractions import Fraction
+
+from conftest import emit
+
+from repro.core import diagonal_vs_axis_etr
+from repro.core.etr import transmission_etr
+from repro.topology import Mesh2D8
+
+
+def fig6_concrete():
+    """The exact Fig. 6 scenario on the 4x4 grid of the figure."""
+    mesh = Mesh2D8(4, 4)
+    receiver = mesh.index((3, 2))
+    out = {}
+    for kind, prev in (("diagonal", (2, 3)), ("axis", (2, 2))):
+        informed = {mesh.index(prev), receiver}
+        informed |= {mesh.index(c) for c in mesh.neighbors(prev)}
+        out[kind] = transmission_etr(mesh, receiver, informed)
+    return out
+
+
+def test_figure6_regenerates(benchmark):
+    interior = benchmark(diagonal_vs_axis_etr)
+    concrete = fig6_concrete()
+    text = "\n".join([
+        "Figure 6: ETR of the relayed hop in 2D-8",
+        f"  interior lattice : diagonal {interior[0]}, axis {interior[1]}",
+        f"  paper's 4x4 grid : diagonal {concrete['diagonal']}, "
+        f"axis {concrete['axis']}",
+        "  paper            : diagonal 5/8, axis 3/8",
+    ])
+    emit("figure6_diagonal_etr", text)
+
+    assert interior == (Fraction(5, 8), Fraction(3, 8))
+    assert concrete["diagonal"] == Fraction(5, 8)
+    assert concrete["axis"] == Fraction(3, 8)
+    # The figure's hop-count claim: diagonal routing (1,4)->(4,1) takes
+    # 3 hops where axis routing takes 6.
+    mesh = Mesh2D8(4, 4)
+    assert mesh.hop_distances((1, 4))[mesh.index((4, 1))] == 3
+    assert abs(4 - 1) + abs(1 - 4) == 6

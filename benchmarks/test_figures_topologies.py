@@ -1,0 +1,42 @@
+"""Figures 1-4 — the four regular topologies.
+
+The figures are lattice diagrams; their reproducible content is the
+structural census: node/edge counts, degree distribution, diameter.
+Benchmarks adjacency construction (the substrate every experiment uses).
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.topology import analyze, make_topology, paper_topologies
+
+
+def test_figures_1_to_4_census(benchmark):
+    rows = []
+    for label, topo in paper_topologies().items():
+        report = analyze(topo)
+        rows.append({
+            "topology": label,
+            "nodes": report.num_nodes,
+            "edges": report.num_edges,
+            "degree": report.nominal_degree,
+            "border": report.num_border_nodes,
+            "diameter": report.diameter,
+            "connected": report.connected,
+        })
+    emit("figures_1_4_topologies", render_table(
+        rows, ["topology", "nodes", "edges", "degree", "border",
+               "diameter", "connected"],
+        title="Figures 1-4: structural census of the four lattices"))
+
+    by_label = {r["topology"]: r for r in rows}
+    assert all(r["nodes"] == 512 and r["connected"] for r in rows)
+    # interior degree ordering drives the ETR trade-off of the paper
+    assert by_label["2D-3"]["edges"] < by_label["2D-4"]["edges"] \
+        < by_label["2D-8"]["edges"]
+
+    def build():
+        topo = make_topology("2D-8")
+        return topo.adjacency
+
+    benchmark(build)

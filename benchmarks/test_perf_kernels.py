@@ -1,0 +1,72 @@
+"""Performance micro-benchmarks of the simulation substrate.
+
+Not a paper table — these track the cost of the kernels every experiment
+is built from, so regressions in the vectorised hot paths are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.radio import PAPER_RADIO_MODEL, resolve_slot
+from repro.sim import replay, run_reactive
+from repro.core import protocol_for
+from repro.topology import Mesh2D8, Mesh3D6, make_topology
+from repro.topology.graph import bfs_distances
+
+
+@pytest.fixture(scope="module")
+def big_mesh():
+    return Mesh2D8(64, 64)
+
+
+def test_perf_adjacency_build(benchmark):
+    benchmark(lambda: Mesh2D8(64, 64).adjacency)
+
+
+def test_perf_bfs(benchmark, big_mesh):
+    adj = big_mesh.adjacency
+    result = benchmark(lambda: bfs_distances(adj, 0))
+    assert result.max() == 63
+
+
+def test_perf_resolve_slot(benchmark, big_mesh):
+    rng = np.random.default_rng(0)
+    tx = rng.random(big_mesh.num_nodes) < 0.1
+    out = benchmark(lambda: resolve_slot(big_mesh.adjacency, tx))
+    assert out.heard.shape == (big_mesh.num_nodes,)
+
+
+def test_perf_reactive_wave_4096_nodes(benchmark, big_mesh):
+    relay = np.ones(big_mesh.num_nodes, dtype=bool)
+    trace = benchmark(lambda: run_reactive(
+        big_mesh, 0, relay))
+    assert trace.num_tx >= 1
+
+
+def test_perf_full_compile_512(benchmark):
+    mesh = make_topology("2D-4")
+    proto = protocol_for(mesh)
+    compiled = benchmark(lambda: proto.compile(mesh, (16, 8)))
+    assert compiled.reached_all
+
+
+def test_perf_compile_3d(benchmark):
+    mesh = Mesh3D6(8, 8, 8)
+    proto = protocol_for(mesh)
+    compiled = benchmark(lambda: proto.compile(mesh, (4, 4, 4)))
+    assert compiled.reached_all
+
+
+def test_perf_replay_512(benchmark):
+    mesh = make_topology("2D-4")
+    compiled = protocol_for(mesh).compile(mesh, (16, 8))
+    trace = benchmark(lambda: replay(mesh, compiled.schedule,
+                                     compiled.source))
+    assert trace.all_reached
+
+
+def test_perf_energy_batch(benchmark):
+    bits = np.full(100_000, 512.0)
+    d = np.full(100_000, 0.5)
+    out = benchmark(lambda: PAPER_RADIO_MODEL.tx_energy_batch(bits, d))
+    assert out.shape == (100_000,)

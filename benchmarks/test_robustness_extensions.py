@@ -1,0 +1,81 @@
+"""Extension benchmarks — robustness of the compiled schedules.
+
+Not a paper table: the paper assumes a pristine channel and network.
+These benchmarks measure how its schedules degrade under packet loss and
+node failures, and what the two natural mitigations cost:
+
+* blind ARQ hardening (every relay repeats r times) against loss,
+* recompiling with failure knowledge (the compiler's completion/repair
+  routes around corpses) against node deaths.
+"""
+
+from conftest import emit
+
+from repro.analysis import (failure_degradation, loss_degradation,
+                            render_table)
+from repro.topology import make_topology
+
+SOURCE = (16, 8)
+
+
+def test_loss_degradation_and_hardening(benchmark):
+    mesh = make_topology("2D-4")
+    rows = []
+    for harden in (0, 1, 2):
+        points = loss_degradation(mesh, SOURCE, [0.0, 0.02, 0.05, 0.1],
+                                  trials=5, harden=harden, seed=1)
+        for p in points:
+            rows.append({
+                "relay repeats": harden,
+                "loss rate": p.parameter,
+                "mean reach": round(p.mean_reachability, 3),
+                "min reach": round(p.min_reachability, 3),
+                "mean tx": round(p.mean_tx, 1),
+            })
+    emit("robustness_loss", render_table(
+        rows, ["relay repeats", "loss rate", "mean reach", "min reach",
+               "mean tx"],
+        title="Extension: reachability under Bernoulli packet loss "
+              "(2D-4, 512 nodes)"))
+
+    by = {(r["relay repeats"], r["loss rate"]): r for r in rows}
+    # clean channel: always perfect
+    for h in (0, 1, 2):
+        assert by[(h, 0.0)]["mean reach"] == 1.0
+    # hardening buys back reachability at 5% loss...
+    assert by[(2, 0.05)]["mean reach"] >= by[(0, 0.05)]["mean reach"]
+    # ...and costs transmissions
+    assert by[(2, 0.05)]["mean tx"] > by[(0, 0.05)]["mean tx"]
+
+    benchmark(lambda: loss_degradation(mesh, SOURCE, [0.05], trials=1))
+
+
+def test_failure_degradation_and_recompile(benchmark):
+    mesh = make_topology("2D-4")
+    rows = []
+    for recompile in (False, True):
+        points = failure_degradation(mesh, SOURCE, [0, 5, 15, 30],
+                                     trials=5, recompile=recompile, seed=1)
+        for p in points:
+            rows.append({
+                "mode": "recompile" if recompile else "static replay",
+                "failed nodes": int(p.parameter),
+                "mean live reach": round(p.mean_reachability, 3),
+                "min live reach": round(p.min_reachability, 3),
+                "mean tx": round(p.mean_tx, 1),
+            })
+    emit("robustness_failures", render_table(
+        rows, ["mode", "failed nodes", "mean live reach",
+               "min live reach", "mean tx"],
+        title="Extension: reachability of surviving nodes after random "
+              "node failures (2D-4, 512 nodes)"))
+
+    by = {(r["mode"], r["failed nodes"]): r for r in rows}
+    assert by[("static replay", 0)]["mean live reach"] == 1.0
+    # a static schedule degrades; recompiling routes around the corpses
+    assert by[("recompile", 15)]["mean live reach"] > \
+        by[("static replay", 15)]["mean live reach"]
+    assert by[("recompile", 15)]["mean live reach"] >= 0.98
+
+    benchmark(lambda: failure_degradation(mesh, SOURCE, [15], trials=1,
+                                          recompile=True))

@@ -1,0 +1,41 @@
+"""Extension benchmark — scaling beyond the paper's single 512-node size.
+
+Verifies the asymptotics the design implies: transmissions track the
+ideal model (overhead *shrinks* as border effects amortise), delay tracks
+the diameter, and 100 % reachability holds at every size.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.analysis.scaling import scaling_curve
+
+SIZES_2D = (128, 512, 1152, 2048)
+SIZES_3D = (64, 512, 1728)
+
+
+def test_scaling_study(benchmark):
+    rows = []
+    curves = {}
+    for label in ("2D-3", "2D-4", "2D-8", "3D-6"):
+        sizes = SIZES_3D if label == "3D-6" else SIZES_2D
+        pts = scaling_curve(label, sizes=sizes)
+        curves[label] = pts
+        rows.extend(p.as_row() for p in pts)
+    emit("scaling_study", render_table(
+        rows, ["topology", "nodes", "shape", "tx", "ideal_tx", "tx/ideal",
+               "delay", "ideal_delay", "energy_J", "reach"],
+        title="Extension: broadcast cost vs network size "
+              "(central source)"))
+
+    for label, pts in curves.items():
+        # full reachability at every size
+        assert all(p.reachability == 1.0 for p in pts), label
+        # delay stays within 1.35x of the hop lower bound
+        for p in pts:
+            assert p.delay_slots <= 1.35 * p.ideal_delay + 2, (label, p)
+        # transmission overhead over ideal does not grow with size
+        overheads = [p.tx_overhead for p in pts]
+        assert overheads[-1] <= overheads[0] + 0.05, label
+
+    benchmark(lambda: scaling_curve("2D-4", sizes=(2048,)))

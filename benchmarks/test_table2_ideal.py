@@ -1,0 +1,25 @@
+"""Table 2 — ideal case: Tx, Rx and power on the 512-node networks.
+
+Our analytic ideal model reproduces the paper's Table 2 exactly, cell for
+cell (Tx, Rx and power at 3 significant digits).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import (PAPER_TABLE2, render_paper_comparison,
+                            table2_ideal)
+
+
+def test_table2_regenerates(benchmark):
+    rows = benchmark(table2_ideal)
+    emit("table2_ideal", render_paper_comparison(
+        rows, ["tx", "rx", "energy_J"],
+        title="Table 2: ideal case (512 nodes, d=0.5 m, k=512 bit)"))
+    by_label = {r["topology"]: r for r in rows}
+    for label, expected in PAPER_TABLE2.items():
+        got = by_label[label]
+        assert got["tx"] == expected["tx"], label
+        assert got["rx"] == expected["rx"], label
+        assert got["energy_J"] == pytest.approx(
+            expected["energy_J"], rel=5e-3), label

@@ -1,0 +1,36 @@
+"""Table 3 — our broadcasting protocols, best case.
+
+Sweeps source positions on each 512-node network and reports the
+minimum-power source, side by side with the paper's numbers.  Also
+benchmarks a single central-source compile (the unit of work the sweep
+repeats).
+"""
+
+from conftest import emit
+
+from repro.analysis import render_paper_comparison, table3_best
+from repro.core import protocol_for
+from repro.topology import make_topology
+
+
+def test_table3_regenerates(sweep_cache, benchmark):
+    rows = table3_best(sweep_cache)
+    emit("table3_best", render_paper_comparison(
+        rows, ["tx", "rx", "energy_J"],
+        title="Table 3: our protocols, best case (min-power source)"))
+    by_label = {r["topology"]: r for r in rows}
+
+    # Shape assertions: every broadcast complete; 2D-4 cheapest 2D power;
+    # Tx within the paper's regime.
+    for label, row in by_label.items():
+        assert row["reachability"] == 1.0, label
+    assert by_label["2D-4"]["energy_J"] == min(
+        by_label[l]["energy_J"] for l in ("2D-3", "2D-4", "2D-8"))
+    assert by_label["2D-4"]["tx"] == 208          # exact paper match
+    assert abs(by_label["2D-8"]["tx"] - 143) <= 10
+    assert abs(by_label["2D-3"]["tx"] - 301) <= 25
+    assert abs(by_label["3D-6"]["tx"] - 167) <= 20
+
+    mesh = make_topology("2D-4")
+    proto = protocol_for(mesh)
+    benchmark(lambda: proto.compile(mesh, (16, 8)))

@@ -1,0 +1,36 @@
+"""Table 4 — our broadcasting protocols, worst case.
+
+The maximum-power source of the same sweep (corner-ish sources).  The
+benchmark times a corner-source compile — the protocols' hardest case
+(border rules plus completion/repair all engage).
+"""
+
+from conftest import emit
+
+from repro.analysis import render_paper_comparison, table4_worst
+from repro.core import protocol_for
+from repro.topology import make_topology
+
+
+def test_table4_regenerates(sweep_cache, benchmark):
+    rows = table4_worst(sweep_cache)
+    emit("table4_worst", render_paper_comparison(
+        rows, ["tx", "rx", "energy_J"],
+        title="Table 4: our protocols, worst case (max-power source)"))
+    by_label = {r["topology"]: r for r in rows}
+
+    for label, row in by_label.items():
+        assert row["reachability"] == 1.0, label
+    # 2D-4 stays the cheapest topology even in the worst case
+    assert by_label["2D-4"]["energy_J"] == min(
+        r["energy_J"] for r in rows)
+    assert by_label["2D-4"]["tx"] == 223          # exact paper match
+    # best case <= worst case for every topology
+    from repro.analysis import table3_best
+    best = {r["topology"]: r for r in table3_best(sweep_cache)}
+    for label in by_label:
+        assert best[label]["energy_J"] <= by_label[label]["energy_J"]
+
+    mesh = make_topology("2D-3")
+    proto = protocol_for(mesh)
+    benchmark(lambda: proto.compile(mesh, (1, 1)))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""3D sensor lattice in a space habitat (the paper's reference [15]:
+"wireless distributed sensor networks for in-situ exploration").
+
+An 8x8x8 sensor lattice fills a habitat module; a leak alarm raised by
+any sensor must reach every node fast and cheaply.  This example runs the
+3D-6 protocol and dissects its two-part structure:
+
+* part 1 — the 2D-4 broadcast inside the source's XY plane,
+* part 2 — the z-relay columns (rule R5's Lee lattice) carrying the
+  alarm across planes while simultaneously tiling each plane,
+
+then compares against running an independent 2D-4 broadcast per plane
+(the strawman the paper rejects in Section 3.4).
+
+Run:  python examples/habitat_3d.py
+"""
+
+from repro import compute_metrics, make_topology, protocol_for
+from repro.analysis import render_table
+from repro.topology.lee import lee_cover_gaps, lee_points
+from repro.viz import wave_map
+
+
+def main() -> None:
+    mesh = make_topology("3D-6")  # 8 x 8 x 8
+    source = (4, 4, 4)
+    protocol = protocol_for(mesh)
+    compiled = protocol.compile(mesh, source)
+    assert compiled.reached_all
+    metrics = compute_metrics(compiled.trace, mesh)
+
+    print(f"alarm broadcast from {source} on {mesh.num_nodes} nodes:")
+    print(f"  T_x {metrics.tx}, R_x {metrics.rx}, "
+          f"energy {metrics.energy_j:.3e} J, "
+          f"delay {metrics.delay_slots} slots")
+
+    # --- dissect the two-part structure --------------------------------
+    zcols = lee_points(8, 8, (4, 4))
+    gaps = lee_cover_gaps(8, 8, (4, 4))
+    print(f"\nz-relay columns per plane (R5 lattice): {len(zcols)}")
+    print(f"Lee-tiling border gaps per plane        : {len(gaps)}")
+    print(f"completion relays the compiler added    : "
+          f"{len(compiled.completions)} (the paper's gray border nodes)")
+
+    print("\nwhen does each plane hear the alarm?")
+    rows = []
+    for z in range(1, 9):
+        plane = mesh.plane_indices(z)
+        fr = compiled.trace.first_rx[plane]
+        rows.append({"plane z": z,
+                     "first node (slot)": int(fr.min()),
+                     "fully covered (slot)": int(fr.max())})
+    print(render_table(rows, ["plane z", "first node (slot)",
+                              "fully covered (slot)"]))
+
+    print("\narrival slots inside the source plane (z=4):")
+    print(wave_map(mesh, compiled, z=4, what="rx"))
+
+    # --- strawman: an independent 2D-4 broadcast per plane -------------
+    plane_mesh = make_topology("2D-4", shape=(8, 8))
+    plane_compiled = protocol_for(plane_mesh).compile(plane_mesh, (4, 4))
+    plane_m = compute_metrics(plane_compiled.trace, plane_mesh)
+    strawman_tx = plane_m.tx * 8 + 7        # plus a z-column to seed each
+    strawman_energy = plane_m.energy_j * 8
+
+    print("\nper-plane 2D-4 broadcast instead of z-relays (Section 3.4's "
+          "rejected design):")
+    print(render_table([
+        {"design": "3D-6 protocol (paper)", "tx": metrics.tx,
+         "energy_J": metrics.energy_j},
+        {"design": "2D-4 per plane (strawman)", "tx": strawman_tx,
+         "energy_J": strawman_energy},
+    ], ["design", "tx", "energy_J"]))
+    saving = 100 * (1 - metrics.tx / strawman_tx)
+    print(f"\n-> the z-relay design transmits {saving:.0f}% less, because "
+          "one z-relay transmission forwards across planes AND covers a "
+          "Lee sphere of its own plane (optimal ETR 5/6)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Regular vs random deployment (the intro's claim, refs [12, 14]).
+
+"It is known that the WSN with regular topology can communicate more
+efficiently than the WSN with random topology.  Therefore, we should
+adopt the WSN with regular topology when the condition permits."
+
+This example quantifies the claim on a battlefield-style scenario: 512
+sensors over the same area, either placed on the 32x16 grid (aerial
+placement possible) or scattered at random (air-dropped).  The random
+network has no structure to exploit, so it broadcasts by flooding (raw,
+staggered, gossip); the regular one uses the paper's compiled schedule.
+
+Run:  python examples/random_vs_regular.py
+"""
+
+import numpy as np
+
+from repro import (RandomDiskTopology, compute_metrics, make_topology,
+                   protocol_for)
+from repro.analysis import render_table
+from repro.core.baselines import (FloodingProtocol, GossipProtocol,
+                                  StaggeredFloodingProtocol)
+
+AREA = (16.0, 8.0)   # metres, same as the 32x16 grid at 0.5 m spacing
+
+
+def regular_row():
+    mesh = make_topology("2D-4")
+    compiled = protocol_for(mesh).compile(mesh, (16, 8))
+    m = compute_metrics(compiled.trace, mesh)
+    return {
+        "deployment": "regular 32x16 grid + paper protocol",
+        "tx": m.tx, "rx": m.rx, "delay": m.delay_slots,
+        "energy_J": round(m.energy_j, 5),
+        "reach_%": round(100 * m.reachability, 1),
+    }
+
+
+def random_rows(seed: int):
+    topo = RandomDiskTopology(512, *AREA, radio_range=0.8, seed=seed)
+    degs = topo.degrees
+    print(f"  random deployment seed {seed}: mean degree "
+          f"{degs.mean():.1f}, isolated nodes {(degs == 0).sum()}")
+    src = topo.coord(int(np.argmax(degs)))
+    rows = []
+    for name, proto, kw in [
+        ("flooding", FloodingProtocol(), {}),
+        ("staggered flooding", StaggeredFloodingProtocol(4),
+         {"completion": False, "repair": False}),
+        ("gossip p=0.8", GossipProtocol(0.8, seed=seed),
+         {"completion": False, "repair": False}),
+    ]:
+        compiled = proto.compile(topo, src, **kw)
+        m = compute_metrics(compiled.trace, topo)
+        rows.append({
+            "deployment": f"random + {name} (seed {seed})",
+            "tx": m.tx, "rx": m.rx, "delay": m.delay_slots,
+            "energy_J": round(m.energy_j, 5),
+            "reach_%": round(100 * m.reachability, 1),
+        })
+    return rows
+
+
+def main() -> None:
+    print("regular vs random deployment, 512 nodes on "
+          f"{AREA[0]:.0f} m x {AREA[1]:.0f} m\n")
+    rows = [regular_row()]
+    for seed in (0, 1):
+        rows.extend(random_rows(seed))
+    print()
+    print(render_table(
+        rows, ["deployment", "tx", "rx", "delay", "energy_J", "reach_%"]))
+
+    reg = rows[0]
+    rnd = [r for r in rows if r["deployment"].startswith("random + flood")]
+    factor = min(r["energy_J"] for r in rnd) / reg["energy_J"]
+    print(f"\n-> the regular deployment broadcasts at ~{factor:.1f}x less "
+          "energy than reliable flooding on the random one, with "
+          "deterministic delay and guaranteed 100% reachability — the "
+          "paper's premise for designing regular-topology protocols")
+
+
+if __name__ == "__main__":
+    main()

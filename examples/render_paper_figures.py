@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Render the paper's protocol figures (5, 7, 8, 9) as SVG files.
+
+Each figure is compiled from the worked example in the paper, then drawn
+with the paper's colour code: the source in red, relay nodes black,
+retransmitters (the paper's gray nodes) gray, compiler-added border
+relays blue, and idle nodes white.  Figures 5/7/8 additionally label each
+node with its first-reception slot — the per-edge transmission sequence
+numbers of the original figures, viewed per node.
+
+Run:  python examples/render_paper_figures.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import make_topology, protocol_for
+from repro.viz import save_broadcast_svg, summary_block
+
+FIGURES = {
+    "figure5_2d4": ("2D-4", (16, 16), (6, 8), {}),
+    "figure7_2d8": ("2D-8", (14, 14), (5, 9), {}),
+    "figure8_2d3": ("2D-3", (20, 14), (10, 7), {}),
+    "figure9_3d6": ("3D-6", (16, 16, 4), (6, 8, 2), {"plane_z": 2}),
+}
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "paper_figures")
+    out_dir.mkdir(exist_ok=True)
+    for name, (label, shape, source, extra) in FIGURES.items():
+        topo = make_topology(label, shape=shape)
+        compiled = protocol_for(topo).compile(topo, source)
+        kwargs = dict(extra)
+        if "plane_z" not in kwargs:
+            kwargs["label_first_rx"] = True
+        path = save_broadcast_svg(
+            str(out_dir / f"{name}.svg"), topo, compiled, **kwargs)
+        print(f"{name}: {summary_block(topo, compiled)}")
+        print(f"  -> {path}")
+        if label == "3D-6":
+            # also render the plane above the source to show the z-relays
+            save_broadcast_svg(
+                str(out_dir / f"{name}_plane3.svg"), topo, compiled,
+                plane_z=3)
+            print(f"  -> {out_dir / (name + '_plane3.svg')}")
+    print(f"\nAll figures written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A smart-farm deployment: collection, command-and-control, and routing.
+
+Connects the paper's broadcast contribution to the systems around it:
+
+* **downlink** — the farm controller broadcasts irrigation commands to
+  all 512 soil sensors (the paper's protocol vs unicasting to each);
+* **uplink** — hourly soil readings must reach a base station 100 m away:
+  LEACH clustering vs convergecast along the paper's reversed broadcast
+  tree (with rotating gateways);
+* **peer traffic** — pump controllers exchange unicast status flows; the
+  lattice's dimension-ordered routes vs load-balancing waypoints.
+
+Run:  python examples/smart_farm.py
+"""
+
+import numpy as np
+
+from repro import compute_metrics, make_topology, protocol_for
+from repro.analysis import render_table
+from repro.gather import DirectGathering, LeachGathering, TreeGathering
+from repro.radio import TwoRayRadioModel
+from repro.routing import (evaluate_flows, hotspot_flows, valiant_router)
+
+BS = np.array([8.0, -100.0])  # the farmhouse, 100 m from the field
+BATTERY_J = 2.0
+
+
+def downlink(mesh) -> None:
+    print("=" * 66)
+    print("downlink: broadcasting an irrigation command")
+    print("=" * 66)
+    compiled = protocol_for(mesh).compile(mesh, (16, 8))
+    bm = compute_metrics(compiled.trace, mesh)
+    flows = [((16, 8), mesh.coord(i)) for i in range(mesh.num_nodes)
+             if mesh.coord(i) != (16, 8)]
+    fr = evaluate_flows(mesh, flows)
+    print(render_table([
+        {"method": "paper broadcast", "tx": bm.tx,
+         "energy_J": round(bm.energy_j, 4), "delay_slots": bm.delay_slots},
+        {"method": "511 unicasts", "tx": fr.total_hops,
+         "energy_J": round(fr.energy_j, 4), "delay_slots": fr.max_hops},
+    ], ["method", "tx", "energy_J", "delay_slots"]))
+    print(f"\n-> the compiled broadcast is "
+          f"{fr.energy_j / bm.energy_j:.0f}x cheaper than per-sensor "
+          "unicast\n")
+
+
+def uplink(mesh) -> None:
+    print("=" * 66)
+    print("uplink: hourly readings to the farmhouse (100 m away)")
+    print("=" * 66)
+    model = TwoRayRadioModel()
+    gateways = [(16, 1), (1, 8), (32, 8), (16, 16)]
+    rows = []
+    for name, proto in [
+        ("every sensor direct", DirectGathering(model=model)),
+        ("LEACH clusters", LeachGathering(p=0.05, seed=2, model=model)),
+        ("lattice tree, rotating gateways",
+         TreeGathering(gateway=gateways, model=model)),
+    ]:
+        lt = proto.lifetime(mesh, BS, battery_j=BATTERY_J,
+                            max_rounds=150_000)
+        rows.append({
+            "collection": name,
+            "hours to first dead sensor": lt.rounds_completed,
+            "J/round": round(lt.mean_round_energy_j, 4),
+            "load max/mean": round(lt.energy_imbalance, 2),
+        })
+    print(render_table(rows, ["collection", "hours to first dead sensor",
+                              "J/round", "load max/mean"]))
+    print("\n-> short lattice hops + aggregation match LEACH's per-round "
+          "energy; rotating\n   the gateway is the tree's answer to "
+          "LEACH's rotating cluster heads\n")
+
+
+def peer_traffic(mesh) -> None:
+    print("=" * 66)
+    print("peer traffic: pump controllers all query the master valve")
+    print("=" * 66)
+    flows = hotspot_flows(mesh, 96, (16, 8), seed=5)
+    direct = evaluate_flows(mesh, flows)
+    balanced = evaluate_flows(mesh, flows, router=valiant_router(9))
+    print(render_table([
+        {"routing": "shortest path (XY)", **direct.as_row()},
+        {"routing": "valiant waypoints", **balanced.as_row()},
+    ], ["routing", "flows", "total_hops", "energy_J", "max_load",
+        "load_imbalance"]))
+    print("\n-> shortest-path routing piles "
+          f"{direct.max_load} forwards onto the busiest node; waypoint "
+          "routing\n   flattens the hotspot at the price of longer routes "
+          "(the reference-[9] trade)")
+
+
+def main() -> None:
+    mesh = make_topology("2D-4")  # 32x16 soil-sensor lattice
+    downlink(mesh)
+    uplink(mesh)
+    peer_traffic(mesh)
+
+
+if __name__ == "__main__":
+    main()

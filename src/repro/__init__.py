@@ -1,0 +1,52 @@
+"""repro — reproduction of "Efficient Broadcasting Protocols for Regular
+Wireless Sensor Networks" (Hsu, Sheu, Chang; ICPP 2003).
+
+Quickstart::
+
+    from repro import make_topology, protocol_for, compute_metrics
+
+    mesh = make_topology("2D-4")            # the paper's 32x16 evaluation mesh
+    protocol = protocol_for(mesh)
+    result = protocol.compile(mesh, source=(16, 8))
+    assert result.reached_all               # 100 % reachability
+    print(compute_metrics(result.trace, mesh))
+
+Packages:
+
+* :mod:`repro.topology` — the four regular lattices (+ random baseline).
+* :mod:`repro.radio` — First Order Radio Model, channel collision semantics.
+* :mod:`repro.sim` — slot-synchronous broadcast simulator.
+* :mod:`repro.core` — the paper's protocols, baselines, ideal model.
+* :mod:`repro.analysis` — sweeps, comparisons, paper-table assembly.
+* :mod:`repro.viz` — ASCII relay-map / schedule rendering (Figs 5-9).
+"""
+
+from .core import (BroadcastProtocol, CompiledBroadcast, Mesh2D3Protocol,
+                   Mesh2D4Protocol, Mesh2D8Protocol, Mesh3D6Protocol,
+                   RelayPlan, compile_broadcast, ideal_case, optimal_etr,
+                   protocol_for, validate_broadcast)
+from .radio import FirstOrderRadioModel, Packet
+from .sim import (BroadcastMetrics, BroadcastSchedule, BroadcastTrace,
+                  compute_metrics, replay, run_reactive)
+from .topology import (Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6,
+                       RandomDiskTopology, Topology, make_topology,
+                       paper_topologies)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # topology
+    "Topology", "Mesh2D3", "Mesh2D4", "Mesh2D8", "Mesh3D6",
+    "RandomDiskTopology", "make_topology", "paper_topologies",
+    # radio
+    "FirstOrderRadioModel", "Packet",
+    # sim
+    "BroadcastSchedule", "BroadcastTrace", "BroadcastMetrics",
+    "compute_metrics", "replay", "run_reactive",
+    # core
+    "BroadcastProtocol", "CompiledBroadcast", "RelayPlan",
+    "Mesh2D3Protocol", "Mesh2D4Protocol", "Mesh2D8Protocol",
+    "Mesh3D6Protocol", "protocol_for", "compile_broadcast",
+    "ideal_case", "optimal_etr", "validate_broadcast",
+]

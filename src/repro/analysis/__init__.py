@@ -1,0 +1,48 @@
+"""Evaluation harness: sweeps, table assembly, reporting, lifetime."""
+
+from .compare import (PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5,
+                      SweepCache, power_ranking, table2_ideal, table3_best,
+                      table4_worst, table5_delay)
+from .lifetime import (LifetimeResult, per_node_round_energy,
+                       simulate_lifetime)
+from .sensitivity import (SensitivityReport, sensitivity,
+                          sensitivity_table)
+from .scaling import ScalingPoint, scaling_curve, shape_for
+from .robustness import (RobustnessPoint, failure_degradation,
+                          harden_plan, loss_degradation)
+from .report import (format_number, render_kv, render_paper_comparison,
+                     render_table)
+from .sweep import SweepResult, strided_sources, sweep_sources
+
+__all__ = [
+    "SweepResult",
+    "sweep_sources",
+    "strided_sources",
+    "SweepCache",
+    "table2_ideal",
+    "table3_best",
+    "table4_worst",
+    "table5_delay",
+    "power_ranking",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "render_table",
+    "render_paper_comparison",
+    "render_kv",
+    "format_number",
+    "SensitivityReport",
+    "sensitivity",
+    "sensitivity_table",
+    "ScalingPoint",
+    "scaling_curve",
+    "shape_for",
+    "RobustnessPoint",
+    "failure_degradation",
+    "loss_degradation",
+    "harden_plan",
+    "LifetimeResult",
+    "simulate_lifetime",
+    "per_node_round_energy",
+]

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for benchmark output and the CLI.
+
+Deliberately dependency-free: benchmarks tee their stdout into
+EXPERIMENTS.md-ready blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_number(value) -> str:
+    """Human-friendly scalar formatting (scientific for small floats)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-2:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping], columns: Sequence[str],
+                 headers: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render rows (dicts) as an aligned ASCII table."""
+    headers = list(headers or columns)
+    if len(headers) != len(columns):
+        raise ValueError("headers and columns must have equal length")
+    body: List[List[str]] = [
+        [format_number(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_paper_comparison(rows: Sequence[Mapping], metrics: Sequence[str],
+                            title: str) -> str:
+    """Render measured-vs-paper rows: each metric gets a measured column
+    and a paper column (taken from the row's ``paper`` sub-dict)."""
+    flat = []
+    for row in rows:
+        paper = row.get("paper", {})
+        out = {"topology": row["topology"]}
+        for mkey in metrics:
+            out[mkey] = row.get(mkey, "")
+            out[f"paper_{mkey}"] = paper.get(mkey, "")
+        flat.append(out)
+    columns = ["topology"]
+    headers = ["topology"]
+    for mkey in metrics:
+        columns += [mkey, f"paper_{mkey}"]
+        headers += [mkey, f"{mkey} (paper)"]
+    return render_table(flat, columns, headers, title=title)
+
+
+def render_kv(pairs: Iterable[tuple], title: str | None = None) -> str:
+    """Render key/value pairs as two aligned columns."""
+    pairs = list(pairs)
+    if not pairs:
+        return title or ""
+    width = max(len(str(k)) for k, _ in pairs)
+    lines = [title] if title else []
+    for k, v in pairs:
+        lines.append(f"{str(k).ljust(width)} : {format_number(v)}")
+    return "\n".join(lines)

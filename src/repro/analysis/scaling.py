@@ -1,0 +1,110 @@
+"""Scaling study: how the protocols behave as the network grows.
+
+The paper evaluates a single size (512 nodes).  This extension sweeps the
+network size and records how transmissions, receptions, energy and delay
+scale — verifying that the measured curves track the ideal model's
+asymptotics (Tx ~ N / M_opt, delay ~ diameter) rather than degrading.
+
+Shapes keep the paper's 2:1 aspect ratio for the 2D meshes and stay cubic
+for 3D-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.base import BroadcastProtocol
+from ..core.ideal import ideal_case
+from ..core.registry import protocol_for
+from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
+                            FirstOrderRadioModel)
+from ..sim.metrics import compute_metrics
+from ..topology.builder import make_topology
+
+#: Default size ladder (node counts); each 2D entry is a 2k x k mesh.
+DEFAULT_SIZES_2D = (128, 288, 512, 800, 1152)
+DEFAULT_SIZES_3D = (64, 216, 512, 1000)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Measured broadcast cost at one network size."""
+
+    topology: str
+    num_nodes: int
+    shape: tuple
+    tx: int
+    rx: int
+    energy_j: float
+    delay_slots: int
+    ideal_tx: int
+    ideal_delay: int
+    reachability: float
+
+    @property
+    def tx_overhead(self) -> float:
+        """Measured transmissions relative to the ideal model."""
+        return self.tx / self.ideal_tx
+
+    def as_row(self) -> dict:
+        return {
+            "topology": self.topology,
+            "nodes": self.num_nodes,
+            "shape": "x".join(str(s) for s in self.shape),
+            "tx": self.tx,
+            "ideal_tx": self.ideal_tx,
+            "tx/ideal": round(self.tx_overhead, 3),
+            "delay": self.delay_slots,
+            "ideal_delay": self.ideal_delay,
+            "energy_J": self.energy_j,
+            "reach": self.reachability,
+        }
+
+
+def shape_for(label: str, num_nodes: int) -> tuple:
+    """A paper-proportioned shape with (approximately) *num_nodes* nodes:
+    2k x k for the 2D meshes, k^3 for 3D-6."""
+    if label == "3D-6":
+        k = round(num_nodes ** (1 / 3))
+        return (k, k, k)
+    k = round((num_nodes / 2) ** 0.5)
+    return (2 * k, k)
+
+
+def central_source(shape: tuple) -> tuple:
+    return tuple(max(1, s // 2) for s in shape)
+
+
+def scaling_curve(
+    label: str,
+    sizes: Optional[Sequence[int]] = None,
+    protocol: Optional[BroadcastProtocol] = None,
+    model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
+    packet_bits: int = PAPER_PACKET_BITS,
+) -> List[ScalingPoint]:
+    """Broadcast cost vs network size for topology *label*."""
+    if sizes is None:
+        sizes = DEFAULT_SIZES_3D if label == "3D-6" else DEFAULT_SIZES_2D
+    points = []
+    for target in sizes:
+        shape = shape_for(label, target)
+        topo = make_topology(label, shape=shape)
+        proto = protocol if protocol is not None else protocol_for(label)
+        src = central_source(shape)
+        compiled = proto.compile(topo, src)
+        m = compute_metrics(compiled.trace, topo, model, packet_bits)
+        ideal = ideal_case(topo, model, packet_bits)
+        points.append(ScalingPoint(
+            topology=label,
+            num_nodes=topo.num_nodes,
+            shape=shape,
+            tx=m.tx,
+            rx=m.rx,
+            energy_j=m.energy_j,
+            delay_slots=m.delay_slots,
+            ideal_tx=ideal.tx,
+            ideal_delay=topo.eccentricity(src),
+            reachability=m.reachability,
+        ))
+    return points

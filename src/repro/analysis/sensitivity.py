@@ -1,0 +1,90 @@
+"""Source-position sensitivity (a direct Section 4 claim).
+
+The paper: "The best case and worst case performances of 2D mesh with 3
+neighbors (or 2D mesh with 8 neighbors) are quite close to each other,
+because 2D mesh with 3 neighbors (or 2D mesh with 8 neighbors) is not
+sensitive to the source node's location."
+
+This module turns that into measurable statistics over a source sweep:
+relative spread ((max-min)/mean) and coefficient of variation for every
+paper metric, so the claim can be checked per topology rather than read
+off two hand-picked rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .sweep import SweepResult
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Spread statistics of one metric over a source sweep."""
+
+    topology: str
+    metric: str
+    minimum: float
+    maximum: float
+    mean: float
+    relative_spread: float        # (max - min) / mean
+    coefficient_of_variation: float
+
+    def as_row(self) -> dict:
+        return {
+            "topology": self.topology,
+            "metric": self.metric,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": round(self.mean, 2),
+            "spread_%": round(100 * self.relative_spread, 1),
+            "cv_%": round(100 * self.coefficient_of_variation, 1),
+        }
+
+
+_METRIC_GETTERS = {
+    "tx": lambda m: m.tx,
+    "rx": lambda m: m.rx,
+    "energy_J": lambda m: m.energy_j,
+    "delay": lambda m: m.delay_slots,
+}
+
+
+def sensitivity(sweep: SweepResult, metric: str) -> SensitivityReport:
+    """Spread statistics of *metric* ("tx" | "rx" | "energy_J" | "delay")
+    over the sweep's sources."""
+    try:
+        getter = _METRIC_GETTERS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of "
+            f"{sorted(_METRIC_GETTERS)}") from None
+    values = np.asarray([getter(m) for m in sweep.metrics], dtype=float)
+    if len(values) == 0:
+        raise ValueError("empty sweep")
+    mean = float(values.mean())
+    return SensitivityReport(
+        topology=sweep.topology,
+        metric=metric,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        mean=mean,
+        relative_spread=float((values.max() - values.min()) / mean)
+        if mean else 0.0,
+        coefficient_of_variation=float(values.std() / mean)
+        if mean else 0.0,
+    )
+
+
+def sensitivity_table(sweeps: Dict[str, SweepResult],
+                      metrics: tuple = ("tx", "energy_J", "delay")
+                      ) -> List[dict]:
+    """Rows of spread statistics for every (topology, metric) pair."""
+    rows = []
+    for label in sorted(sweeps):
+        for metric in metrics:
+            rows.append(sensitivity(sweeps[label], metric).as_row())
+    return rows

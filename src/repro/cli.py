@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-wsn table 2                 # ideal case (paper Table 2)
+    repro-wsn table 3 --stride 8      # best case, subsampled sources
+    repro-wsn figure 5                # the Fig. 5 worked example
+    repro-wsn broadcast 2D-4 --source 16 8
+    repro-wsn sweep 3D-6 --stride 16
+    repro-wsn topology 2D-3
+    repro-wsn selfcheck
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import analysis, viz
+from .core import (diagonal_vs_axis_etr, protocol_for,
+                   validate_broadcast)
+from .core.etr import OPTIMAL_ETR
+from .topology import analyze, make_topology, paper_topologies
+from .topology.builder import TOPOLOGY_CLASSES
+
+
+def _topology_from_args(args) -> object:
+    shape = tuple(args.shape) if getattr(args, "shape", None) else None
+    return make_topology(args.label, shape=shape)
+
+
+def cmd_topology(args) -> int:
+    topo = _topology_from_args(args)
+    report = analyze(topo)
+    print(analysis.render_kv(report.as_rows(), title=f"topology {topo.name}"))
+    return 0
+
+
+def cmd_table(args) -> int:
+    n = args.number
+    if n == 1:
+        rows = [{"topology": lab, "optimal_ETR": str(f)}
+                for lab, f in OPTIMAL_ETR.items()]
+        print(analysis.render_table(
+            rows, ["topology", "optimal_ETR"],
+            title="Table 1: optimal ETRs of the four topologies"))
+        return 0
+    if n == 2:
+        rows = analysis.table2_ideal()
+        print(analysis.render_paper_comparison(
+            rows, ["tx", "rx", "energy_J"],
+            title="Table 2: ideal case (512 nodes)"))
+        return 0
+    if n in (3, 4, 5):
+        cache = analysis.SweepCache.compute(stride=args.stride)
+        if n == 3:
+            rows = analysis.table3_best(cache)
+            title = "Table 3: our protocols, best case"
+            metrics = ["tx", "rx", "energy_J"]
+        elif n == 4:
+            rows = analysis.table4_worst(cache)
+            title = "Table 4: our protocols, worst case"
+            metrics = ["tx", "rx", "energy_J"]
+        else:
+            rows = analysis.table5_delay(cache)
+            title = "Table 5: maximum delay (slots)"
+            metrics = ["ideal", "protocol"]
+            flat = []
+            for row in rows:
+                flat.append({
+                    "topology": row["topology"],
+                    "ideal": row["ideal_max_delay"],
+                    "protocol": row["protocol_max_delay"],
+                    "paper": row["paper"],
+                })
+            rows = flat
+        print(analysis.render_paper_comparison(rows, metrics, title=title))
+        return 0
+    print(f"unknown table {n}; the paper has tables 1-5", file=sys.stderr)
+    return 2
+
+
+#: The worked examples of the protocol figures: (topology label, shape,
+#: source) as in the paper.
+FIGURE_SETUPS = {
+    5: ("2D-4", (16, 16), (6, 8)),
+    7: ("2D-8", (14, 14), (5, 9)),
+    8: ("2D-3", (20, 14), (10, 7)),
+    9: ("3D-6", (16, 16, 4), (6, 8, 2)),
+}
+
+
+def cmd_figure(args) -> int:
+    n = args.number
+    if n == 6:
+        diag, axis = diagonal_vs_axis_etr()
+        print("Figure 6: ETR of a relay hop in the 2D-8 mesh")
+        print(f"  along the diagonal : {diag} (paper: 5/8)")
+        print(f"  along the X axis   : {axis} (paper: 3/8)")
+        return 0
+    if n not in FIGURE_SETUPS:
+        print(f"unknown figure {n}; reproducible figures: 5, 6, 7, 8, 9",
+              file=sys.stderr)
+        return 2
+    label, shape, source = FIGURE_SETUPS[n]
+    topo = make_topology(label, shape=shape)
+    compiled = protocol_for(topo).compile(topo, source)
+    print(viz.summary_block(topo, compiled))
+    print()
+    print(viz.relay_map(topo, compiled))
+    if args.svg:
+        kwargs = {"label_first_rx": True}
+        if label == "3D-6":
+            kwargs = {"plane_z": source[2]}
+        viz.save_broadcast_svg(args.svg, topo, compiled, **kwargs)
+        print(f"\nSVG written to {args.svg}")
+    return 0
+
+
+def cmd_robustness(args) -> int:
+    topo = _topology_from_args(args)
+    source = tuple(args.source) if args.source else tuple(
+        max(1, s // 2) for s in (
+            (topo.m, topo.n, topo.l) if topo.dims == 3
+            else (topo.m, topo.n)))
+    rows = []
+    for p in analysis.loss_degradation(
+            topo, source, args.loss_rates, trials=args.trials,
+            harden=args.harden):
+        rows.append({"impairment": f"loss p={p.parameter}",
+                     "mean reach": round(p.mean_reachability, 3),
+                     "min reach": round(p.min_reachability, 3),
+                     "mean tx": round(p.mean_tx, 1)})
+    for p in analysis.failure_degradation(
+            topo, source, args.failures, trials=args.trials,
+            recompile=args.recompile):
+        mode = "recompiled" if args.recompile else "static"
+        rows.append({"impairment": f"{int(p.parameter)} dead ({mode})",
+                     "mean reach": round(p.mean_reachability, 3),
+                     "min reach": round(p.min_reachability, 3),
+                     "mean tx": round(p.mean_tx, 1)})
+    print(analysis.render_table(
+        rows, ["impairment", "mean reach", "min reach", "mean tx"],
+        title=f"robustness of {topo.name} broadcast from {source}"))
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from .analysis.scaling import scaling_curve
+    points = scaling_curve(args.label, sizes=args.sizes or None)
+    print(analysis.render_table(
+        [p.as_row() for p in points],
+        ["topology", "nodes", "shape", "tx", "ideal_tx", "tx/ideal",
+         "delay", "ideal_delay", "energy_J", "reach"],
+        title=f"scaling study: {args.label}"))
+    return 0
+
+
+def cmd_broadcast(args) -> int:
+    topo = _topology_from_args(args)
+    source = tuple(args.source)
+    compiled = protocol_for(topo).compile(topo, source)
+    report = validate_broadcast(topo, compiled.schedule, topo.index(source))
+    print(viz.summary_block(topo, compiled))
+    print(f"schedule audit: {'OK' if report.ok else report.issues}")
+    print()
+    print(viz.relay_map(topo, compiled))
+    if args.timeline:
+        print()
+        print(viz.slot_timeline(topo, compiled))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    topo = _topology_from_args(args)
+    sources = (None if args.stride == 1
+               else analysis.strided_sources(topo, args.stride))
+    sweep = analysis.sweep_sources(topo, sources=sources)
+    best = sweep.best_by_energy()
+    worst = sweep.worst_by_energy()
+    print(analysis.render_kv([
+        ("topology", topo.name),
+        ("sources swept", len(sweep)),
+        ("all reached", sweep.all_reached()),
+        ("best source", best.source),
+        ("best tx/rx/energy",
+         f"{best.tx}/{best.rx}/{best.energy_j:.3e}"),
+        ("worst source", worst.source),
+        ("worst tx/rx/energy",
+         f"{worst.tx}/{worst.rx}/{worst.energy_j:.3e}"),
+        ("max delay (slots)", sweep.max_delay()),
+        ("mean tx", sweep.mean_tx()),
+    ], title=f"source sweep: {topo.name}"))
+    return 0
+
+
+def cmd_selfcheck(args) -> int:
+    failures = 0
+    for label, topo in paper_topologies().items():
+        topo.validate()
+        src = topo.coord(topo.num_nodes // 2 + 3)
+        compiled = protocol_for(topo).compile(topo, src)
+        report = validate_broadcast(
+            topo, compiled.schedule, topo.index(src))
+        status = "OK" if (report.ok and compiled.reached_all) else "FAIL"
+        if status == "FAIL":
+            failures += 1
+        print(f"{label}: topology valid, broadcast from {src}: {status} "
+              f"(tx={compiled.trace.num_tx}, "
+              f"delay={compiled.trace.delay_slots})")
+    print("selfcheck:", "PASS" if failures == 0 else f"{failures} failures")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wsn",
+        description=("Broadcast protocols for regular WSNs "
+                     "(ICPP 2003 reproduction)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="structural census of a topology")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("table", help="reproduce a paper table (1-5)")
+    p.add_argument("number", type=int)
+    p.add_argument("--stride", type=int, default=8,
+                   help="source subsampling for tables 3-5 (1 = exhaustive)")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure", help="reproduce a paper figure (5-9)")
+    p.add_argument("number", type=int)
+    p.add_argument("--svg", metavar="PATH", default=None,
+                   help="also render the figure as an SVG file")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("robustness",
+                       help="loss/failure degradation (extension)")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.add_argument("--source", type=int, nargs="+", default=None)
+    p.add_argument("--loss-rates", type=float, nargs="+",
+                   default=[0.0, 0.05, 0.1])
+    p.add_argument("--failures", type=int, nargs="+", default=[0, 10])
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--harden", type=int, default=0)
+    p.add_argument("--recompile", action="store_true")
+    p.set_defaults(func=cmd_robustness)
+
+    p = sub.add_parser("scaling",
+                       help="broadcast cost vs network size (extension)")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--sizes", type=int, nargs="+", default=None)
+    p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser("broadcast", help="compile and show one broadcast")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--source", type=int, nargs="+", required=True)
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.add_argument("--timeline", action="store_true")
+    p.set_defaults(func=cmd_broadcast)
+
+    p = sub.add_parser("sweep", help="sweep source positions")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.add_argument("--stride", type=int, default=8)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("selfcheck", help="validate topologies and protocols")
+    p.set_defaults(func=cmd_selfcheck)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

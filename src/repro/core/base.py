@@ -1,0 +1,148 @@
+"""Protocol abstractions: relay plans and compiled broadcasts.
+
+A broadcasting protocol in this library is split the way the paper splits
+it conceptually:
+
+* a **relay plan** — the topology-specific rules of Section 3: which nodes
+  relay, with what extra per-node delays, and which designated nodes
+  retransmit one (or more) slots after their first transmission;
+* a **compiled broadcast** — the executable schedule obtained by running
+  the relay plan through the :mod:`repro.core.compiler`, which adds the
+  completion/repair transmissions needed for 100 % reachability on
+  arbitrary grid shapes and source positions (see DESIGN.md §2).
+
+Protocols are deterministic: the same (topology, source) always compiles
+to the same schedule.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..sim.schedule import BroadcastSchedule
+from ..sim.trace import BroadcastTrace
+from ..topology.base import Topology
+
+
+@dataclass
+class RelayPlan:
+    """The rule-phase output of a protocol for one (topology, source).
+
+    Attributes
+    ----------
+    relay_mask:
+        Boolean per-node array; True for designated relay nodes (they
+        transmit once, one slot after their first successful reception).
+    extra_delay:
+        Per-node additional slots beyond the default ``first_rx + 1``
+        (e.g. 3D-6 z-relays in the source plane wait one extra slot).
+    repeat_offsets:
+        ``node -> offsets``: designated retransmitters send again at
+        ``first_tx + offset`` (the paper's gray nodes use offset 1).
+    notes:
+        Free-form annotations (which rule selected which relays), used by
+        the visualiser and in debugging.
+    """
+
+    relay_mask: np.ndarray
+    extra_delay: np.ndarray
+    repeat_offsets: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "RelayPlan":
+        """A plan with no relays (the source still transmits)."""
+        return cls(relay_mask=np.zeros(num_nodes, dtype=bool),
+                   extra_delay=np.zeros(num_nodes, dtype=np.int64))
+
+    def copy(self) -> "RelayPlan":
+        return RelayPlan(
+            relay_mask=self.relay_mask.copy(),
+            extra_delay=self.extra_delay.copy(),
+            repeat_offsets=dict(self.repeat_offsets),
+            notes=dict(self.notes),
+        )
+
+    @property
+    def num_relays(self) -> int:
+        """Number of designated relay nodes."""
+        return int(self.relay_mask.sum())
+
+
+@dataclass
+class CompiledBroadcast:
+    """A fully compiled, simulated and audited broadcast.
+
+    Attributes
+    ----------
+    schedule:
+        The static transmission schedule as executed.
+    trace:
+        Trace of the final (authoritative) simulation run.
+    plan:
+        The rule-phase relay plan the compilation started from.
+    completions:
+        Nodes promoted to relay by the completion phase: ``(node, slot)``.
+    repairs:
+        Retransmissions added by the repair phase: ``(node, slot)``.
+    rounds:
+        Number of compile iterations used.
+    """
+
+    topology_name: str
+    source: int
+    schedule: BroadcastSchedule
+    trace: BroadcastTrace
+    plan: RelayPlan
+    completions: List[Tuple[int, int]] = field(default_factory=list)
+    repairs: List[Tuple[int, int]] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def reached_all(self) -> bool:
+        """True iff the compiled broadcast informs every node."""
+        return self.trace.all_reached
+
+
+class BroadcastProtocol(abc.ABC):
+    """Base class of the paper's four protocols and the baselines."""
+
+    #: Protocol identifier, e.g. ``"2D-4"``.
+    name: str = "protocol"
+
+    @abc.abstractmethod
+    def relay_plan(self, topology: Topology, source) -> RelayPlan:
+        """Build the rule-phase relay plan for *source* (1-based coord)."""
+
+    def supports(self, topology: Topology) -> bool:
+        """True if this protocol can run on *topology*.
+
+        The default matches on the paper's topology label; baselines that
+        run anywhere override this.
+        """
+        return topology.name == self.name
+
+    def compile(self, topology: Topology, source, *,
+                completion: bool = True, repair: bool = True
+                ) -> CompiledBroadcast:
+        """Compile, simulate and audit a broadcast from *source*.
+
+        See :func:`repro.core.compiler.compile_broadcast` for the phase
+        semantics and the *completion* / *repair* switches.
+        """
+        from .compiler import compile_broadcast
+        if not self.supports(topology):
+            raise ValueError(
+                f"protocol {self.name!r} does not support topology "
+                f"{topology.name!r}")
+        plan = self.relay_plan(topology, source)
+        return compile_broadcast(
+            topology, topology.index(source), plan,
+            completion=completion, repair=repair)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

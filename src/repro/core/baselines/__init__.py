@@ -1,0 +1,14 @@
+"""Baseline and ablation protocols."""
+
+from .delayed import DelayedMesh2D4Protocol
+from .flooding import FloodingProtocol, StaggeredFloodingProtocol
+from .gossip import GossipProtocol
+from .greedy import GreedyETRProtocol
+
+__all__ = [
+    "FloodingProtocol",
+    "StaggeredFloodingProtocol",
+    "GossipProtocol",
+    "GreedyETRProtocol",
+    "DelayedMesh2D4Protocol",
+]

@@ -1,0 +1,71 @@
+"""Blind-flooding baseline.
+
+"In traditional broadcasting protocols, almost all the nodes need to
+forward the data and thus cause severe collisions" (Section 3).  Blind
+flooding makes *every* node a relay: each transmits exactly once, one slot
+after its first successful reception.
+
+Under the collision model this is both wasteful (every interior node
+transmits, most receptions are duplicates) and unreliable (synchronised
+neighbour transmissions collide and can starve nodes permanently).  Run it
+with ``compile(..., completion=False, repair=False)`` to measure the raw
+behaviour, or with repairs enabled to see the price of making flooding
+reliable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...topology.base import Topology
+from ..base import BroadcastProtocol, RelayPlan
+
+
+class FloodingProtocol(BroadcastProtocol):
+    """Every node relays once (classic blind flooding)."""
+
+    name = "flooding"
+
+    def supports(self, topology: Topology) -> bool:
+        return True  # flooding runs on anything
+
+    def relay_plan(self, topology: Topology, source) -> RelayPlan:
+        if not topology.contains(source):
+            raise ValueError(f"source {source} not in {topology!r}")
+        plan = RelayPlan.empty(topology.num_nodes)
+        plan.relay_mask[:] = True
+        plan.notes = {"source": tuple(source)}
+        return plan
+
+
+class StaggeredFloodingProtocol(BroadcastProtocol):
+    """Flooding with a deterministic per-node slot stagger.
+
+    Each node delays its (single) relay transmission by ``hash mod phases``
+    extra slots, a common practical collision-mitigation for flooding.
+    Fewer collisions than blind flooding, at the cost of delay — a useful
+    midpoint between blind flooding and the paper's compiled schedules.
+    """
+
+    name = "staggered-flooding"
+
+    def __init__(self, phases: int = 3) -> None:
+        if phases < 1:
+            raise ValueError("phases must be >= 1")
+        self.phases = int(phases)
+
+    def supports(self, topology: Topology) -> bool:
+        return True
+
+    def relay_plan(self, topology: Topology, source) -> RelayPlan:
+        if not topology.contains(source):
+            raise ValueError(f"source {source} not in {topology!r}")
+        n = topology.num_nodes
+        plan = RelayPlan.empty(n)
+        plan.relay_mask[:] = True
+        # Deterministic stagger from the node index; index-hashing is
+        # reproducible across runs (no randomness).
+        plan.extra_delay = (np.arange(n, dtype=np.int64) * 2654435761
+                            % self.phases)
+        plan.notes = {"source": tuple(source), "phases": self.phases}
+        return plan

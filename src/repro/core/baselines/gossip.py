@@ -1,0 +1,46 @@
+"""Probabilistic (gossip) flooding baseline.
+
+Each node relays with probability ``p`` — the classic randomised
+counterpart to the paper's deterministic relay selection.  Gossip trades
+reachability for transmissions: at low ``p`` it saves energy but leaves
+nodes uninformed; the paper's protocols dominate it on regular lattices
+because they exploit the known geometry.
+
+Deterministic given the seed, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...topology.base import Topology
+from ..base import BroadcastProtocol, RelayPlan
+
+
+class GossipProtocol(BroadcastProtocol):
+    """Relay with probability *p* (seeded, reproducible)."""
+
+    name = "gossip"
+
+    def __init__(self, p: float = 0.7, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+
+    def supports(self, topology: Topology) -> bool:
+        return True
+
+    def relay_plan(self, topology: Topology, source) -> RelayPlan:
+        if not topology.contains(source):
+            raise ValueError(f"source {source} not in {topology!r}")
+        n = topology.num_nodes
+        rng = np.random.default_rng(self.seed)
+        plan = RelayPlan.empty(n)
+        plan.relay_mask = rng.random(n) < self.p
+        # The source always originates; flagging it keeps the mask honest
+        # for relay-count accounting.
+        plan.relay_mask[topology.index(source)] = True
+        plan.notes = {"source": tuple(source), "p": self.p,
+                      "seed": self.seed}
+        return plan

@@ -1,0 +1,292 @@
+"""Offline schedule compilation (rule -> completion -> repair fixpoint).
+
+The paper's protocols are compiled offline: "Since the topology of the
+network is predetermined, we know where the collision will occur and which
+node needs to retransmit the message."  This module is that precomputation,
+generalised so it works for every grid shape and source position, not only
+the ones the paper enumerates (DESIGN.md §2 motivates this):
+
+1. **Rule phase** — run the protocol's :class:`~repro.core.base.RelayPlan`
+   reactively under the collision model (relays fire one slot after their
+   first successful reception; designated retransmitters repeat).
+2. **Completion phase** — if some node is never informed because no relay
+   covers it (clipped diagonals, border gaps), promote the informed
+   neighbour with the highest ETR (most new nodes covered) to relay.  This
+   is the paper's own relay-selection principle and subsumes its explicit
+   border rules.
+3. **Repair phase** — if some node is starved purely by collisions,
+   schedule an informed neighbour to retransmit at the earliest slot that
+   (a) the neighbour can transmit in, and (b) does not destroy any existing
+   *first* reception.  This mirrors the paper's designated retransmitters
+   ("we let the collision occur and retransmit the collided message").
+
+The compiler iterates simulate -> fix until every node is informed, then
+returns the authoritative trace and static schedule.  Monotone progress is
+enforced per round (at least one new node informed), so the loop terminates
+in at most ``num_nodes`` rounds on connected graphs; a round cap guards the
+degenerate cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..sim.engine import run_reactive
+from ..sim.trace import BroadcastTrace
+from ..topology.base import Topology
+from .base import CompiledBroadcast, RelayPlan
+
+#: Hard cap on simulate->fix rounds; real protocol compilations use only a
+#: handful of rounds, and a connected graph needs at most one fix per node.
+DEFAULT_MAX_ROUNDS = 256
+
+
+class CompilationError(RuntimeError):
+    """Raised when the compiler cannot reach a 100 %-coverage fixpoint."""
+
+
+def compile_broadcast(
+    topology: Topology,
+    source: int,
+    plan: RelayPlan,
+    *,
+    completion: bool = True,
+    repair: bool = True,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    dead_mask=None,
+) -> CompiledBroadcast:
+    """Compile *plan* into a verified broadcast schedule from *source*.
+
+    With ``completion=False`` and ``repair=False`` the result is the pure
+    rule-phase broadcast (possibly incomplete — useful for studying the
+    literal Section 3 rules in isolation).
+
+    *dead_mask* compiles around known node failures: dead nodes neither
+    transmit nor receive, are not counted against reachability, and the
+    completion/repair phases route the wave around them (fault-injection
+    extension; the paper assumes a pristine network).
+    """
+    n = topology.num_nodes
+    nbr_sets: List[Set[int]] = [
+        set(int(u) for u in topology.neighbor_indices(v)) for v in range(n)]
+
+    forced: Dict[int, Set[int]] = {}
+    completions: List[Tuple[int, int]] = []
+    repairs: List[Tuple[int, int]] = []
+    trace: Optional[BroadcastTrace] = None
+    prev_informed = -1
+    stall_rounds = 0
+
+    for round_no in range(1, max_rounds + 1):
+        trace = run_reactive(
+            topology, source, plan.relay_mask,
+            extra_delay=plan.extra_delay,
+            repeat_offsets=plan.repeat_offsets,
+            forced_tx=forced,
+            dead_mask=dead_mask)
+        _prune_dropped(trace, forced, completions, repairs)
+        unreached = trace.unreached_nodes()
+        if dead_mask is not None:
+            unreached = np.asarray(
+                [v for v in unreached if not dead_mask[v]], dtype=np.int64)
+        if len(unreached) == 0:
+            return CompiledBroadcast(
+                topology_name=topology.name, source=source,
+                schedule=trace.as_schedule(), trace=trace, plan=plan,
+                completions=completions, repairs=repairs, rounds=round_no)
+        if not completion and not repair:
+            return CompiledBroadcast(
+                topology_name=topology.name, source=source,
+                schedule=trace.as_schedule(), trace=trace, plan=plan,
+                completions=completions, repairs=repairs, rounds=round_no)
+
+        # Progress tracking: the informed count may dip transiently when a
+        # repair's cascade disturbs other receptions (the accumulated
+        # forced set still grows monotonically, which is what ultimately
+        # forces convergence), so the stall guard is generous.
+        informed_now = int((trace.first_rx >= 0).sum())
+        if informed_now <= prev_informed:
+            stall_rounds += 1
+            if stall_rounds > 24:
+                raise CompilationError(
+                    f"no progress after {round_no} rounds on "
+                    f"{topology.name} (source {topology.coord(source)}): "
+                    f"{len(unreached)} nodes unreached")
+        else:
+            stall_rounds = 0
+        prev_informed = max(prev_informed, informed_now)
+
+        added = _plan_fixes(
+            topology, trace, forced, nbr_sets, unreached, plan,
+            allow_completion=completion, allow_repair=repair,
+            dead_mask=dead_mask)
+        if not added:
+            # Unreached nodes with no informed neighbour at all: the graph
+            # is disconnected around them — return the partial broadcast.
+            return CompiledBroadcast(
+                topology_name=topology.name, source=source,
+                schedule=trace.as_schedule(), trace=trace, plan=plan,
+                completions=completions, repairs=repairs, rounds=round_no)
+        for node, slot, kind in added:
+            forced.setdefault(slot, set()).add(node)
+            if kind == "completion":
+                completions.append((node, slot))
+            else:
+                repairs.append((node, slot))
+
+    raise CompilationError(
+        f"schedule compilation exceeded {max_rounds} rounds on "
+        f"{topology.name} (source {topology.coord(source)})")
+
+
+def _prune_dropped(trace: BroadcastTrace, forced: Dict[int, Set[int]],
+                   completions: List[Tuple[int, int]],
+                   repairs: List[Tuple[int, int]]) -> None:
+    """Remove forced transmissions that could not execute (node uninformed
+    at its slot) so later rounds can re-place them."""
+    for slot, node in trace.dropped_forced:
+        nodes = forced.get(slot)
+        if nodes and node in nodes:
+            nodes.discard(node)
+            if not nodes:
+                del forced[slot]
+        if (node, slot) in completions:
+            completions.remove((node, slot))
+        if (node, slot) in repairs:
+            repairs.remove((node, slot))
+
+
+def _plan_fixes(
+    topology: Topology,
+    trace: BroadcastTrace,
+    forced: Dict[int, Set[int]],
+    nbr_sets: List[Set[int]],
+    unreached: np.ndarray,
+    plan: RelayPlan,
+    *,
+    allow_completion: bool,
+    allow_repair: bool,
+    dead_mask=None,
+) -> List[Tuple[int, int, str]]:
+    """Choose this round's extra transmissions.
+
+    Returns ``(node, slot, kind)`` additions, ``kind`` in
+    {"completion", "repair"}.
+    """
+    first_rx = trace.first_rx
+
+    # Per-slot transmitter sets of the executed trace plus pending forced.
+    tx_at: Dict[int, Set[int]] = {}
+    for slot, v in trace.tx_events:
+        tx_at.setdefault(slot, set()).add(v)
+    for slot, nodes in forced.items():
+        tx_at.setdefault(slot, set()).update(nodes)
+    ever_tx: Set[int] = set()
+    for nodes in tx_at.values():
+        ever_tx |= nodes
+    horizon = (max(tx_at, default=0)
+               + len(unreached) + 4)
+
+    additions: List[Tuple[int, int, str]] = []
+    added_at: Dict[int, Set[int]] = {}     # this round's additions
+    planned_rx: Dict[int, int] = {}        # unreached node -> fix slot
+
+    def tx_count_near(v: int, slot: int) -> int:
+        """Transmitting neighbours of v at slot (trace+forced+additions)."""
+        cnt = len(nbr_sets[v] & tx_at.get(slot, set()))
+        cnt += len(nbr_sets[v] & added_at.get(slot, set()))
+        return cnt
+
+    def transmits_at(u: int, slot: int) -> bool:
+        return (u in tx_at.get(slot, set())
+                or u in added_at.get(slot, set()))
+
+    def feasible_slot(u: int, start: int) -> int:
+        """Earliest slot >= start where u may transmit harmlessly."""
+        s = max(start, int(first_rx[u]) + 1)
+        while s <= horizon:
+            if not transmits_at(u, s) and _harmless(u, s):
+                return s
+            s += 1
+        return -1
+
+    def _harmless(u: int, s: int) -> bool:
+        """Adding u's tx at s must not destroy an existing or planned
+        first reception of any of u's neighbours, nor trigger a relay
+        cascade that destroys one a slot later."""
+        for w in nbr_sets[u]:
+            if first_rx[w] == s and not transmits_at(w, s):
+                return False
+            if planned_rx.get(w, -1) == s:
+                return False
+            # cascade safety: an unreached relay w informed at s will fire
+            # at s + 1 + delay; that firing must not collide with an
+            # established first reception of w's neighbours.
+            if first_rx[w] < 0 and plan.relay_mask[w]:
+                fire = s + 1 + int(plan.extra_delay[w])
+                for x in nbr_sets[w]:
+                    if first_rx[x] == fire and not transmits_at(x, fire):
+                        return False
+        return True
+
+    def coverage(u: int, s: int) -> List[int]:
+        """Unreached, unfixed neighbours of u that would decode (u, s)."""
+        out = []
+        for w in nbr_sets[u]:
+            if first_rx[w] >= 0 or w in planned_rx:
+                continue
+            if dead_mask is not None and dead_mask[w]:
+                continue
+            if tx_count_near(w, s) == 0:
+                out.append(w)
+        return out
+
+    order = sorted(
+        (int(v) for v in unreached),
+        key=lambda v: (min((int(first_rx[u]) for u in nbr_sets[v]
+                            if first_rx[u] >= 0), default=1 << 30), v))
+
+    for v in order:
+        if v in planned_rx or first_rx[v] >= 0:
+            continue
+        best: Optional[Tuple[int, int, int, str]] = None  # score,-s,-u,kind
+        for u in sorted(nbr_sets[v]):
+            if first_rx[u] < 0:
+                continue
+            if dead_mask is not None and dead_mask[u]:
+                continue
+            is_new_relay = u not in ever_tx and u not in _flat(added_at)
+            kind = "completion" if is_new_relay else "repair"
+            if kind == "completion" and not allow_completion:
+                continue
+            if kind == "repair" and not allow_repair:
+                continue
+            s = feasible_slot(u, int(first_rx[u]) + 1)
+            if s < 0:
+                continue
+            covered = coverage(u, s)
+            if v not in covered:
+                continue
+            key = (len(covered), -s, -u)
+            if best is None or key > best[:3]:
+                best = (len(covered), -s, -u, kind)
+        if best is None:
+            continue
+        score, neg_s, neg_u, kind = best
+        u, s = -neg_u, -neg_s
+        covered = coverage(u, s)
+        additions.append((u, s, kind))
+        added_at.setdefault(s, set()).add(u)
+        for w in covered:
+            planned_rx[w] = s
+        planned_rx.setdefault(v, s)
+    return additions
+
+
+def _flat(added_at: Dict[int, Set[int]]) -> Set[int]:
+    out: Set[int] = set()
+    for nodes in added_at.values():
+        out |= nodes
+    return out

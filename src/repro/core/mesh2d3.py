@@ -1,0 +1,171 @@
+"""Broadcasting protocol for the 2D mesh with 3 neighbours (Section 3.3).
+
+The brick-wall mesh is the hardest of the four: with only one vertical
+neighbour per node, pure rows/columns cannot tile the plane efficiently.
+The protocol uses *staircases* — paired diagonals ``B1 = S1(c) ∪ S1(c-1)``
+and ``B2 = S2(c) ∪ S2(c+1)`` (parities per the paper's rule) whose union is
+a connected zig-zag path:
+
+* **basic relays**: the whole source row plus the two staircases through
+  the source, ``B1(i, j)`` and ``B2(i, j)``;
+* staircases are seeded on the source row every 4 columns (``x = i + 4k``)
+  — a staircase's transmissions cover a band 4 columns wide, so spacing 4
+  tiles the mesh at the optimal ETR of 2/3;
+* B1 staircases run up-left/down-right, B2 up-right/down-left; to stop the
+  two families from fighting over territory the mesh is partitioned into
+  3 regions (see :mod:`repro.core.regions`): region 1 takes B1 arms in the
+  upper-right/lower-left quadrants and B2 arms in the upper-left/
+  lower-right quadrants (rules R1/R2); the cones above (region 3) and
+  below (region 2) the source take exactly one family each, picked by
+  which half of the network the source sits in (rules R3/R4).
+
+Two generalisations are needed for grids larger than the paper's figures
+(DESIGN.md §2 and §5):
+
+* **extended bands** — the ``i + 4k`` seeding is applied to *virtual*
+  seed columns beyond the physical row, so the staircase bands tile the
+  whole grid rather than only the part whose bands cross the source row;
+* **liveness fallback** — bands that never cross the source row inside
+  the grid cannot be seeded by the row sweep ("dead" bands); wherever a
+  point's natural family has a dead band, the other family's live band is
+  selected instead, so corner-source broadcasts still follow shortest
+  paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..topology import diagonal
+from ..topology.base import Topology
+from ..topology.mesh2d import Mesh2D3
+from .base import BroadcastProtocol, RelayPlan
+from .regions import RegionPartition, partition
+
+
+def staircase_seeds(m: int, n: int, i: int, j: int) -> List[int]:
+    """Seed columns ``x = i + 4k``, including virtual off-grid seeds whose
+    staircase bands still intersect the grid."""
+    lo = min(3 - j, j - n) - 4
+    hi = max(m + n + 1 - j, m + j - 1) + 4
+    start = i - 4 * ((i - lo) // 4)
+    return list(range(start, hi + 1, 4))
+
+
+class Mesh2D3Protocol(BroadcastProtocol):
+    """The paper's 2D-3 broadcast protocol (rules R1-R4, generalised)."""
+
+    name = "2D-3"
+
+    def relay_plan(self, topology: Topology, source) -> RelayPlan:
+        if not isinstance(topology, Mesh2D3):
+            raise TypeError(f"expected Mesh2D3, got {type(topology).__name__}")
+        i, j = source
+        if not topology.contains((i, j)):
+            raise ValueError(f"source {source} not in {topology!r}")
+        m, n = topology.m, topology.n
+
+        part: RegionPartition = partition(topology, (i, j))
+        seeds = staircase_seeds(m, n, i, j)
+
+        # S1 / S2 constants of every seeded staircase band.  All seeds sit
+        # (virtually) on the source row and share vertical parity (period 4
+        # preserves the brick parity), so the value pairs are consistent.
+        b1_values: Set[int] = set()
+        b2_values: Set[int] = set()
+        for x0 in seeds:
+            b1_values.update(diagonal.b1_values(topology, (x0, j)))
+            b2_values.update(diagonal.b2_values(topology, (x0, j)))
+        # The source's own staircases are basic relays (selected in full).
+        src_b1 = set(diagonal.b1_values(topology, (i, j)))
+        src_b2 = set(diagonal.b2_values(topology, (i, j)))
+
+        source_left = i <= m / 2
+
+        # Liveness: a staircase band can only be seeded by the source-row
+        # sweep if it crosses row j inside the grid.  When a point's
+        # natural family (per rules R1-R4) has a dead band there, we fall
+        # back to the other family's live band — the generalisation that
+        # keeps corner-source broadcasts on shortest paths (DESIGN.md §2).
+        def b1_pair_of(v: int) -> Tuple[int, int]:
+            """The B1 pair {c, c-1} whose coverage [c-2, c+1] contains v."""
+            anchor = sorted(diagonal.b1_values(topology, (i, j)))[1]
+            offset = ((v - anchor + 2) % 4) - 2
+            c = v - offset
+            return (c, c - 1)
+
+        def b2_pair_of(v: int) -> Tuple[int, int]:
+            """The B2 pair {c, c+1} whose coverage [c-1, c+2] contains v."""
+            anchor = sorted(diagonal.b2_values(topology, (i, j)))[0]
+            offset = ((v - anchor + 1) % 4) - 1
+            c = v - offset
+            return (c, c + 1)
+
+        def b1_live(v: int) -> bool:
+            return any(1 <= c - j <= m for c in b1_pair_of(v))
+
+        def b2_live(v: int) -> bool:
+            return any(1 <= c + j <= m for c in b2_pair_of(v))
+
+        plan = RelayPlan.empty(topology.num_nodes)
+        for idx in range(topology.num_nodes):
+            x, y = topology.coord(idx)
+            if y == j:
+                plan.relay_mask[idx] = True  # the source row
+                continue
+            in_b1 = (x + y) in b1_values and b1_live(x + y)
+            in_b2 = (x - y) in b2_values and b2_live(x - y)
+            if not (in_b1 or in_b2):
+                continue
+            if ((x + y) in src_b1 and in_b1) or ((x - y) in src_b2
+                                                 and in_b2):
+                plan.relay_mask[idx] = True  # basic staircases, in full
+                continue
+            region = part.region_of((x, y))
+            if region == 1:
+                upper_right = x >= i and y >= j
+                lower_left = x <= i and y <= j
+                natural_b1 = upper_right or lower_left
+            elif region == 3:
+                natural_b1 = source_left        # rules R3/R4, upward cone
+            else:
+                natural_b1 = not source_left    # region 2, downward cone
+            if natural_b1:
+                if in_b1:                               # rule R1/R3/R4
+                    plan.relay_mask[idx] = True
+                elif in_b2 and not b1_live(x + y):      # liveness fallback
+                    plan.relay_mask[idx] = True
+            else:
+                if in_b2:                               # rule R2/R3/R4
+                    plan.relay_mask[idx] = True
+                elif in_b1 and not b2_live(x - y):      # liveness fallback
+                    plan.relay_mask[idx] = True
+
+        # Collision staggering: B1 and B2 arms propagate in lockstep from
+        # the source row and collide wherever they cross.  Delaying every
+        # B2 arm by one slot *at its first step off the row* gives the B2
+        # family a constant one-slot offset (it does not accumulate along
+        # the arm, so delay stays near-optimal) and breaks the ties — the
+        # same staggering device the paper applies to the 3D-6 z-relays.
+        for idx in range(topology.num_nodes):
+            if not plan.relay_mask[idx]:
+                continue
+            x, y = topology.coord(idx)
+            if abs(y - j) != 1:
+                continue
+            # only the arm's entry node: its vertical edge goes to the row
+            if y + Mesh2D3.vertical_neighbor_offset(x, y) != j:
+                continue
+            if (x - y) in b2_values and (x + y) not in b1_values:
+                plan.extra_delay[idx] = 1
+
+        plan.notes = {
+            "source": (i, j),
+            "seeds": seeds,
+            "b1_values": sorted(b1_values),
+            "b2_values": sorted(b2_values),
+            "base_a": part.base_a,
+            "base_b": part.base_b,
+            "source_left": source_left,
+        }
+        return plan

@@ -1,0 +1,87 @@
+"""Broadcasting protocol for the 2D mesh with 4 neighbours (Section 3.1).
+
+Relay structure (source ``(i, j)``):
+
+* the source first scatters along its **X axis**: every node of row ``j``
+  relays, so the message sweeps left and right one hop per slot;
+* every third column — ``x = i + 3k`` — relays along its **Y axis**; each
+  column's transmissions cover columns ``x-1, x, x+1``, so spacing 3 tiles
+  the mesh with most relays at the optimal ETR of 3/4;
+* **border rule**: if the outermost relay column leaves column 1 (or m)
+  uncovered (i.e. column 2 / m-1 is not a relay column), column 1 (or m)
+  becomes a relay column itself;
+* **designated retransmitters**: the simultaneous start of column
+  ``i + 3k`` and the X-axis wave collides at ``(i+1+3k, j±1)`` (and the
+  mirrored nodes on the left).  Rather than delaying anyone, the paper
+  lets the collision happen and has the X-axis nodes ``(i+1+3k, j)`` and
+  ``(i-1-3k, j)`` retransmit in the next slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..topology.mesh2d import Mesh2D4
+from ..topology.base import Topology
+from .base import BroadcastProtocol, RelayPlan
+
+
+def relay_columns(m: int, i: int) -> List[int]:
+    """The relay columns for a width-*m* mesh with source column *i*:
+    ``x ≡ i (mod 3)`` plus the paper's border completion."""
+    cols = [x for x in range(1, m + 1) if (x - i) % 3 == 0]
+    # Border rule: node (1, y) becomes a relay iff (2, y) is not one.
+    if 1 not in cols and 2 not in cols:
+        cols.insert(0, 1)
+    # Mirrored rule on the right border.
+    if m not in cols and m - 1 not in cols:
+        cols.append(m)
+    return cols
+
+
+def retransmitter_columns(m: int, i: int) -> List[int]:
+    """X-axis nodes designated to retransmit: ``x = i+1+3k`` to the right
+    and ``x = i-1-3k`` to the left (k >= 0)."""
+    right = [x for x in range(i + 1, m + 1) if (x - i) % 3 == 1]
+    left = [x for x in range(1, i) if (i - x) % 3 == 1]
+    return sorted(left + right)
+
+
+class Mesh2D4Protocol(BroadcastProtocol):
+    """The paper's 2D-4 broadcast protocol."""
+
+    name = "2D-4"
+
+    def relay_plan(self, topology: Topology, source) -> RelayPlan:
+        if not isinstance(topology, Mesh2D4):
+            raise TypeError(f"expected Mesh2D4, got {type(topology).__name__}")
+        i, j = source
+        if not topology.contains((i, j)):
+            raise ValueError(f"source {source} not in {topology!r}")
+        m, n = topology.m, topology.n
+
+        plan = RelayPlan.empty(topology.num_nodes)
+
+        # X-axis: the whole source row relays.
+        for x in range(1, m + 1):
+            plan.relay_mask[topology.index((x, j))] = True
+
+        # Y-axis relay columns every 3, with the border rule.
+        cols = relay_columns(m, i)
+        for x in cols:
+            for y in range(1, n + 1):
+                plan.relay_mask[topology.index((x, y))] = True
+
+        # Designated retransmitters on the X axis.
+        repeats: Dict[int, Tuple[int, ...]] = {}
+        retrans = retransmitter_columns(m, i)
+        for x in retrans:
+            repeats[topology.index((x, j))] = (1,)
+        plan.repeat_offsets = repeats
+        plan.notes = {
+            "source": (i, j),
+            "row": j,
+            "columns": cols,
+            "retransmitter_columns": retrans,
+        }
+        return plan

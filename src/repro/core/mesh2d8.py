@@ -1,0 +1,136 @@
+"""Broadcasting protocol for the 2D mesh with 8 neighbours (Section 3.2).
+
+In the 2D-8 mesh a *diagonal* hop is worth more than an axis hop: relaying
+a message just received from a diagonal neighbour reaches 5 new nodes
+(ETR 5/8) versus 3 (ETR 3/8) for an axis hop — the Fig. 6 argument.  The
+protocol therefore builds its relay structure entirely out of diagonals:
+
+* the two diagonals through the source, ``S1(i+j)`` and ``S2(i-j)``, are
+  the basic relays;
+* every fifth main diagonal, ``S2(i-j+5k)``, also relays.  A relaying S2
+  diagonal covers the five diagonals ``c-2 .. c+2`` (its line sweep plus
+  the diagonally adjacent nodes two diagonals away), so spacing 5 tiles
+  the mesh exactly — which is why the paper picked 5;
+* the S1 diagonal crosses every S2 diagonal and seeds the relay diagonals
+  as its wave passes (no explicit coordination needed — the relays fire
+  reactively on first reception);
+* **designated retransmitters**: the source's four diagonal neighbours all
+  fire in slot 2, colliding at the four axis nodes two hops out
+  (``(i±2, j)``, ``(i, j±2)``).  Per the paper, ``(i+1, j-1)`` retransmits
+  next slot (covering ``(i+2, j)`` and ``(i, j-2)``); symmetrically we let
+  ``(i-1, j+1)`` fix the other two.  Collisions further out resolve
+  themselves: the next S1 wavefront covers the collided nodes, exactly as
+  the paper's ``(i+3, j-3)/(i+3, j-2)`` example explains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..topology import diagonal
+from ..topology.base import Topology
+from ..topology.mesh2d import Mesh2D8
+from .base import BroadcastProtocol, RelayPlan
+
+
+def relay_s2_values(mesh: Mesh2D8, i: int, j: int) -> List[int]:
+    """S2 constants of the relay diagonals: ``i - j + 5k`` clipped to the
+    grid's S2 range (paper: ``-n <= i-j+5k <= m``)."""
+    lo, hi = diagonal.s2_range(mesh)
+    base = i - j
+    start = base - 5 * ((base - lo) // 5)
+    return list(range(start, hi + 1, 5))
+
+
+def border_continuation(mesh: Mesh2D8, i: int, j: int) -> List[tuple]:
+    """Border relays that carry the seed wave past the S1 diagonal's ends.
+
+    The S1 diagonal through the source seeds every S2 relay diagonal it
+    passes; on elongated grids it is clipped by the border before reaching
+    the outermost S2 diagonals (e.g. the paper's own 32x16 mesh with a
+    central source).  Continuing the sweep along the border from each S1
+    endpoint — the direct analogue of the 2D-4 protocol's border-column
+    rule — seeds the rest.  Returns the border relay coordinates.
+    """
+    m, n = mesh.m, mesh.n
+    c = i + j
+    out: List[tuple] = []
+    # Upper-left end of the in-grid S1 segment.
+    x1, y1 = (c - n, n) if c - n >= 1 else (1, c - 1)
+    if y1 == n:
+        out.extend((x, n) for x in range(1, x1))
+    if x1 == 1 and y1 < n:
+        out.extend((1, y) for y in range(y1 + 1, n + 1))
+    # Lower-right end of the in-grid S1 segment.
+    x2, y2 = (c - 1, 1) if c - 1 <= m else (m, c - m)
+    if y2 == 1:
+        out.extend((x, 1) for x in range(x2 + 1, m + 1))
+    if x2 == m and y2 > 1:
+        out.extend((m, y) for y in range(1, y2))
+    return out
+
+
+class Mesh2D8Protocol(BroadcastProtocol):
+    """The paper's 2D-8 broadcast protocol."""
+
+    name = "2D-8"
+
+    def relay_plan(self, topology: Topology, source) -> RelayPlan:
+        if not isinstance(topology, Mesh2D8):
+            raise TypeError(f"expected Mesh2D8, got {type(topology).__name__}")
+        i, j = source
+        if not topology.contains((i, j)):
+            raise ValueError(f"source {source} not in {topology!r}")
+
+        plan = RelayPlan.empty(topology.num_nodes)
+
+        # Basic relays: the anti-diagonal through the source.
+        for coord in diagonal.s1_set(topology, i + j):
+            plan.relay_mask[topology.index(coord)] = True
+
+        # Relay diagonals: every fifth S2 diagonal (includes S2(i-j)).
+        s2_values = relay_s2_values(topology, i, j)
+        for c in s2_values:
+            for coord in diagonal.s2_set(topology, c):
+                plan.relay_mask[topology.index(coord)] = True
+
+        # Border continuation of the S1 seed wave.  A continuation node
+        # right after a relay-diagonal crossing would fire in the same slot
+        # as the diagonal's first hop (both were seeded together) and the
+        # two would collide one step further along the border; delaying the
+        # continuation node one slot breaks the tie.
+        border = border_continuation(topology, i, j)
+        s2_set_values = set(s2_values)
+        m, n = topology.m, topology.n
+        for coord in border:
+            idx = topology.index(coord)
+            plan.relay_mask[idx] = True
+            x, y = coord
+            if y == 1 and x > 1:            # bottom sweep moves right
+                prev = (x - 1, 1)
+            elif y == n and x < m:          # top sweep moves left
+                prev = (x + 1, n)
+            elif x == 1 and y > 1:          # left sweep moves up
+                prev = (1, y - 1)
+            elif x == m and y < n:          # right sweep moves down
+                prev = (m, y + 1)
+            else:
+                continue
+            if (prev[0] - prev[1]) in s2_set_values:
+                plan.extra_delay[idx] = 1
+
+        # Designated retransmitters around the source.
+        repeats: Dict[int, Tuple[int, ...]] = {}
+        for coord in ((i + 1, j - 1), (i - 1, j + 1)):
+            if topology.contains(coord):
+                repeats[topology.index(coord)] = (1,)
+        plan.repeat_offsets = repeats
+        plan.notes = {
+            "source": (i, j),
+            "s1_value": i + j,
+            "s2_values": s2_values,
+            "border_continuation": border,
+            "retransmitters": [c for c in ((i + 1, j - 1), (i - 1, j + 1))
+                               if topology.contains(c)],
+        }
+        return plan

@@ -1,0 +1,37 @@
+"""Protocol registry: topology label -> paper protocol.
+
+``protocol_for`` is the main entry point of the library: given one of the
+four topologies (or its label), it returns the matching Section 3
+protocol instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..topology.base import Topology
+from .base import BroadcastProtocol
+from .mesh2d3 import Mesh2D3Protocol
+from .mesh2d4 import Mesh2D4Protocol
+from .mesh2d8 import Mesh2D8Protocol
+from .mesh3d6 import Mesh3D6Protocol
+
+#: Topology label -> protocol class, in the paper's table order.
+PROTOCOL_CLASSES: Dict[str, Type[BroadcastProtocol]] = {
+    "2D-3": Mesh2D3Protocol,
+    "2D-4": Mesh2D4Protocol,
+    "2D-8": Mesh2D8Protocol,
+    "3D-6": Mesh3D6Protocol,
+}
+
+
+def protocol_for(topology: Topology | str) -> BroadcastProtocol:
+    """The paper's protocol for *topology* (object or label)."""
+    label = topology if isinstance(topology, str) else topology.name
+    try:
+        cls = PROTOCOL_CLASSES[label]
+    except KeyError:
+        raise ValueError(
+            f"no paper protocol for topology {label!r}; expected one of "
+            f"{sorted(PROTOCOL_CLASSES)}") from None
+    return cls()

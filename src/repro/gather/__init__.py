@@ -1,0 +1,17 @@
+"""Data-gathering substrate (LEACH/TEEN-style related-work comparisons)."""
+
+from .base import (E_AGGREGATE_J_PER_BIT, GatherLifetime, GatherProtocol)
+from .direct import DirectGathering
+from .leach import LeachGathering
+from .teen import TeenGathering
+from .tree import TreeGathering
+
+__all__ = [
+    "GatherProtocol",
+    "GatherLifetime",
+    "DirectGathering",
+    "LeachGathering",
+    "TreeGathering",
+    "TeenGathering",
+    "E_AGGREGATE_J_PER_BIT",
+]

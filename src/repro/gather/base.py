@@ -1,0 +1,149 @@
+"""Data-gathering substrate: periodic sensor-to-base-station collection.
+
+The paper's introduction frames its broadcast work against the
+data-gathering protocols of its related work — LEACH [8] (whose First
+Order Radio Model it adopts) and TEEN [10].  This subpackage implements
+that substrate so the examples and benchmarks can connect the paper's
+lattice structures to the lifetime arguments those works make:
+
+* :class:`DirectGathering` — every node transmits straight to the base
+  station (LEACH's strawman baseline);
+* :class:`LeachGathering` — LEACH's rotating cluster heads;
+* :class:`TreeGathering` — convergecast along the reversed delivery tree
+  of the paper's broadcast protocol (the lattice-structured alternative).
+
+All protocols are *energy models for one collection round*: they return
+the per-node energy a round costs, which plugs into the same lifetime
+machinery as the broadcast protocols (time to first node death).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
+                            FirstOrderRadioModel)
+from ..topology.base import Topology
+
+#: Standard LEACH data-fusion cost: 5 nJ per bit per aggregated signal.
+E_AGGREGATE_J_PER_BIT = 5e-9
+
+
+@dataclass(frozen=True)
+class GatherLifetime:
+    """Outcome of repeated collection rounds until first node death."""
+
+    protocol: str
+    rounds_completed: int
+    first_death_node: Optional[tuple]
+    mean_round_energy_j: float
+    energy_imbalance: float
+
+
+class GatherProtocol(abc.ABC):
+    """One data-collection protocol (energy model per round)."""
+
+    name: str = "gather"
+
+    #: If set, per-round costs repeat with this period (e.g. 1 for direct
+    #: uplink, the gateway-rotation length for tree convergecast) and
+    #: :meth:`lifetime` uses a closed-form fast path instead of looping.
+    #: ``None`` means the costs are history-dependent (LEACH's election).
+    cost_period: Optional[int] = None
+
+    def __init__(self,
+                 model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
+                 packet_bits: int = PAPER_PACKET_BITS) -> None:
+        self.model = model
+        self.packet_bits = packet_bits
+
+    @abc.abstractmethod
+    def round_energy(self, topology: Topology, bs_position: np.ndarray,
+                     round_no: int) -> np.ndarray:
+        """Per-node energy (J) spent in collection round *round_no*."""
+
+    def lifetime(self, topology: Topology, bs_position,
+                 battery_j: float, max_rounds: int = 100_000
+                 ) -> GatherLifetime:
+        """Rounds until the first node would run out of battery."""
+        if battery_j <= 0:
+            raise ValueError("battery_j must be positive")
+        bs = np.asarray(bs_position, dtype=np.float64)
+        if self.cost_period is not None:
+            return self._lifetime_periodic(topology, bs, battery_j,
+                                           max_rounds)
+        return self._lifetime_iterative(topology, bs, battery_j,
+                                        max_rounds)
+
+    def _lifetime_iterative(self, topology, bs, battery_j, max_rounds):
+        residual = np.full(topology.num_nodes, battery_j)
+        spent = np.zeros(topology.num_nodes)
+        rounds = 0
+        first_death = None
+        total = 0.0
+        while rounds < max_rounds:
+            cost = self.round_energy(topology, bs, rounds)
+            if (residual < cost).any():
+                victim = int(np.argmax(cost - residual))
+                first_death = tuple(topology.coord(victim))
+                break
+            residual -= cost
+            spent += cost
+            total += float(cost.sum())
+            rounds += 1
+        return self._result(topology, rounds, first_death, spent)
+
+    def _lifetime_periodic(self, topology, bs, battery_j, max_rounds):
+        """Closed form for periodic costs: jump whole cycles, then walk
+        the final partial cycle round by round."""
+        period = int(self.cost_period or 1)
+        cycle = [self.round_energy(topology, bs, r) for r in range(period)]
+        per_cycle = np.sum(cycle, axis=0)
+        with np.errstate(divide="ignore"):
+            cycles_per_node = np.where(per_cycle > 0,
+                                       battery_j / per_cycle, np.inf)
+        full_cycles = int(min(np.floor(cycles_per_node).min(),
+                              max_rounds // period))
+        residual = np.full(topology.num_nodes, battery_j) \
+            - full_cycles * per_cycle
+        spent = full_cycles * per_cycle
+        rounds = full_cycles * period
+        first_death = None
+        while rounds < max_rounds:
+            cost = cycle[rounds % period]
+            if (residual < cost).any():
+                victim = int(np.argmax(cost - residual))
+                first_death = tuple(topology.coord(victim))
+                break
+            residual -= cost
+            spent += cost
+            rounds += 1
+        return self._result(topology, rounds, first_death, spent)
+
+    def _result(self, topology, rounds, first_death, spent):
+        mean_spent = float(spent.mean()) if rounds else 0.0
+        imbalance = (float(spent.max()) / mean_spent
+                     if mean_spent > 0 else 1.0)
+        total = float(spent.sum())
+        return GatherLifetime(
+            protocol=self.name,
+            rounds_completed=rounds,
+            first_death_node=first_death,
+            mean_round_energy_j=total / rounds if rounds else 0.0,
+            energy_imbalance=imbalance,
+        )
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _distances_to(self, topology: Topology,
+                      point: np.ndarray) -> np.ndarray:
+        pos = topology.positions()
+        if point.shape[0] != pos.shape[1]:
+            raise ValueError(
+                f"base station is {point.shape[0]}-D but the topology is "
+                f"{pos.shape[1]}-D")
+        return np.linalg.norm(pos - point[None, :], axis=1)

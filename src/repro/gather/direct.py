@@ -1,0 +1,25 @@
+"""Direct-transmission gathering: every node sends straight to the base
+station each round (the baseline LEACH improves on)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import Topology
+from .base import GatherProtocol
+
+
+class DirectGathering(GatherProtocol):
+    """Each node transmits its reading directly to the base station.
+
+    Far nodes pay the quadratic amplifier cost every round, so the energy
+    load is maximally unbalanced — the classic motivation for clustering.
+    """
+
+    name = "direct"
+    cost_period = 1
+
+    def round_energy(self, topology: Topology, bs_position: np.ndarray,
+                     round_no: int) -> np.ndarray:
+        d = self._distances_to(topology, bs_position)
+        return self.model.tx_energy_batch(float(self.packet_bits), d)

@@ -1,0 +1,88 @@
+"""LEACH-style rotating-cluster-head gathering (Heinzelman et al., the
+paper's reference [8] and the source of its radio model).
+
+Per round:
+
+1. **Cluster-head election** — each node that has not served as head in
+   the current epoch self-elects with LEACH's threshold
+   ``T = p / (1 - p * (r mod 1/p))``; after ``1/p`` rounds everyone has
+   served once and the epoch resets.
+2. **Cluster formation** — every other node joins its nearest head.
+3. **Collection** — members transmit ``k`` bits to their head; heads
+   receive from each member, aggregate (``E_DA`` per bit per signal,
+   their own included) and transmit one fused packet to the base station.
+
+If no node elects itself (possible with small p), the round falls back to
+direct transmission — matching the LEACH simulation convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..radio.energy import PAPER_PACKET_BITS, PAPER_RADIO_MODEL
+from ..topology.base import Topology
+from .base import E_AGGREGATE_J_PER_BIT, GatherProtocol
+
+
+class LeachGathering(GatherProtocol):
+    """LEACH clustering with rotating heads (seeded, reproducible)."""
+
+    name = "leach"
+
+    def __init__(self, p: float = 0.05, seed: int = 0,
+                 e_aggregate: float = E_AGGREGATE_J_PER_BIT,
+                 model=PAPER_RADIO_MODEL,
+                 packet_bits: int = PAPER_PACKET_BITS) -> None:
+        super().__init__(model=model, packet_bits=packet_bits)
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"cluster-head probability must be in (0, 1], "
+                             f"got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+        self.e_aggregate = float(e_aggregate)
+        self._epoch = max(1, round(1.0 / p))
+        self._served: np.ndarray | None = None
+
+    def _elect_heads(self, n: int, round_no: int) -> np.ndarray:
+        if self._served is None or self._served.shape[0] != n:
+            self._served = np.zeros(n, dtype=bool)
+        if round_no % self._epoch == 0:
+            self._served[:] = False
+        r = round_no % self._epoch
+        threshold = self.p / (1.0 - self.p * r)
+        rng = np.random.default_rng((self.seed, round_no))
+        draws = rng.random(n)
+        heads = (draws < threshold) & ~self._served
+        self._served |= heads
+        return heads
+
+    def round_energy(self, topology: Topology, bs_position: np.ndarray,
+                     round_no: int) -> np.ndarray:
+        n = topology.num_nodes
+        k = float(self.packet_bits)
+        heads = self._elect_heads(n, round_no)
+        energy = np.zeros(n)
+        d_bs = self._distances_to(topology, bs_position)
+        if not heads.any():
+            # degenerate round: everyone transmits directly
+            return self.model.tx_energy_batch(k, d_bs)
+
+        pos = topology.positions()
+        head_idx = np.nonzero(heads)[0]
+        # members join the nearest head
+        diff = pos[:, None, :] - pos[head_idx][None, :, :]
+        dist = np.linalg.norm(diff, axis=2)
+        nearest = head_idx[np.argmin(dist, axis=1)]
+        member_dist = dist[np.arange(n), np.argmin(dist, axis=1)]
+
+        members = ~heads
+        # members: one transmission to their head
+        energy[members] = self.model.tx_energy_batch(
+            k, member_dist[members])
+        # heads: receive every member, aggregate all signals, uplink once
+        cluster_sizes = np.bincount(nearest[members], minlength=n)[head_idx]
+        energy[head_idx] += cluster_sizes * self.model.rx_energy(k)
+        energy[head_idx] += (cluster_sizes + 1) * self.e_aggregate * k
+        energy[head_idx] += self.model.tx_energy_batch(k, d_bs[head_idx])
+        return energy

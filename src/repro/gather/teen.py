@@ -1,0 +1,111 @@
+"""TEEN-style threshold-driven reporting (the paper's reference [10]).
+
+TEEN's insight over LEACH: for *reactive* applications, a sensor should
+transmit only when its reading matters — when it first crosses a hard
+threshold, and afterwards only when it has moved by more than a soft
+threshold since the last report.  Energy then scales with how eventful
+the environment is, not with time.
+
+We model the sensed field as a seeded AR(1) random walk per node so the
+event rate is controlled by the process volatility, and layer TEEN's
+two-threshold filter on top of any clustering (we reuse the LEACH
+election machinery for the cluster structure, as TEEN itself does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..radio.energy import PAPER_PACKET_BITS, PAPER_RADIO_MODEL
+from ..topology.base import Topology
+from .base import GatherProtocol
+from .leach import LeachGathering
+
+
+class TeenGathering(GatherProtocol):
+    """Threshold-sensitive gathering on top of LEACH clusters.
+
+    Parameters
+    ----------
+    hard_threshold:
+        Reading level that makes a value reportable at all.
+    soft_threshold:
+        Minimum change since the last report to justify a new one.
+    volatility:
+        Standard deviation of the per-round AR(1) innovation of the
+        simulated sensor field (bigger -> more events -> more traffic).
+    """
+
+    name = "teen"
+
+    def __init__(self, p: float = 0.05, seed: int = 0,
+                 hard_threshold: float = 1.0,
+                 soft_threshold: float = 0.2,
+                 volatility: float = 0.3,
+                 model=PAPER_RADIO_MODEL,
+                 packet_bits: int = PAPER_PACKET_BITS) -> None:
+        super().__init__(model=model, packet_bits=packet_bits)
+        if soft_threshold < 0 or volatility < 0:
+            raise ValueError("thresholds and volatility must be >= 0")
+        self.seed = int(seed)
+        self.hard_threshold = float(hard_threshold)
+        self.soft_threshold = float(soft_threshold)
+        self.volatility = float(volatility)
+        # cluster structure and election rotation come from LEACH
+        self._leach = LeachGathering(p=p, seed=seed, model=model,
+                                     packet_bits=packet_bits)
+        self._field: np.ndarray | None = None
+        self._last_report: np.ndarray | None = None
+
+    def _advance_field(self, n: int, round_no: int) -> np.ndarray:
+        if self._field is None or self._field.shape[0] != n:
+            rng0 = np.random.default_rng((self.seed, 0x5EED))
+            self._field = rng0.normal(0.0, 1.0, size=n)
+            self._last_report = np.full(n, np.inf)
+        rng = np.random.default_rng((self.seed, round_no))
+        self._field = (0.95 * self._field
+                       + rng.normal(0.0, self.volatility, size=n))
+        return self._field
+
+    def reporters(self, n: int, round_no: int) -> np.ndarray:
+        """Boolean mask of nodes whose reading passes both thresholds."""
+        field = self._advance_field(n, round_no)
+        assert self._last_report is not None
+        eligible = np.abs(field) >= self.hard_threshold
+        moved = np.abs(field - self._last_report) >= self.soft_threshold
+        report = eligible & (moved | np.isinf(self._last_report))
+        self._last_report = np.where(report, field, self._last_report)
+        return report
+
+    def round_energy(self, topology: Topology, bs_position: np.ndarray,
+                     round_no: int) -> np.ndarray:
+        n = topology.num_nodes
+        k = float(self.packet_bits)
+        report = self.reporters(n, round_no)
+        heads = self._leach._elect_heads(n, round_no)
+        energy = np.zeros(n)
+        d_bs = self._distances_to(topology, bs_position)
+        if not heads.any():
+            idx = np.nonzero(report)[0]
+            energy[idx] = self.model.tx_energy_batch(k, d_bs[idx])
+            return energy
+
+        pos = topology.positions()
+        head_idx = np.nonzero(heads)[0]
+        diff = pos[:, None, :] - pos[head_idx][None, :, :]
+        dist = np.linalg.norm(diff, axis=2)
+        member_dist = dist[np.arange(n), np.argmin(dist, axis=1)]
+        nearest = head_idx[np.argmin(dist, axis=1)]
+
+        senders = report & ~heads
+        energy[senders] = self.model.tx_energy_batch(
+            k, member_dist[senders])
+        # heads listen for member reports and forward a fused packet to
+        # the base station only if their cluster produced anything (or
+        # they themselves report)
+        arriving = np.bincount(nearest[senders], minlength=n)[head_idx]
+        energy[head_idx] += arriving * self.model.rx_energy(k)
+        active = (arriving > 0) | report[head_idx]
+        energy[head_idx[active]] += self.model.tx_energy_batch(
+            k, d_bs[head_idx[active]])
+        return energy

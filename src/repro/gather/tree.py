@@ -1,0 +1,109 @@
+"""Convergecast along the paper's broadcast structure, reversed.
+
+The delivery tree of a compiled lattice broadcast (who first informed
+whom) is a shortest-path spanning tree rooted at the gateway.  Reversing
+it gives a natural collection structure: every node transmits its fused
+reading one lattice hop towards the gateway, interior nodes aggregate
+their children (data-fusion circuitry is part of the paper's node model,
+reference [7]), and the gateway uplinks one packet to the base station.
+
+This is the lattice-structured alternative to LEACH's clustering: no
+long-range member-to-head hops, perfectly short transmissions, at the
+cost of a fixed tree (the root's neighbourhood carries the relay burden
+unless the gateway rotates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.base import BroadcastProtocol
+from ..core.registry import protocol_for
+from ..radio.energy import PAPER_PACKET_BITS, PAPER_RADIO_MODEL
+from ..topology.base import Topology
+from .base import E_AGGREGATE_J_PER_BIT, GatherProtocol
+
+
+class TreeGathering(GatherProtocol):
+    """Aggregating convergecast on the reversed broadcast delivery tree.
+
+    *gateway* may be a single coordinate or a list of coordinates: with a
+    list the gateway rotates round-robin between rounds (one tree per
+    gateway, built lazily), spreading the root-neighbourhood relay burden
+    exactly the way LEACH rotates cluster heads.
+    """
+
+    name = "tree"
+
+    def __init__(self, gateway, protocol: Optional[BroadcastProtocol] = None,
+                 e_aggregate: float = E_AGGREGATE_J_PER_BIT,
+                 model=PAPER_RADIO_MODEL,
+                 packet_bits: int = PAPER_PACKET_BITS) -> None:
+        super().__init__(model=model, packet_bits=packet_bits)
+        if gateway and isinstance(gateway[0], (tuple, list)):
+            self.gateways = [tuple(g) for g in gateway]
+        else:
+            self.gateways = [tuple(gateway)]
+        self.gateway = self.gateways[0]
+        self.cost_period = len(self.gateways)
+        self.protocol = protocol
+        self.e_aggregate = float(e_aggregate)
+        self._trees: Dict[tuple, Dict[int, int]] = {}
+        self._for_topology: Optional[int] = None
+
+    def _build_tree(self, topology: Topology,
+                    gateway: Optional[tuple] = None) -> Dict[int, int]:
+        gateway = gateway or self.gateway
+        if self._for_topology != id(topology):
+            self._trees.clear()
+            self._for_topology = id(topology)
+        if gateway in self._trees:
+            return self._trees[gateway]
+        protocol = self.protocol or protocol_for(topology)
+        compiled = protocol.compile(topology, gateway)
+        if not compiled.reached_all:
+            raise ValueError(
+                "gateway broadcast does not span the network; "
+                "cannot build a convergecast tree")
+        self._trees[gateway] = compiled.trace.delivery_tree()
+        return self._trees[gateway]
+
+    def round_energy(self, topology: Topology, bs_position: np.ndarray,
+                     round_no: int) -> np.ndarray:
+        gateway = self.gateways[round_no % len(self.gateways)]
+        tree = self._build_tree(topology, gateway)
+        n = topology.num_nodes
+        k = float(self.packet_bits)
+        gateway_idx = topology.index(gateway)
+        pos = topology.positions()
+        energy = np.zeros(n)
+
+        # every non-gateway node transmits once, one hop up the tree
+        children = np.bincount(
+            np.asarray([parent for parent in tree.values()]),
+            minlength=n)
+        for child, parent in tree.items():
+            d = float(np.linalg.norm(pos[child] - pos[parent]))
+            energy[child] += self.model.tx_energy(k, d)
+            energy[parent] += self.model.rx_energy(k)
+        # aggregation: each node fuses its children's packets + its own
+        energy += (children + 1) * self.e_aggregate * k
+        # gateway uplinks the fused packet to the base station
+        d_bs = float(np.linalg.norm(pos[gateway_idx] - bs_position))
+        energy[gateway_idx] += self.model.tx_energy(k, d_bs)
+        return energy
+
+    def max_tree_depth(self, topology: Topology) -> int:
+        """Depth of the convergecast tree (collection latency in hops)."""
+        tree = self._build_tree(topology, self.gateways[0])
+        depth = 0
+        for node in tree:
+            d = 0
+            cur = node
+            while cur in tree:
+                cur = tree[cur]
+                d += 1
+            depth = max(depth, d)
+        return depth

@@ -1,0 +1,30 @@
+"""Radio substrate: energy model, packets, channel collision semantics."""
+
+from .channel import SlotOutcome, resolve_slot, unique_transmitter
+from .impairments import (BernoulliLoss, BurstLoss, LossProcess,
+                          PerfectChannel, dead_mask_from_coords,
+                          random_dead_mask)
+from .energy import (E_AMP_J_PER_BIT_M2, E_ELEC_J_PER_BIT, PAPER_PACKET_BITS,
+                     PAPER_RADIO_MODEL, PAPER_SPACING_M, FirstOrderRadioModel,
+                     TwoRayRadioModel)
+from .packet import Packet
+
+__all__ = [
+    "FirstOrderRadioModel",
+    "TwoRayRadioModel",
+    "PAPER_RADIO_MODEL",
+    "Packet",
+    "SlotOutcome",
+    "resolve_slot",
+    "unique_transmitter",
+    "E_ELEC_J_PER_BIT",
+    "LossProcess",
+    "PerfectChannel",
+    "BernoulliLoss",
+    "BurstLoss",
+    "dead_mask_from_coords",
+    "random_dead_mask",
+    "E_AMP_J_PER_BIT_M2",
+    "PAPER_PACKET_BITS",
+    "PAPER_SPACING_M",
+]

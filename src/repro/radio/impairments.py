@@ -1,0 +1,114 @@
+"""Channel impairments: packet loss and node failures.
+
+The paper assumes an ideal (loss-free) channel — its only impairment is
+the collision model.  Real sensor radios also suffer fading and
+interference, and sensor nodes die.  These models let the benchmarks
+measure how gracefully the compiled schedules degrade (and what hardening
+them costs); they are *extensions*, clearly separated from the paper's
+own experiments.
+
+Loss processes are deterministic given their seed **per slot**, not per
+call: the same slot always draws the same erasures, so a reactive run and
+a replay of its schedule see identical channels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class LossProcess(abc.ABC):
+    """Per-slot packet-erasure process applied after collision resolution."""
+
+    @abc.abstractmethod
+    def apply(self, slot: int, received: np.ndarray) -> np.ndarray:
+        """Return the subset of *received* that survives slot *slot*."""
+
+
+class PerfectChannel(LossProcess):
+    """No losses (the paper's channel)."""
+
+    def apply(self, slot: int, received: np.ndarray) -> np.ndarray:
+        return received
+
+
+class BernoulliLoss(LossProcess):
+    """Each successful decode is independently erased with probability p.
+
+    Models fast fading / ambient interference.  Erasures are drawn from a
+    per-slot RNG seeded by ``(seed, slot)`` so outcomes do not depend on
+    the order in which slots are simulated.
+    """
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+
+    def apply(self, slot: int, received: np.ndarray) -> np.ndarray:
+        if self.p == 0.0:
+            return received
+        rng = np.random.default_rng((self.seed, slot))
+        survive = rng.random(received.shape[0]) >= self.p
+        return received & survive
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BernoulliLoss p={self.p} seed={self.seed}>"
+
+
+class BurstLoss(LossProcess):
+    """Whole-slot blackouts: with probability p a slot erases everything.
+
+    Models wide-band interference bursts (e.g. a colocated radar sweep) —
+    the hardest case for slot-synchronous schedules because an entire
+    wavefront is lost at once.
+    """
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"burst probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+
+    def apply(self, slot: int, received: np.ndarray) -> np.ndarray:
+        if self.p == 0.0:
+            return received
+        rng = np.random.default_rng((self.seed, slot))
+        if rng.random() < self.p:
+            return np.zeros_like(received)
+        return received
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BurstLoss p={self.p} seed={self.seed}>"
+
+
+def dead_mask_from_coords(topology, coords: Iterable) -> np.ndarray:
+    """Boolean per-node mask flagging the failed nodes in *coords*."""
+    mask = np.zeros(topology.num_nodes, dtype=bool)
+    for c in coords:
+        mask[topology.index(c)] = True
+    return mask
+
+
+def random_dead_mask(topology, count: int, seed: int = 0,
+                     protect: Sequence[int] = ()) -> np.ndarray:
+    """Kill *count* uniformly random nodes (never the ones in *protect*).
+
+    Deterministic given the seed; used by the fault-injection benchmarks.
+    """
+    n = topology.num_nodes
+    protected = set(int(v) for v in protect)
+    candidates = [v for v in range(n) if v not in protected]
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot kill {count} of {len(candidates)} candidate nodes")
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(candidates), size=count, replace=False)
+    mask = np.zeros(n, dtype=bool)
+    for k in chosen:
+        mask[candidates[int(k)]] = True
+    return mask

@@ -1,0 +1,21 @@
+"""Unicast routing substrate for the regular lattices (refs [9], [12])."""
+
+from .paths import (bfs_route, brick_route, diagonal_route, route,
+                    validate_route, xy_route, xyz_route)
+from .unicast import (FlowReport, evaluate_flows, hotspot_flows,
+                      random_flows, valiant_router)
+
+__all__ = [
+    "route",
+    "bfs_route",
+    "xy_route",
+    "diagonal_route",
+    "brick_route",
+    "xyz_route",
+    "validate_route",
+    "FlowReport",
+    "evaluate_flows",
+    "random_flows",
+    "hotspot_flows",
+    "valiant_router",
+]

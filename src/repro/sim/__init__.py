@@ -1,0 +1,17 @@
+"""Slot-synchronous broadcast simulator."""
+
+from .engine import replay, run_reactive
+from .metrics import BroadcastMetrics, compute_metrics
+from .reference import ReferenceSimulator
+from .schedule import BroadcastSchedule
+from .trace import BroadcastTrace
+
+__all__ = [
+    "BroadcastSchedule",
+    "BroadcastTrace",
+    "BroadcastMetrics",
+    "ReferenceSimulator",
+    "compute_metrics",
+    "replay",
+    "run_reactive",
+]

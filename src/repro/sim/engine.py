@@ -1,0 +1,227 @@
+"""Slot-synchronous broadcast simulation engine.
+
+Two execution modes:
+
+* :func:`run_reactive` — drives the *wave* semantics of the paper's
+  protocols: a designated relay transmits one slot after it first
+  successfully receives the message (plus an optional per-node extra delay,
+  e.g. the 3D-6 z-relay staggering), optionally repeating its transmission
+  a fixed number of slots later (the paper's designated retransmitters),
+  and optional *forced* transmissions at absolute slots (repair
+  retransmissions added by the schedule compiler).
+
+* :func:`replay` — executes a fixed :class:`BroadcastSchedule` verbatim.
+  Used to audit compiled schedules: the replayed trace must achieve 100 %
+  reachability and respect causality (see :mod:`repro.core.validate`).
+
+Both produce a full :class:`~repro.sim.trace.BroadcastTrace` under the
+collision model of :mod:`repro.radio.channel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from ..radio.channel import resolve_slot, unique_transmitter
+from ..radio.impairments import LossProcess
+from ..topology.base import Topology
+from .schedule import BroadcastSchedule
+from .trace import BroadcastTrace
+
+
+def _normalize_forced(forced_tx: Optional[Mapping[int, Iterable[int]]]
+                      ) -> Dict[int, Set[int]]:
+    out: Dict[int, Set[int]] = {}
+    if forced_tx:
+        for slot, nodes in forced_tx.items():
+            if slot < 1:
+                raise ValueError(f"forced slots are 1-based, got {slot}")
+            out[int(slot)] = {int(v) for v in nodes}
+    return out
+
+
+def run_reactive(
+    topology: Topology,
+    source: int,
+    relay_mask: np.ndarray,
+    *,
+    extra_delay: Optional[np.ndarray] = None,
+    repeat_offsets: Optional[Mapping[int, Tuple[int, ...]]] = None,
+    forced_tx: Optional[Mapping[int, Iterable[int]]] = None,
+    max_slots: Optional[int] = None,
+    dead_mask: Optional[np.ndarray] = None,
+    loss: Optional["LossProcess"] = None,
+) -> BroadcastTrace:
+    """Run a reactive relay wave and return its trace.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    source:
+        0-based index of the originating node (always transmits, whether or
+        not flagged in *relay_mask*).
+    relay_mask:
+        Boolean array; True for nodes that relay the message (transmit once,
+        one slot after their first successful reception).
+    extra_delay:
+        Optional int array of additional slots each relay waits beyond the
+        default ``first_rx + 1`` (paper: z-relays in the source plane wait
+        one extra slot; border relays in Fig. 9 wait two).
+    repeat_offsets:
+        ``node -> (off1, off2, ...)``: after the node's first transmission
+        at slot ``s`` it transmits again at ``s + off`` for each offset
+        (the paper's designated retransmitters use ``(1,)``).
+    forced_tx:
+        ``slot -> nodes`` absolute extra transmissions (compiler repairs).
+        A forced transmission is dropped (and recorded in
+        ``trace.dropped_forced``) if the node is not informed before that
+        slot — a compiled schedule must never trigger this.
+    max_slots:
+        Safety bound; defaults to ``4 * num_nodes + 16``.
+    dead_mask:
+        Optional boolean array of failed nodes: they never transmit and
+        never receive (fault-injection extension).
+    loss:
+        Optional :class:`~repro.radio.impairments.LossProcess` erasing
+        successful decodes after collision resolution.
+    """
+    n = topology.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if dead_mask is not None:
+        dead_mask = np.asarray(dead_mask, dtype=bool)
+        if dead_mask.shape != (n,):
+            raise ValueError(f"dead_mask must have shape ({n},)")
+        if dead_mask[source]:
+            raise ValueError("the source node cannot be dead")
+    relay_mask = np.asarray(relay_mask, dtype=bool)
+    if relay_mask.shape != (n,):
+        raise ValueError(f"relay_mask must have shape ({n},)")
+    if extra_delay is None:
+        extra_delay = np.zeros(n, dtype=np.int64)
+    else:
+        extra_delay = np.asarray(extra_delay, dtype=np.int64)
+        if extra_delay.shape != (n,):
+            raise ValueError(f"extra_delay must have shape ({n},)")
+        if (extra_delay < 0).any():
+            raise ValueError("extra_delay must be non-negative")
+    repeats = dict(repeat_offsets or {})
+    forced = _normalize_forced(forced_tx)
+    if max_slots is None:
+        # cover the natural wave plus any far-future forced transmissions
+        max_slots = max(4 * n + 16, max(forced, default=0) + 2)
+
+    adjacency = topology.adjacency
+    first_rx = np.full(n, -1, dtype=np.int64)
+    first_rx[source] = 0
+    trace = BroadcastTrace(num_nodes=n, source=source, first_rx=first_rx)
+
+    pending: Dict[int, Set[int]] = {}
+
+    def schedule_node(v: int, base_slot: int) -> None:
+        """Schedule v's transmission(s) starting at *base_slot*."""
+        pending.setdefault(base_slot, set()).add(v)
+        for off in repeats.get(v, ()):
+            if off < 1:
+                raise ValueError(f"repeat offsets must be >= 1, got {off}")
+            pending.setdefault(base_slot + off, set()).add(v)
+
+    schedule_node(source, 1 + int(extra_delay[source]))
+
+    t = 0
+    while t < max_slots:
+        future = [s for s in pending if s > t] + [s for s in forced if s > t]
+        if not future:
+            break
+        t += 1
+        tx_set = pending.pop(t, set())
+        for v in forced.pop(t, set()):
+            if 0 <= first_rx[v] < t:
+                tx_set.add(v)
+            else:
+                trace.dropped_forced.append((t, int(v)))
+        if dead_mask is not None:
+            tx_set = {v for v in tx_set if not dead_mask[v]}
+        if not tx_set:
+            continue
+        _execute_slot(adjacency, t, tx_set, trace, relay_mask, extra_delay,
+                      schedule_node, dead_mask=dead_mask, loss=loss)
+    return trace
+
+
+def replay(topology: Topology, schedule: BroadcastSchedule,
+           source: int,
+           dead_mask: Optional[np.ndarray] = None,
+           loss: Optional["LossProcess"] = None) -> BroadcastTrace:
+    """Execute a fixed schedule verbatim and return the trace.
+
+    *dead_mask* / *loss* inject faults into the replay: failed nodes
+    neither transmit nor receive, and the loss process erases decodes.
+    A fault-injected replay also drops the transmissions of nodes that
+    (because of the faults) never obtained the message — a real node
+    cannot forward a packet it does not hold.
+    """
+    n = topology.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    if dead_mask is not None:
+        dead_mask = np.asarray(dead_mask, dtype=bool)
+        if dead_mask.shape != (n,):
+            raise ValueError(f"dead_mask must have shape ({n},)")
+    adjacency = topology.adjacency
+    first_rx = np.full(n, -1, dtype=np.int64)
+    first_rx[source] = 0
+    trace = BroadcastTrace(num_nodes=n, source=source, first_rx=first_rx)
+    faulty = dead_mask is not None or loss is not None
+    for t in schedule.active_slots():
+        tx_set = schedule.transmitters(t)
+        if dead_mask is not None:
+            tx_set = {v for v in tx_set if not dead_mask[v]}
+        if faulty:
+            # a node that never received cannot forward
+            tx_set = {v for v in tx_set
+                      if v == source or 0 <= first_rx[v] < t}
+        if not tx_set:
+            continue
+        _execute_slot(adjacency, t, tx_set, trace,
+                      relay_mask=None, extra_delay=None, schedule_node=None,
+                      dead_mask=dead_mask, loss=loss)
+    return trace
+
+
+def _execute_slot(adjacency, t: int, tx_set: Set[int],
+                  trace: BroadcastTrace,
+                  relay_mask: Optional[np.ndarray],
+                  extra_delay: Optional[np.ndarray],
+                  schedule_node,
+                  dead_mask: Optional[np.ndarray] = None,
+                  loss: Optional["LossProcess"] = None) -> None:
+    """Resolve one slot, update the trace, and (reactive mode) schedule the
+    transmissions of newly informed relays."""
+    n = trace.num_nodes
+    mask = np.zeros(n, dtype=bool)
+    mask[list(tx_set)] = True
+    outcome = resolve_slot(adjacency, mask)
+    received = outcome.received
+    if dead_mask is not None:
+        received = received & ~dead_mask
+    if loss is not None:
+        received = loss.apply(t, received)
+
+    for v in sorted(tx_set):
+        trace.tx_events.append((t, int(v)))
+    for v in np.nonzero(outcome.collided)[0]:
+        if dead_mask is None or not dead_mask[v]:
+            trace.collision_events.append((t, int(v)))
+
+    received_nodes = np.nonzero(received)[0]
+    for v in received_nodes:
+        sender = unique_transmitter(adjacency, mask, int(v))
+        trace.rx_events.append((t, int(v), sender))
+        if trace.first_rx[v] < 0:
+            trace.first_rx[v] = t
+            if relay_mask is not None and relay_mask[v]:
+                schedule_node(int(v), t + 1 + int(extra_delay[v]))

@@ -1,0 +1,157 @@
+"""Execution traces of simulated broadcasts.
+
+A :class:`BroadcastTrace` is the complete record of one simulated broadcast:
+who transmitted when, who decoded what from whom, where collisions happened,
+and when every node first obtained the message.  All paper metrics
+(``T_x``, ``R_x``, power, delay, reachability) derive from the trace via
+:mod:`repro.sim.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .schedule import BroadcastSchedule
+
+
+@dataclass
+class BroadcastTrace:
+    """Record of one simulated broadcast.
+
+    Attributes
+    ----------
+    num_nodes:
+        Network size.
+    source:
+        0-based source index.
+    first_rx:
+        Per-node slot of first successful reception; 0 for the source
+        (it originates the message), -1 for nodes never reached.
+    tx_events:
+        ``(slot, node)`` pairs, chronological.
+    rx_events:
+        ``(slot, receiver, transmitter)`` of every successful decode,
+        including duplicates.
+    collision_events:
+        ``(slot, node)`` where the node heard >= 2 transmitters.
+    dropped_forced:
+        Forced transmissions that could not happen because the node was not
+        yet informed (diagnostic; empty for valid compiled schedules).
+    """
+
+    num_nodes: int
+    source: int
+    first_rx: np.ndarray
+    tx_events: List[Tuple[int, int]] = field(default_factory=list)
+    rx_events: List[Tuple[int, int, int]] = field(default_factory=list)
+    collision_events: List[Tuple[int, int]] = field(default_factory=list)
+    dropped_forced: List[Tuple[int, int]] = field(default_factory=list)
+
+    # -- headline counts --------------------------------------------------
+
+    @property
+    def num_tx(self) -> int:
+        """The paper's ``T_x``: total number of transmissions."""
+        return len(self.tx_events)
+
+    @property
+    def num_rx(self) -> int:
+        """The paper's ``R_x``: total successful receptions (incl. dups)."""
+        return len(self.rx_events)
+
+    @property
+    def num_duplicate_rx(self) -> int:
+        """Receptions by nodes that already had the message."""
+        return self.num_rx - self.num_first_rx
+
+    @property
+    def num_first_rx(self) -> int:
+        """Nodes (excluding the source) that received at least once."""
+        return int((self.first_rx > 0).sum())
+
+    @property
+    def num_collisions(self) -> int:
+        """Number of (node, slot) collision occurrences."""
+        return len(self.collision_events)
+
+    @property
+    def delay_slots(self) -> int:
+        """Broadcast delay: the slot in which the last node was informed.
+
+        With the source transmitting in slot 1, this equals the number of
+        time slots the broadcast occupies until full coverage.  -1 if the
+        broadcast never completed.
+        """
+        if not self.all_reached:
+            return -1
+        return int(self.first_rx.max())
+
+    @property
+    def last_activity_slot(self) -> int:
+        """Slot of the final transmission (>= delay_slots)."""
+        if not self.tx_events:
+            return 0
+        return max(s for s, _ in self.tx_events)
+
+    @property
+    def reachability(self) -> float:
+        """Fraction of nodes that obtained the message (source included)."""
+        return float((self.first_rx >= 0).sum()) / self.num_nodes
+
+    @property
+    def all_reached(self) -> bool:
+        """True iff 100 % reachability was achieved."""
+        return bool((self.first_rx >= 0).all())
+
+    def unreached_nodes(self) -> np.ndarray:
+        """Indices of nodes that never obtained the message."""
+        return np.nonzero(self.first_rx < 0)[0]
+
+    # -- structure --------------------------------------------------------
+
+    def as_schedule(self) -> BroadcastSchedule:
+        """The transmissions of this trace as a static schedule."""
+        return BroadcastSchedule.from_events(
+            (slot, node) for slot, node in self.tx_events)
+
+    def delivery_tree(self) -> Dict[int, int]:
+        """Map ``receiver -> transmitter`` of each node's *first* reception.
+
+        The source is absent from the map.  Because relays only transmit
+        after first receiving, the map is a spanning tree of the informed
+        subgraph rooted at the source.
+        """
+        tree: Dict[int, int] = {}
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        seen[self.source] = True
+        for slot, receiver, transmitter in self.rx_events:
+            if not seen[receiver]:
+                seen[receiver] = True
+                tree[receiver] = transmitter
+        return tree
+
+    def tx_count_per_node(self) -> np.ndarray:
+        """Number of transmissions performed by every node."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for _, node in self.tx_events:
+            counts[node] += 1
+        return counts
+
+    def rx_count_per_node(self) -> np.ndarray:
+        """Number of successful receptions per node (incl. duplicates)."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for _, receiver, _ in self.rx_events:
+            counts[receiver] += 1
+        return counts
+
+    def retransmitting_nodes(self) -> List[int]:
+        """Nodes that transmitted more than once (the paper's gray nodes)."""
+        counts = self.tx_count_per_node()
+        return [int(i) for i in np.nonzero(counts > 1)[0]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<BroadcastTrace tx={self.num_tx} rx={self.num_rx} "
+                f"reach={self.reachability:.3f} delay={self.delay_slots}>")

@@ -1,0 +1,201 @@
+"""Abstract base class for network topologies.
+
+A :class:`Topology` is a static, undirected communication graph over sensor
+nodes placed on a regular lattice (or, for the random baseline, at arbitrary
+positions).  It provides:
+
+* coordinate <-> index translation (paper-style 1-based ids),
+* neighbourhood queries (python-level and vectorised CSR adjacency),
+* geometric positions in metres (for the radio energy model),
+* hop-distance / eccentricity / diameter utilities.
+
+Subclasses only implement the lattice-specific parts
+(:meth:`_neighbor_coords`, :meth:`coord`, :meth:`index`, ...); all graph
+machinery is shared and cached here.
+"""
+
+from __future__ import annotations
+
+import abc
+from functools import cached_property
+from typing import Iterator, List
+
+import numpy as np
+from scipy import sparse
+
+from .coords import Coord
+from . import graph as _graph
+
+
+class Topology(abc.ABC):
+    """A static undirected communication graph over sensor nodes.
+
+    Parameters
+    ----------
+    spacing:
+        Distance in metres between lattice-adjacent nodes.  The paper's
+        evaluation uses 0.5 m.
+    """
+
+    #: Human-readable short name, e.g. ``"2D-4"`` — matches the paper's
+    #: table row labels.
+    name: str = "topology"
+
+    #: Nominal (interior) node degree; border nodes have fewer neighbours.
+    nominal_degree: int = 0
+
+    def __init__(self, spacing: float = 0.5) -> None:
+        if spacing <= 0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        self.spacing = float(spacing)
+
+    # ------------------------------------------------------------------
+    # Abstract lattice interface
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Total number of nodes in the network."""
+
+    @property
+    @abc.abstractmethod
+    def dims(self) -> int:
+        """Coordinate dimensionality (2 or 3)."""
+
+    @abc.abstractmethod
+    def contains(self, coord: Coord) -> bool:
+        """True if *coord* names a node of this topology."""
+
+    @abc.abstractmethod
+    def index(self, coord: Coord) -> int:
+        """Flatten a 1-based coordinate to a 0-based node index."""
+
+    @abc.abstractmethod
+    def coord(self, index: int) -> Coord:
+        """Inverse of :meth:`index`."""
+
+    @abc.abstractmethod
+    def _neighbor_coords(self, coord: Coord) -> List[Coord]:
+        """In-grid neighbours of *coord* (unsorted, lattice-specific)."""
+
+    @abc.abstractmethod
+    def positions(self) -> np.ndarray:
+        """``(num_nodes, dims)`` float array of node positions in metres."""
+
+    # ------------------------------------------------------------------
+    # Shared graph machinery
+    # ------------------------------------------------------------------
+
+    def neighbors(self, coord: Coord) -> List[Coord]:
+        """In-grid neighbours of *coord*, sorted for determinism."""
+        if not self.contains(coord):
+            raise ValueError(f"{coord!r} is not a node of {self!r}")
+        return sorted(self._neighbor_coords(coord))
+
+    def neighbor_indices(self, index: int) -> np.ndarray:
+        """0-based indices of the neighbours of node *index*."""
+        adj = self.adjacency
+        return adj.indices[adj.indptr[index]:adj.indptr[index + 1]]
+
+    def iter_coords(self) -> Iterator[Coord]:
+        """Iterate over all node coordinates in index order."""
+        for i in range(self.num_nodes):
+            yield self.coord(i)
+
+    @cached_property
+    def adjacency(self) -> sparse.csr_matrix:
+        """Symmetric boolean CSR adjacency matrix (cached)."""
+        return _graph.build_adjacency(self)
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Per-node degree array (int)."""
+        return np.diff(self.adjacency.indptr).astype(np.int64)
+
+    @property
+    def max_degree(self) -> int:
+        """Largest realised degree (equals :attr:`nominal_degree` except in
+        degenerate tiny grids)."""
+        return int(self.degrees.max())
+
+    def degree(self, coord: Coord) -> int:
+        """Degree of the node at *coord*."""
+        return int(self.degrees[self.index(coord)])
+
+    def is_border(self, coord: Coord) -> bool:
+        """True if the node has fewer neighbours than the nominal degree.
+
+        The paper: "All the nodes in the WSN shall have the same number of
+        neighboring nodes, except the nodes in the boarder."
+        """
+        return self.degree(coord) < self.nominal_degree
+
+    # -- distances ------------------------------------------------------
+
+    def hop_distances(self, source: Coord) -> np.ndarray:
+        """Hop count from *source* to every node (BFS); ``-1`` if unreachable."""
+        return _graph.bfs_distances(self.adjacency, self.index(source))
+
+    def eccentricity(self, source: Coord) -> int:
+        """Maximum hop distance from *source* to any reachable node."""
+        d = self.hop_distances(source)
+        reachable = d[d >= 0]
+        return int(reachable.max())
+
+    @cached_property
+    def diameter(self) -> int:
+        """Maximum eccentricity over all nodes (graph diameter)."""
+        return _graph.diameter(self.adjacency)
+
+    def is_connected(self) -> bool:
+        """True if every node is reachable from node 0."""
+        d = _graph.bfs_distances(self.adjacency, 0)
+        return bool((d >= 0).all())
+
+    # -- geometry -------------------------------------------------------
+
+    def tx_range(self) -> float:
+        """Radio range (metres) required to reach all lattice neighbours.
+
+        This is the *d* plugged into the First Order Radio Model's
+        amplifier term.  For axis-only meshes it equals the spacing; the
+        2D-8 mesh overrides it with ``spacing * sqrt(2)`` to cover diagonal
+        neighbours.  (At the paper's parameters the difference to total
+        power is below its 3-significant-digit resolution either way;
+        see EXPERIMENTS.md.)
+        """
+        return self.spacing
+
+    def link_distance(self, a: Coord, b: Coord) -> float:
+        """Euclidean distance in metres between two (adjacent or not) nodes."""
+        pa = self.positions()[self.index(a)]
+        pb = self.positions()[self.index(b)]
+        return float(np.linalg.norm(pa - pb))
+
+    # -- misc -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Run internal consistency checks; raises AssertionError on failure.
+
+        Checks symmetry of the adjacency, coordinate round-tripping and
+        agreement between the python-level and CSR neighbourhoods.  Used by
+        the test-suite and by :mod:`repro.cli` self-checks.
+        """
+        adj = self.adjacency
+        if (adj != adj.T).nnz != 0:
+            raise AssertionError(f"{self!r}: adjacency is not symmetric")
+        if adj.diagonal().any():
+            raise AssertionError(f"{self!r}: self-loops present")
+        for i in range(self.num_nodes):
+            c = self.coord(i)
+            if self.index(c) != i:
+                raise AssertionError(f"{self!r}: coord/index mismatch at {i}")
+            got = sorted(self.coord(j) for j in self.neighbor_indices(i))
+            want = self.neighbors(c)
+            if got != want:
+                raise AssertionError(
+                    f"{self!r}: neighbourhood mismatch at {c}: {got} != {want}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} n={self.num_nodes}>"

@@ -1,0 +1,61 @@
+"""Topology factory.
+
+The benchmarks and the CLI refer to topologies by the paper's row labels
+("2D-3", "2D-4", "2D-8", "3D-6").  This module turns those labels — plus
+the paper's standard 512-node evaluation shapes — into topology objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .base import Topology
+from .mesh2d import Mesh2D3, Mesh2D4, Mesh2D8
+from .mesh3d import Mesh3D6
+
+#: Label -> topology class, in the paper's table order.
+TOPOLOGY_CLASSES: Dict[str, type] = {
+    "2D-3": Mesh2D3,
+    "2D-4": Mesh2D4,
+    "2D-8": Mesh2D8,
+    "3D-6": Mesh3D6,
+}
+
+#: The paper's Section 4 evaluation shapes: 512 nodes as a 32x16 2D mesh
+#: or an 8x8x8 3D mesh.
+PAPER_SHAPES: Dict[str, Tuple[int, ...]] = {
+    "2D-3": (32, 16),
+    "2D-4": (32, 16),
+    "2D-8": (32, 16),
+    "3D-6": (8, 8, 8),
+}
+
+#: Paper Section 4: neighbour spacing d = 0.5 m.
+PAPER_SPACING = 0.5
+
+
+def make_topology(label: str, shape: Tuple[int, ...] | None = None,
+                  spacing: float = PAPER_SPACING) -> Topology:
+    """Build the topology *label* ("2D-3" | "2D-4" | "2D-8" | "3D-6").
+
+    With ``shape=None`` the paper's 512-node evaluation shape is used.
+    """
+    try:
+        cls = TOPOLOGY_CLASSES[label]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {label!r}; expected one of "
+            f"{sorted(TOPOLOGY_CLASSES)}") from None
+    if shape is None:
+        shape = PAPER_SHAPES[label]
+    expected_dims = 3 if label == "3D-6" else 2
+    if len(shape) != expected_dims:
+        raise ValueError(
+            f"{label} needs a {expected_dims}-tuple shape, got {shape!r}")
+    return cls(*shape, spacing=spacing)
+
+
+def paper_topologies(spacing: float = PAPER_SPACING) -> Dict[str, Topology]:
+    """All four paper topologies at their 512-node evaluation shapes."""
+    return {label: make_topology(label, spacing=spacing)
+            for label in TOPOLOGY_CLASSES}

@@ -1,0 +1,77 @@
+"""Coordinate conventions for regular WSN topologies.
+
+The paper assigns every sensor node a unique *id* equal to its position in
+the grid: ``(x, y)`` in 2D and ``(x, y, z)`` in 3D, with 1-based components
+(``1 <= x <= m``, ``1 <= y <= n``, ``1 <= z <= l``).  All public APIs in this
+library speak that 1-based coordinate language; internally nodes are
+flattened to 0-based integer indices so state can live in numpy arrays.
+
+The flattening is x-major: ``index = (x-1) + (y-1)*m [+ (z-1)*m*n]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+Coord2D = Tuple[int, int]
+Coord3D = Tuple[int, int, int]
+Coord = Union[Coord2D, Coord3D]
+
+
+def flatten2d(x: int, y: int, m: int) -> int:
+    """Flatten a 1-based 2D coordinate to a 0-based node index."""
+    return (x - 1) + (y - 1) * m
+
+
+def unflatten2d(index: int, m: int) -> Coord2D:
+    """Inverse of :func:`flatten2d`."""
+    y, x = divmod(index, m)
+    return (x + 1, y + 1)
+
+
+def flatten3d(x: int, y: int, z: int, m: int, n: int) -> int:
+    """Flatten a 1-based 3D coordinate to a 0-based node index."""
+    return (x - 1) + (y - 1) * m + (z - 1) * m * n
+
+
+def unflatten3d(index: int, m: int, n: int) -> Coord3D:
+    """Inverse of :func:`flatten3d`."""
+    z, rest = divmod(index, m * n)
+    y, x = divmod(rest, m)
+    return (x + 1, y + 1, z + 1)
+
+
+def in_box2d(x: int, y: int, m: int, n: int) -> bool:
+    """True if ``(x, y)`` lies inside the 1-based ``m x n`` grid."""
+    return 1 <= x <= m and 1 <= y <= n
+
+
+def in_box3d(x: int, y: int, z: int, m: int, n: int, l: int) -> bool:
+    """True if ``(x, y, z)`` lies inside the 1-based ``m x n x l`` grid."""
+    return 1 <= x <= m and 1 <= y <= n and 1 <= z <= l
+
+
+def manhattan(a: Sequence[int], b: Sequence[int]) -> int:
+    """Manhattan (L1) distance between two coordinates of equal length."""
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {a} vs {b}")
+    return sum(abs(ai - bi) for ai, bi in zip(a, b))
+
+
+def chebyshev(a: Sequence[int], b: Sequence[int]) -> int:
+    """Chebyshev (L-infinity) distance between two coordinates."""
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {a} vs {b}")
+    return max(abs(ai - bi) for ai, bi in zip(a, b))
+
+
+def validate_coord(coord: Iterable[int], dims: int) -> Coord:
+    """Normalise *coord* to a tuple of ``dims`` ints, raising on mismatch.
+
+    Accepts any iterable of integers (lists, numpy scalars, ...) so callers
+    can be sloppy; protocol code always works with plain tuples afterwards.
+    """
+    tup = tuple(int(c) for c in coord)
+    if len(tup) != dims:
+        raise ValueError(f"expected a {dims}-D coordinate, got {tup!r}")
+    return tup  # type: ignore[return-value]

@@ -1,0 +1,116 @@
+"""Diagonal-axis sets S1 / S2 from Section 3 of the paper.
+
+For any node ``(x, y)``:
+
+* ``(x, y)`` belongs to ``S1(c)`` iff ``x + y == c``.  The nodes of an
+  ``S1`` set form a straight line running in the ``(+1, -1)`` direction
+  (the "anti-diagonal").
+* ``(x, y)`` belongs to ``S2(c)`` iff ``x - y == c``.  The nodes of an
+  ``S2`` set form a line in the ``(+1, +1)`` direction (the "main
+  diagonal").
+
+Example from the paper: nodes (5,7), (6,6), (7,5) are in ``S1(12)``; nodes
+(5,3), (6,4), (7,5) are in ``S2(2)``.
+
+The 2D-3 protocol additionally uses *paired* diagonal sets
+``B1/B2 = S(c) ∪ S(c±1)`` whose union forms a connected staircase path in
+the brick-wall lattice (see :func:`b1_set` / :func:`b2_set`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .coords import Coord2D
+from .mesh2d import Mesh2D3, _Mesh2DBase
+
+
+def s1_value(coord: Coord2D) -> int:
+    """The S1 diagonal constant ``x + y`` of *coord*."""
+    x, y = coord
+    return x + y
+
+
+def s2_value(coord: Coord2D) -> int:
+    """The S2 diagonal constant ``x - y`` of *coord*."""
+    x, y = coord
+    return x - y
+
+
+def s1_set(mesh: _Mesh2DBase, c: int) -> List[Coord2D]:
+    """All in-grid nodes of ``S1(c)`` (``x + y == c``), sorted by x."""
+    out = []
+    for x in range(max(1, c - mesh.n), min(mesh.m, c - 1) + 1):
+        y = c - x
+        if 1 <= y <= mesh.n:
+            out.append((x, y))
+    return out
+
+
+def s2_set(mesh: _Mesh2DBase, c: int) -> List[Coord2D]:
+    """All in-grid nodes of ``S2(c)`` (``x - y == c``), sorted by x."""
+    out = []
+    for x in range(max(1, c + 1), min(mesh.m, c + mesh.n) + 1):
+        y = x - c
+        if 1 <= y <= mesh.n:
+            out.append((x, y))
+    return out
+
+
+def s1_range(mesh: _Mesh2DBase) -> Tuple[int, int]:
+    """Inclusive range of S1 constants with nonempty in-grid sets."""
+    return (2, mesh.m + mesh.n)
+
+
+def s2_range(mesh: _Mesh2DBase) -> Tuple[int, int]:
+    """Inclusive range of S2 constants with nonempty in-grid sets."""
+    return (1 - mesh.n, mesh.m - 1)
+
+
+# ----------------------------------------------------------------------
+# Paired diagonals for the 2D-3 (brick-wall) protocol
+# ----------------------------------------------------------------------
+
+def b1_values(mesh: Mesh2D3, base: Coord2D) -> Tuple[int, int]:
+    """The two S1 constants of ``B1(base)`` per the paper's rule.
+
+    "If node (i, j+1) is node (i, j)'s neighbour then
+    ``B1(i,j) = S1(i+j) ∪ S1(i+j+1)`` else ``B1(i,j) = S1(i+j) ∪ S1(i+j-1)``."
+    """
+    i, j = base
+    c = i + j
+    if mesh.has_up_neighbor(base):
+        return (c, c + 1)
+    return (c, c - 1)
+
+
+def b2_values(mesh: Mesh2D3, base: Coord2D) -> Tuple[int, int]:
+    """The two S2 constants of ``B2(base)`` per the paper's rule.
+
+    "If node (i, j+1) is node (i, j)'s neighbour then
+    ``B2(i,j) = S2(i-j) ∪ S2(i-j-1)`` else ``B2(i,j) = S2(i-j) ∪ S2(i-j+1)``."
+    """
+    i, j = base
+    c = i - j
+    if mesh.has_up_neighbor(base):
+        return (c, c - 1)
+    return (c, c + 1)
+
+
+def b1_set(mesh: Mesh2D3, base: Coord2D) -> Set[Coord2D]:
+    """Nodes of the ``B1`` staircase (paired anti-diagonals) through *base*.
+
+    In the brick lattice the union of the two adjacent S1 diagonals is a
+    connected zig-zag path running up-left / down-right from *base*.
+    """
+    ca, cb = b1_values(mesh, base)
+    return set(s1_set(mesh, ca)) | set(s1_set(mesh, cb))
+
+
+def b2_set(mesh: Mesh2D3, base: Coord2D) -> Set[Coord2D]:
+    """Nodes of the ``B2`` staircase (paired main diagonals) through *base*.
+
+    A connected zig-zag path running up-right / down-left from *base*.
+    """
+    ca, cb = b2_values(mesh, base)
+    return set(s2_set(mesh, ca)) | set(s2_set(mesh, cb))

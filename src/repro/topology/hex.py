@@ -1,0 +1,58 @@
+"""Hexagonal 2D mesh with 6 neighbours.
+
+The paper builds protocols for four of the regular topologies studied by
+its reference [12] (Salhieh et al., "Power efficient topologies for
+wireless sensor networks"), which also evaluates the 6-neighbour
+hexagonal lattice.  We provide it as an extension so the generic
+ETR-greedy protocol (and the ideal model) can be compared across the full
+topology family.
+
+Representation: "odd-r" offset coordinates.  Node ``(x, y)`` always has
+its row neighbours ``(x±1, y)`` and column neighbours ``(x, y±1)``; the
+two remaining diagonal neighbours depend on row parity:
+
+* odd ``y``:  ``(x+1, y-1)`` and ``(x+1, y+1)``
+* even ``y``: ``(x-1, y-1)`` and ``(x-1, y+1)``
+
+Geometrically the odd rows are shifted half a spacing to the right and
+rows are ``sqrt(3)/2`` spacings apart, so all six neighbours sit at the
+same distance (the lattice is a proper triangular tiling).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from .mesh2d import _Mesh2DBase
+
+
+class Mesh2D6(_Mesh2DBase):
+    """Hexagonal (triangular-tiling) mesh with 6 neighbours."""
+
+    name = "2D-6"
+    nominal_degree = 6
+
+    def _neighbor_coords(self, coord) -> List[tuple]:
+        x, y = coord
+        dx = 1 if y % 2 == 1 else -1
+        offsets = ((1, 0), (-1, 0), (0, 1), (0, -1),
+                   (dx, 1), (dx, -1))
+        return self._offset_neighbors(coord, offsets)
+
+    def positions(self) -> np.ndarray:
+        xs = np.arange(self.m, dtype=np.float64)
+        ys = np.arange(self.n, dtype=np.float64)
+        gx, gy = np.meshgrid(xs, ys, indexing="xy")
+        # odd-r offset: odd rows (y index 1, 3, ... -> paper coords 2, 4,
+        # ...) shift right by half a spacing
+        shift = ((np.arange(self.n) + 1) % 2 == 1).astype(np.float64) * 0.5
+        gx = gx + shift[:, None]
+        pos = np.stack([gx.ravel(), gy.ravel() * math.sqrt(3) / 2], axis=1)
+        return pos * self.spacing
+
+    def tx_range(self) -> float:
+        """All six neighbours sit exactly one spacing away."""
+        return self.spacing

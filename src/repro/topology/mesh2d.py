@@ -1,0 +1,138 @@
+"""The three regular 2D mesh topologies of the paper (Figs. 1-3).
+
+* :class:`Mesh2D4` — each interior node talks to its 4 axis neighbours
+  (von Neumann neighbourhood).
+* :class:`Mesh2D8` — 8 neighbours: axis + diagonals (Moore neighbourhood).
+* :class:`Mesh2D3` — 3 neighbours: both horizontal neighbours plus exactly
+  one vertical neighbour, alternating up/down like a brick wall.  The
+  vertical edge between ``(x, y)`` and ``(x, y+1)`` exists iff ``x + y`` is
+  even — the convention consistent with the paper's worked example, where
+  source ``(5, 4)`` has ``(5, 3)`` but *not* ``(5, 5)`` as a neighbour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from .base import Topology
+from .coords import Coord2D, flatten2d, in_box2d, unflatten2d, validate_coord
+
+
+class _Mesh2DBase(Topology):
+    """Common machinery for the rectangular 2D meshes."""
+
+    def __init__(self, m: int, n: int, spacing: float = 0.5) -> None:
+        super().__init__(spacing)
+        if m < 1 or n < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {m}x{n}")
+        self.m = int(m)
+        self.n = int(n)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.m * self.n
+
+    @property
+    def dims(self) -> int:
+        return 2
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(m, n)`` grid extent."""
+        return (self.m, self.n)
+
+    def contains(self, coord) -> bool:
+        x, y = validate_coord(coord, 2)
+        return in_box2d(x, y, self.m, self.n)
+
+    def index(self, coord) -> int:
+        x, y = validate_coord(coord, 2)
+        if not in_box2d(x, y, self.m, self.n):
+            raise ValueError(f"({x}, {y}) outside {self.m}x{self.n} mesh")
+        return flatten2d(x, y, self.m)
+
+    def coord(self, index: int) -> Coord2D:
+        if not 0 <= index < self.num_nodes:
+            raise ValueError(f"index {index} out of range")
+        return unflatten2d(index, self.m)
+
+    def positions(self) -> np.ndarray:
+        xs, ys = np.meshgrid(
+            np.arange(self.m), np.arange(self.n), indexing="xy")
+        pos = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(np.float64)
+        return pos * self.spacing
+
+    def _offset_neighbors(self, coord, offsets) -> List[Coord2D]:
+        x, y = coord
+        out = []
+        for dx, dy in offsets:
+            nx, ny = x + dx, y + dy
+            if in_box2d(nx, ny, self.m, self.n):
+                out.append((nx, ny))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} {self.m}x{self.n}>"
+
+
+class Mesh2D4(_Mesh2DBase):
+    """2D mesh with 4 neighbours (paper Fig. 2)."""
+
+    name = "2D-4"
+    nominal_degree = 4
+
+    OFFSETS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+    def _neighbor_coords(self, coord) -> List[Coord2D]:
+        return self._offset_neighbors(coord, self.OFFSETS)
+
+
+class Mesh2D8(_Mesh2DBase):
+    """2D mesh with 8 neighbours (paper Fig. 3)."""
+
+    name = "2D-8"
+    nominal_degree = 8
+
+    OFFSETS = (
+        (1, 0), (-1, 0), (0, 1), (0, -1),
+        (1, 1), (1, -1), (-1, 1), (-1, -1),
+    )
+
+    def _neighbor_coords(self, coord) -> List[Coord2D]:
+        return self._offset_neighbors(coord, self.OFFSETS)
+
+    def tx_range(self) -> float:
+        """Diagonal neighbours sit ``sqrt(2) * spacing`` away."""
+        return self.spacing * math.sqrt(2.0)
+
+
+class Mesh2D3(_Mesh2DBase):
+    """2D mesh with 3 neighbours — brick-wall lattice (paper Fig. 1).
+
+    Every node has both horizontal neighbours; vertical edges alternate so
+    that each node has exactly one vertical neighbour.  The edge
+    ``(x, y) - (x, y+1)`` exists iff ``x + y`` is even.
+    """
+
+    name = "2D-3"
+    nominal_degree = 3
+
+    @staticmethod
+    def vertical_neighbor_offset(x: int, y: int) -> int:
+        """Return +1 or -1: the dy of the (unique) vertical neighbour of
+        ``(x, y)`` in an unbounded brick lattice."""
+        return 1 if (x + y) % 2 == 0 else -1
+
+    def has_up_neighbor(self, coord) -> bool:
+        """True if ``(x, y+1)`` is the vertical neighbour of *coord*
+        (ignoring the grid border)."""
+        x, y = validate_coord(coord, 2)
+        return self.vertical_neighbor_offset(x, y) == 1
+
+    def _neighbor_coords(self, coord) -> List[Coord2D]:
+        x, y = coord
+        dy = self.vertical_neighbor_offset(x, y)
+        return self._offset_neighbors(coord, ((1, 0), (-1, 0), (0, dy)))

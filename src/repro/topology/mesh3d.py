@@ -1,0 +1,92 @@
+"""3D mesh with 6 neighbours (paper Fig. 4).
+
+A stack of ``l`` XY planes, each an ``m x n`` :class:`~repro.topology.mesh2d.
+Mesh2D4`-style lattice, with vertical edges between vertically adjacent
+nodes.  The paper's 3D-6 broadcast protocol treats the source's XY plane
+with the 2D-4 protocol and forwards across planes along the Z axis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import Topology
+from .coords import Coord3D, flatten3d, in_box3d, unflatten3d, validate_coord
+
+
+class Mesh3D6(Topology):
+    """3D mesh with 6 neighbours."""
+
+    name = "3D-6"
+    nominal_degree = 6
+
+    OFFSETS = (
+        (1, 0, 0), (-1, 0, 0),
+        (0, 1, 0), (0, -1, 0),
+        (0, 0, 1), (0, 0, -1),
+    )
+
+    def __init__(self, m: int, n: int, l: int, spacing: float = 0.5) -> None:
+        super().__init__(spacing)
+        if m < 1 or n < 1 or l < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {m}x{n}x{l}")
+        self.m = int(m)
+        self.n = int(n)
+        self.l = int(l)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.m * self.n * self.l
+
+    @property
+    def dims(self) -> int:
+        return 3
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """``(m, n, l)`` grid extent."""
+        return (self.m, self.n, self.l)
+
+    def contains(self, coord) -> bool:
+        x, y, z = validate_coord(coord, 3)
+        return in_box3d(x, y, z, self.m, self.n, self.l)
+
+    def index(self, coord) -> int:
+        x, y, z = validate_coord(coord, 3)
+        if not in_box3d(x, y, z, self.m, self.n, self.l):
+            raise ValueError(
+                f"({x}, {y}, {z}) outside {self.m}x{self.n}x{self.l} mesh")
+        return flatten3d(x, y, z, self.m, self.n)
+
+    def coord(self, index: int) -> Coord3D:
+        if not 0 <= index < self.num_nodes:
+            raise ValueError(f"index {index} out of range")
+        return unflatten3d(index, self.m, self.n)
+
+    def positions(self) -> np.ndarray:
+        zs, ys, xs = np.meshgrid(
+            np.arange(self.l), np.arange(self.n), np.arange(self.m),
+            indexing="ij")
+        pos = np.stack([xs.ravel(), ys.ravel(), zs.ravel()], axis=1)
+        return pos.astype(np.float64) * self.spacing
+
+    def _neighbor_coords(self, coord) -> List[Coord3D]:
+        x, y, z = coord
+        out = []
+        for dx, dy, dz in self.OFFSETS:
+            nx, ny, nz = x + dx, y + dy, z + dz
+            if in_box3d(nx, ny, nz, self.m, self.n, self.l):
+                out.append((nx, ny, nz))
+        return out
+
+    def plane_indices(self, z: int) -> np.ndarray:
+        """0-based node indices of the XY plane at height *z* (1-based)."""
+        if not 1 <= z <= self.l:
+            raise ValueError(f"z={z} outside [1, {self.l}]")
+        base = (z - 1) * self.m * self.n
+        return np.arange(base, base + self.m * self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Mesh3D6 {self.m}x{self.n}x{self.l}>"

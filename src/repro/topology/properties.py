@@ -1,0 +1,60 @@
+"""Structural property reports for topologies.
+
+Used by the Fig. 1-4 benchmark (degree/edge census of the four lattices)
+and by the CLI's ``topology`` command.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .base import Topology
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Structural census of a topology."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    nominal_degree: int
+    degree_histogram: Dict[int, int] = field(default_factory=dict)
+    num_border_nodes: int = 0
+    diameter: int = 0
+    connected: bool = True
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Key/value rows for pretty-printing."""
+        return [
+            ("topology", self.name),
+            ("nodes", str(self.num_nodes)),
+            ("edges", str(self.num_edges)),
+            ("nominal degree", str(self.nominal_degree)),
+            ("degree histogram",
+             ", ".join(f"{d}:{c}" for d, c in sorted(
+                 self.degree_histogram.items()))),
+            ("border nodes", str(self.num_border_nodes)),
+            ("diameter", str(self.diameter)),
+            ("connected", str(self.connected)),
+        ]
+
+
+def analyze(topology: Topology) -> TopologyReport:
+    """Compute a :class:`TopologyReport` for *topology*."""
+    degrees = topology.degrees
+    hist = dict(Counter(int(d) for d in degrees))
+    num_edges = int(degrees.sum()) // 2
+    border = int((degrees < topology.nominal_degree).sum())
+    return TopologyReport(
+        name=topology.name,
+        num_nodes=topology.num_nodes,
+        num_edges=num_edges,
+        nominal_degree=topology.nominal_degree,
+        degree_histogram=hist,
+        num_border_nodes=border,
+        diameter=topology.diameter,
+        connected=topology.is_connected(),
+    )

@@ -1,0 +1,99 @@
+"""Random unit-disk WSN topology (baseline for the regular-vs-random claim).
+
+The paper's introduction motivates regular topologies by citing [12, 14]:
+"the WSN with regular topology can communicate more efficiently than the WSN
+with random topology".  To reproduce that comparison we provide the standard
+random-deployment model those works assume: nodes scattered uniformly at
+random over a rectangle, with a radio link between every pair closer than
+the transmission radius (a unit-disk graph).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import Topology
+from .coords import validate_coord
+
+
+class RandomDiskTopology(Topology):
+    """Uniform random node placement with unit-disk connectivity.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sensors to scatter.
+    width, height:
+        Extent of the deployment rectangle in metres.
+    radio_range:
+        Link radius in metres.
+    seed:
+        RNG seed (deterministic by default so tests are reproducible).
+
+    Node "coordinates" are 1-tuples ``(i,)`` with ``1 <= i <= num_nodes``
+    since random deployments have no lattice structure; positions in metres
+    are available through :meth:`positions`.
+    """
+
+    name = "random-disk"
+    nominal_degree = 0  # no nominal degree in a random graph
+
+    def __init__(self, num_nodes: int, width: float, height: float,
+                 radio_range: float, seed: int = 0) -> None:
+        super().__init__(spacing=radio_range)
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if width <= 0 or height <= 0 or radio_range <= 0:
+            raise ValueError("width, height and radio_range must be positive")
+        self._n = int(num_nodes)
+        self.width = float(width)
+        self.height = float(height)
+        self.radio_range = float(radio_range)
+        rng = np.random.default_rng(seed)
+        self._pos = rng.uniform(
+            low=[0.0, 0.0], high=[width, height], size=(self._n, 2))
+        # Precompute the neighbour lists once (N is small in all our uses).
+        diff = self._pos[:, None, :] - self._pos[None, :, :]
+        dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+        within = dist2 <= radio_range * radio_range
+        np.fill_diagonal(within, False)
+        self._nbrs: List[np.ndarray] = [
+            np.nonzero(within[i])[0] for i in range(self._n)]
+        # nominal degree: the realised maximum, so is_border() is meaningful
+        self.nominal_degree = max(
+            (len(a) for a in self._nbrs), default=0)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def dims(self) -> int:
+        return 1
+
+    def contains(self, coord) -> bool:
+        (i,) = validate_coord(coord, 1)
+        return 1 <= i <= self._n
+
+    def index(self, coord) -> int:
+        (i,) = validate_coord(coord, 1)
+        if not 1 <= i <= self._n:
+            raise ValueError(f"node {i} outside [1, {self._n}]")
+        return i - 1
+
+    def coord(self, index: int):
+        if not 0 <= index < self._n:
+            raise ValueError(f"index {index} out of range")
+        return (index + 1,)
+
+    def positions(self) -> np.ndarray:
+        return self._pos
+
+    def tx_range(self) -> float:
+        return self.radio_range
+
+    def _neighbor_coords(self, coord):
+        (i,) = coord
+        return [(int(j) + 1,) for j in self._nbrs[i - 1]]

@@ -1,0 +1,15 @@
+"""ASCII visualisation of relay maps and broadcast schedules."""
+
+from .ascii_grid import RELAY_MAP_LEGEND, relay_map, wave_map
+from .sequence import slot_timeline, summary_block
+from .svg import broadcast_svg, save_broadcast_svg
+
+__all__ = [
+    "relay_map",
+    "wave_map",
+    "slot_timeline",
+    "summary_block",
+    "RELAY_MAP_LEGEND",
+    "broadcast_svg",
+    "save_broadcast_svg",
+]

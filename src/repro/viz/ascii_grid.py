@@ -1,0 +1,116 @@
+"""ASCII rendering of relay maps and broadcast waves.
+
+Regenerates the *content* of the paper's protocol figures (5, 7, 8, 9):
+which nodes relay, which retransmit (the paper's gray nodes), and in which
+slot each node first receives / transmits.  Renders any 2D mesh directly
+and 3D meshes plane by plane.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.base import CompiledBroadcast
+from ..topology.base import Topology
+from ..topology.mesh3d import Mesh3D6
+
+#: Legend used by :func:`relay_map`.
+RELAY_MAP_LEGEND = ("S=source  #=relay  *=retransmitter (>=2 tx)  "
+                    "+=repair/completion relay  .=non-relay")
+
+
+def _cell_symbols(topology: Topology,
+                  compiled: CompiledBroadcast) -> List[str]:
+    trace = compiled.trace
+    tx_counts = trace.tx_count_per_node()
+    extra = {node for node, _ in compiled.completions}
+    extra |= {node for node, _ in compiled.repairs}
+    planned = compiled.plan.relay_mask
+    symbols = []
+    for idx in range(topology.num_nodes):
+        if idx == trace.source:
+            symbols.append("S")
+        elif tx_counts[idx] >= 2:
+            symbols.append("*")
+        elif tx_counts[idx] == 1:
+            symbols.append("#" if planned[idx] else "+")
+        elif idx in extra:
+            symbols.append("+")
+        else:
+            symbols.append(".")
+    return symbols
+
+
+def _render_plane(topology: Topology, symbols: List[str],
+                  m: int, n: int, base: int, header: str) -> str:
+    lines = [header]
+    for y in range(n, 0, -1):
+        row = " ".join(
+            symbols[base + (x - 1) + (y - 1) * m] for x in range(1, m + 1))
+        lines.append(f"{y:3d} {row}")
+    ruler = "    " + " ".join(str(x % 10) for x in range(1, m + 1))
+    lines.append(ruler)
+    return "\n".join(lines)
+
+
+def relay_map(topology: Topology, compiled: CompiledBroadcast) -> str:
+    """Render the relay/retransmitter map of a compiled broadcast.
+
+    For 2D meshes this is the direct analogue of Figs. 5/7/8 (black relay
+    nodes -> ``#``, gray retransmitters -> ``*``); 3D meshes are rendered
+    plane by plane like Fig. 9.
+    """
+    symbols = _cell_symbols(topology, compiled)
+    if isinstance(topology, Mesh3D6):
+        m, n, l = topology.m, topology.n, topology.l
+        planes = [
+            _render_plane(topology, symbols, m, n, (z - 1) * m * n,
+                          f"plane z={z}")
+            for z in range(1, l + 1)
+        ]
+        return "\n\n".join(planes + [RELAY_MAP_LEGEND])
+    m, n = topology.m, topology.n  # type: ignore[attr-defined]
+    return "\n".join([
+        _render_plane(topology, symbols, m, n, 0, f"{topology.name} "
+                      f"{m}x{n}, source {compiled.plan.notes.get('source')}"),
+        RELAY_MAP_LEGEND,
+    ])
+
+
+def wave_map(topology: Topology, compiled: CompiledBroadcast,
+             z: Optional[int] = None, what: str = "rx") -> str:
+    """Render per-node first-reception (or first-transmission) slots.
+
+    ``what="rx"`` shows when each node first obtained the message (the
+    paper's per-edge transmission sequence numbers, viewed per node);
+    ``what="tx"`` shows each relay's first transmission slot.
+    """
+    trace = compiled.trace
+    if what == "rx":
+        values = trace.first_rx
+    elif what == "tx":
+        sched = compiled.schedule
+        values = [sched.first_slot_of(v) for v in range(topology.num_nodes)]
+    else:
+        raise ValueError(f"what must be 'rx' or 'tx', got {what!r}")
+
+    if isinstance(topology, Mesh3D6):
+        if z is None:
+            raise ValueError("3D wave maps need an explicit plane z")
+        m, n = topology.m, topology.n
+        base = (z - 1) * m * n
+        header = f"first {what} slot, plane z={z}"
+    else:
+        m, n = topology.m, topology.n  # type: ignore[attr-defined]
+        base = 0
+        header = f"first {what} slot"
+
+    width = max(2, len(str(max(int(v) for v in values))))
+    lines = [header]
+    for y in range(n, 0, -1):
+        cells = []
+        for x in range(1, m + 1):
+            v = int(values[base + (x - 1) + (y - 1) * m])
+            cells.append("." * width if v < 0 else str(v).rjust(width))
+        lines.append(f"{y:3d} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Per-slot transmission timelines.
+
+A textual rendering of the numbers the paper writes beside the edges of
+Figs. 5/7/8 ("the transmission sequences"): which nodes transmit in each
+slot, how many nodes they inform, and where collisions happen.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.base import CompiledBroadcast
+from ..topology.base import Topology
+
+
+def slot_timeline(topology: Topology, compiled: CompiledBroadcast,
+                  max_slots: int | None = None,
+                  max_nodes_per_slot: int = 8) -> str:
+    """Render the broadcast slot by slot.
+
+    Each line: slot number, transmitter coordinates (elided beyond
+    *max_nodes_per_slot*), number of fresh receptions, duplicates and
+    collisions in that slot.
+    """
+    trace = compiled.trace
+    by_slot_tx: dict[int, List[int]] = {}
+    for slot, v in trace.tx_events:
+        by_slot_tx.setdefault(slot, []).append(v)
+    fresh: dict[int, int] = {}
+    dups: dict[int, int] = {}
+    for slot, receiver, _ in trace.rx_events:
+        if trace.first_rx[receiver] == slot:
+            fresh[slot] = fresh.get(slot, 0) + 1
+        else:
+            dups[slot] = dups.get(slot, 0) + 1
+    colls: dict[int, int] = {}
+    for slot, _ in trace.collision_events:
+        colls[slot] = colls.get(slot, 0) + 1
+
+    lines = [f"slot timeline ({topology.name}, "
+             f"source {compiled.plan.notes.get('source')})",
+             "slot | tx | fresh dup coll | transmitters"]
+    slots = sorted(by_slot_tx)
+    if max_slots is not None:
+        slots = slots[:max_slots]
+    for slot in slots:
+        txs = sorted(by_slot_tx[slot])
+        names = [str(topology.coord(v)) for v in txs[:max_nodes_per_slot]]
+        if len(txs) > max_nodes_per_slot:
+            names.append(f"... +{len(txs) - max_nodes_per_slot}")
+        lines.append(
+            f"{slot:4d} | {len(txs):2d} | {fresh.get(slot, 0):5d} "
+            f"{dups.get(slot, 0):3d} {colls.get(slot, 0):4d} | "
+            + " ".join(names))
+    return "\n".join(lines)
+
+
+def summary_block(topology: Topology, compiled: CompiledBroadcast) -> str:
+    """One-paragraph broadcast summary for CLI / benchmark output."""
+    t = compiled.trace
+    return (
+        f"{topology.name}: {t.num_tx} transmissions, {t.num_rx} receptions "
+        f"({t.num_duplicate_rx} duplicates), {t.num_collisions} collision "
+        f"events, delay {t.delay_slots} slots, reachability "
+        f"{t.reachability:.1%}, {len(t.retransmitting_nodes())} "
+        f"retransmitting nodes, {len(compiled.completions)} completion + "
+        f"{len(compiled.repairs)} repair transmissions")

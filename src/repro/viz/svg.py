@@ -1,0 +1,132 @@
+"""SVG rendering of lattices and broadcasts (publication-style figures).
+
+Self-contained SVG generation (no plotting dependencies): node circles on
+the lattice geometry, edges, and the paper's colour code — black relay
+nodes, gray retransmitters, white non-relays, the source highlighted —
+plus an optional per-node first-reception label, i.e. the content of the
+paper's Figs. 5/7/8.  3D meshes render one SVG per plane.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional
+
+from ..core.base import CompiledBroadcast
+from ..topology.base import Topology
+from ..topology.mesh3d import Mesh3D6
+
+#: Colours follow the paper's figures.
+COLOR_SOURCE = "#d62728"
+COLOR_RELAY = "#222222"
+COLOR_RETRANSMIT = "#999999"
+COLOR_PATCH = "#1f77b4"
+COLOR_IDLE = "#ffffff"
+COLOR_EDGE = "#cccccc"
+
+
+def _classify(topology: Topology, compiled: CompiledBroadcast
+              ) -> List[str]:
+    trace = compiled.trace
+    tx_counts = trace.tx_count_per_node()
+    patched = {v for v, _ in compiled.completions}
+    patched |= {v for v, _ in compiled.repairs}
+    colors = []
+    for idx in range(topology.num_nodes):
+        if idx == trace.source:
+            colors.append(COLOR_SOURCE)
+        elif tx_counts[idx] >= 2:
+            colors.append(COLOR_RETRANSMIT)
+        elif idx in patched:
+            colors.append(COLOR_PATCH)
+        elif tx_counts[idx] == 1:
+            colors.append(COLOR_RELAY)
+        else:
+            colors.append(COLOR_IDLE)
+    return colors
+
+
+def _svg_document(body: List[str], width: float, height: float,
+                  title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">\n'
+        f'<title>{html.escape(title)}</title>\n'
+        f'<rect width="100%" height="100%" fill="white"/>\n')
+    return head + "\n".join(body) + "\n</svg>\n"
+
+
+def broadcast_svg(topology: Topology, compiled: CompiledBroadcast,
+                  scale: float = 36.0, node_radius: float = 9.0,
+                  label_first_rx: bool = False,
+                  plane_z: Optional[int] = None) -> str:
+    """Render a compiled broadcast as an SVG string.
+
+    For 3D meshes pass *plane_z* to pick the XY plane to draw.
+    ``label_first_rx=True`` writes each node's first-reception slot inside
+    its circle (the figure's transmission-sequence numbers, per node).
+    """
+    if isinstance(topology, Mesh3D6):
+        if plane_z is None:
+            raise ValueError("3D meshes need an explicit plane_z")
+        node_indices = [int(i) for i in topology.plane_indices(plane_z)]
+    else:
+        node_indices = list(range(topology.num_nodes))
+
+    colors = _classify(topology, compiled)
+    pos = topology.positions()
+    spacing = topology.spacing
+    # map metres to pixels; y axis flipped so y grows upward like the paper
+    xs = pos[node_indices, 0] / spacing
+    ys = pos[node_indices, 1] / spacing
+    pad = 1.0
+    width = (xs.max() - xs.min() + 2 * pad) * scale
+    height = (ys.max() - ys.min() + 2 * pad) * scale
+
+    def px(i: int) -> tuple:
+        x = (pos[i, 0] / spacing - xs.min() + pad) * scale
+        y = height - (pos[i, 1] / spacing - ys.min() + pad) * scale
+        return x, y
+
+    body: List[str] = []
+    node_set = set(node_indices)
+    drawn = set()
+    for i in node_indices:
+        for j in (int(v) for v in topology.neighbor_indices(i)):
+            if j in node_set and (j, i) not in drawn:
+                x1, y1 = px(i)
+                x2, y2 = px(j)
+                body.append(
+                    f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                    f'y2="{y2:.1f}" stroke="{COLOR_EDGE}" '
+                    f'stroke-width="1"/>')
+                drawn.add((i, j))
+    first_rx = compiled.trace.first_rx
+    for i in node_indices:
+        x, y = px(i)
+        body.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{node_radius:.1f}" '
+            f'fill="{colors[i]}" stroke="#444444" stroke-width="1"/>')
+        if label_first_rx and first_rx[i] >= 0:
+            fill = "#ffffff" if colors[i] in (COLOR_RELAY, COLOR_SOURCE) \
+                else "#000000"
+            body.append(
+                f'<text x="{x:.1f}" y="{y + 3:.1f}" font-size="9" '
+                f'font-family="sans-serif" text-anchor="middle" '
+                f'fill="{fill}">{int(first_rx[i])}</text>')
+
+    title = (f"{topology.name} broadcast, source "
+             f"{compiled.plan.notes.get('source')}")
+    if plane_z is not None:
+        title += f", plane z={plane_z}"
+    return _svg_document(body, width, height, title)
+
+
+def save_broadcast_svg(path: str, topology: Topology,
+                       compiled: CompiledBroadcast, **kwargs) -> str:
+    """Render and write an SVG file; returns the path."""
+    svg = broadcast_svg(topology, compiled, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    return path

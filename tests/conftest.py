@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Paper-size (512-node) compilations are expensive enough to share, so they
+are session-scoped and cached per (label, source).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import make_topology, protocol_for
+from repro.topology import Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6
+
+LABELS = ("2D-3", "2D-4", "2D-8", "3D-6")
+
+#: Representative central sources on the paper's evaluation shapes.
+CENTRAL_SOURCE = {
+    "2D-3": (16, 8),
+    "2D-4": (16, 8),
+    "2D-8": (16, 8),
+    "3D-6": (4, 4, 4),
+}
+
+#: Representative corner sources.
+CORNER_SOURCE = {
+    "2D-3": (1, 1),
+    "2D-4": (1, 1),
+    "2D-8": (1, 1),
+    "3D-6": (1, 1, 1),
+}
+
+
+@pytest.fixture(scope="session")
+def paper_meshes():
+    """The four 512-node evaluation topologies."""
+    return {label: make_topology(label) for label in LABELS}
+
+
+@pytest.fixture(scope="session")
+def compiled_central(paper_meshes):
+    """Compiled broadcasts from a central source, one per topology."""
+    out = {}
+    for label, mesh in paper_meshes.items():
+        out[label] = protocol_for(mesh).compile(mesh, CENTRAL_SOURCE[label])
+    return out
+
+
+@pytest.fixture(scope="session")
+def compiled_corner(paper_meshes):
+    """Compiled broadcasts from a corner source, one per topology."""
+    out = {}
+    for label, mesh in paper_meshes.items():
+        out[label] = protocol_for(mesh).compile(mesh, CORNER_SOURCE[label])
+    return out
+
+
+@pytest.fixture
+def small_meshes():
+    """Small instances of every topology for cheap per-test compiles."""
+    return {
+        "2D-3": Mesh2D3(10, 8),
+        "2D-4": Mesh2D4(10, 8),
+        "2D-8": Mesh2D8(10, 8),
+        "3D-6": Mesh3D6(5, 5, 4),
+    }

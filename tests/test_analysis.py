@@ -1,0 +1,121 @@
+"""Tests for the analysis package: sweeps, table assembly, ranking."""
+
+import pytest
+
+from repro.analysis import (PAPER_TABLE2, SweepCache, power_ranking,
+                            strided_sources, sweep_sources, table2_ideal,
+                            table3_best, table4_worst, table5_delay)
+from repro.core.baselines import FloodingProtocol
+from repro.topology import Mesh2D4, make_topology
+
+
+class TestSweep:
+    def test_sweep_small_mesh(self):
+        mesh = Mesh2D4(6, 4)
+        sweep = sweep_sources(mesh)
+        assert len(sweep) == 24
+        assert sweep.all_reached()
+        best = sweep.best_by_energy()
+        worst = sweep.worst_by_energy()
+        assert best.energy_j <= worst.energy_j
+        assert sweep.min_delay() <= sweep.max_delay()
+
+    def test_center_beats_corner(self):
+        """The paper: 'If the source is in the center of the network, it
+        performs better.'"""
+        mesh = Mesh2D4(9, 9)
+        sweep = sweep_sources(mesh, sources=[(5, 5), (1, 1)])
+        center, corner = sweep.metrics
+        assert center.delay_slots < corner.delay_slots
+
+    def test_explicit_sources(self):
+        mesh = Mesh2D4(6, 4)
+        sweep = sweep_sources(mesh, sources=[(1, 1), (3, 2)])
+        assert len(sweep) == 2
+        assert sweep.metrics[0].source == (1, 1)
+
+    def test_custom_protocol(self):
+        mesh = Mesh2D4(5, 4)
+        sweep = sweep_sources(mesh, protocol=FloodingProtocol(),
+                              sources=[(2, 2)])
+        assert sweep.metrics[0].tx >= mesh.num_nodes - 2
+
+    def test_progress_callback(self):
+        mesh = Mesh2D4(4, 3)
+        calls = []
+        sweep_sources(mesh, sources=[(1, 1), (2, 2)],
+                      progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_mean_aggregates(self):
+        mesh = Mesh2D4(5, 4)
+        sweep = sweep_sources(mesh, sources=[(1, 1), (3, 2), (5, 4)])
+        assert sweep.mean_tx() > 0
+        assert sweep.mean_rx() > sweep.mean_tx()
+        assert sweep.mean_energy() > 0
+
+
+class TestStridedSources:
+    def test_includes_corners(self):
+        mesh = Mesh2D4(8, 8)
+        coords = strided_sources(mesh, 7)
+        assert (1, 1) in coords
+        assert (8, 8) in coords
+
+    def test_stride_one_is_everything(self):
+        mesh = Mesh2D4(4, 4)
+        assert len(strided_sources(mesh, 1)) == 16
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            strided_sources(Mesh2D4(4, 4), 0)
+
+
+class TestTables:
+    def test_table2_is_exact(self):
+        rows = {r["topology"]: r for r in table2_ideal()}
+        for label, expected in PAPER_TABLE2.items():
+            assert rows[label]["tx"] == expected["tx"]
+            assert rows[label]["rx"] == expected["rx"]
+            assert rows[label]["energy_J"] == pytest.approx(
+                expected["energy_J"], rel=5e-3)
+
+    @pytest.fixture(scope="class")
+    def cache(self):
+        # heavily strided so the test stays fast; corners included
+        return SweepCache.compute(stride=97)
+
+    def test_tables_3_4_5_assemble(self, cache):
+        best = {r["topology"]: r for r in table3_best(cache)}
+        worst = {r["topology"]: r for r in table4_worst(cache)}
+        delays = {r["topology"]: r for r in table5_delay(cache)}
+        for label in ("2D-3", "2D-4", "2D-8", "3D-6"):
+            assert best[label]["tx"] <= worst[label]["tx"]
+            assert best[label]["energy_J"] <= worst[label]["energy_J"]
+            assert delays[label]["protocol_max_delay"] >= \
+                delays[label]["ideal_max_delay"]
+
+    def test_paper_power_ordering_holds(self, cache):
+        """Headline finding: '2D mesh with 4 neighbors possesses the
+        minimum power consumption'; on average the full paper ordering
+        2D-4 < 3D-6 < 2D-8 < 2D-3 holds (the worst-case 2D-3/2D-8 pair is
+        nearly tied in our reproduction — see EXPERIMENTS.md)."""
+        assert power_ranking(cache, case="worst")[0] == "2D-4"
+        assert power_ranking(cache, case="mean") == \
+            ["2D-4", "3D-6", "2D-8", "2D-3"]
+
+    def test_power_ranking_cases(self, cache):
+        for case in ("best", "worst", "mean"):
+            ranking = power_ranking(cache, case=case)
+            assert sorted(ranking) == ["2D-3", "2D-4", "2D-8", "3D-6"]
+        with pytest.raises(ValueError):
+            power_ranking(cache, case="median")
+
+    def test_3d6_smallest_max_delay(self, cache):
+        """Table 5's second finding: 3D-6 has the smallest maximum delay,
+        and 2D-8 the smallest among the 2D topologies."""
+        delays = {r["topology"]: r["protocol_max_delay"]
+                  for r in table5_delay(cache)}
+        assert delays["3D-6"] == min(delays.values())
+        assert delays["2D-8"] < delays["2D-4"]
+        assert delays["2D-8"] < delays["2D-3"]

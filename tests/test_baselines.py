@@ -1,0 +1,123 @@
+"""Tests for the baseline and ablation protocols."""
+
+import pytest
+
+from repro.core import protocol_for
+from repro.core.baselines import (DelayedMesh2D4Protocol, FloodingProtocol,
+                                  GossipProtocol, StaggeredFloodingProtocol)
+from repro.sim import compute_metrics
+from repro.topology import Mesh2D4, RandomDiskTopology
+
+
+class TestFlooding:
+    def test_every_node_is_relay(self):
+        mesh = Mesh2D4(6, 4)
+        plan = FloodingProtocol().relay_plan(mesh, (3, 2))
+        assert plan.relay_mask.all()
+
+    def test_raw_flooding_collides_heavily(self):
+        """Blind flooding on a lattice causes collisions — the Section 3
+        motivation for choosing relays deliberately."""
+        mesh = Mesh2D4(10, 10)
+        result = FloodingProtocol().compile(
+            mesh, (5, 5), completion=False, repair=False)
+        assert result.trace.num_collisions > 0
+
+    def test_repaired_flooding_reaches_all_but_costs_more(self):
+        mesh = Mesh2D4(10, 10)
+        flood = FloodingProtocol().compile(mesh, (5, 5))
+        proto = protocol_for("2D-4").compile(mesh, (5, 5))
+        assert flood.reached_all
+        assert flood.trace.num_tx > proto.trace.num_tx
+
+    def test_runs_on_any_topology(self):
+        topo = RandomDiskTopology(25, 10, 10, 4.0, seed=2)
+        result = FloodingProtocol().compile(topo, (1,))
+        assert result.trace.reachability > 0
+
+    def test_supports_everything(self):
+        assert FloodingProtocol().supports(Mesh2D4(3, 3))
+
+
+class TestStaggeredFlooding:
+    def test_stagger_reduces_collisions(self):
+        mesh = Mesh2D4(10, 10)
+        raw = FloodingProtocol().compile(
+            mesh, (5, 5), completion=False, repair=False)
+        staggered = StaggeredFloodingProtocol(phases=3).compile(
+            mesh, (5, 5), completion=False, repair=False)
+        assert staggered.trace.num_collisions < raw.trace.num_collisions
+
+    def test_phases_validated(self):
+        with pytest.raises(ValueError):
+            StaggeredFloodingProtocol(phases=0)
+
+    def test_deterministic(self):
+        mesh = Mesh2D4(8, 8)
+        a = StaggeredFloodingProtocol().relay_plan(mesh, (4, 4))
+        b = StaggeredFloodingProtocol().relay_plan(mesh, (4, 4))
+        assert (a.extra_delay == b.extra_delay).all()
+
+
+class TestGossip:
+    def test_probability_controls_relay_count(self):
+        mesh = Mesh2D4(16, 16)
+        lo = GossipProtocol(p=0.2, seed=1).relay_plan(mesh, (8, 8))
+        hi = GossipProtocol(p=0.9, seed=1).relay_plan(mesh, (8, 8))
+        assert lo.num_relays < hi.num_relays
+
+    def test_source_always_relay(self):
+        mesh = Mesh2D4(8, 8)
+        plan = GossipProtocol(p=0.0, seed=3).relay_plan(mesh, (4, 4))
+        assert plan.relay_mask[mesh.index((4, 4))]
+        assert plan.num_relays == 1
+
+    def test_seed_reproducibility(self):
+        mesh = Mesh2D4(8, 8)
+        a = GossipProtocol(p=0.5, seed=42).relay_plan(mesh, (4, 4))
+        b = GossipProtocol(p=0.5, seed=42).relay_plan(mesh, (4, 4))
+        assert (a.relay_mask == b.relay_mask).all()
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            GossipProtocol(p=1.5)
+
+    def test_low_p_misses_nodes_without_repair(self):
+        mesh = Mesh2D4(12, 12)
+        result = GossipProtocol(p=0.3, seed=0).compile(
+            mesh, (6, 6), completion=False, repair=False)
+        assert result.trace.reachability < 1.0
+
+
+class TestDelayedAblation:
+    """Section 3.1's rejected design: delay instead of retransmit."""
+
+    def test_no_designated_retransmitters(self):
+        mesh = Mesh2D4(16, 16)
+        plan = DelayedMesh2D4Protocol().relay_plan(mesh, (6, 8))
+        assert plan.repeat_offsets == {}
+
+    def test_column_starts_delayed(self):
+        mesh = Mesh2D4(16, 16)
+        plan = DelayedMesh2D4Protocol().relay_plan(mesh, (6, 8))
+        for x in plan.notes["columns"]:
+            assert plan.extra_delay[mesh.index((x, 7))] == 1
+            assert plan.extra_delay[mesh.index((x, 9))] == 1
+
+    def test_still_reaches_all(self):
+        mesh = Mesh2D4(16, 16)
+        result = DelayedMesh2D4Protocol().compile(mesh, (6, 8))
+        assert result.reached_all
+
+    def test_paper_tradeoff_more_duplicates_or_delay(self):
+        """The paper argues retransmission beats delaying: the delayed
+        variant must not beat the paper protocol on both delay and
+        receptions simultaneously."""
+        mesh = Mesh2D4(32, 16)
+        delayed = DelayedMesh2D4Protocol().compile(mesh, (16, 8))
+        normal = protocol_for("2D-4").compile(mesh, (16, 8))
+        d = compute_metrics(delayed.trace, mesh)
+        n = compute_metrics(normal.trace, mesh)
+        assert delayed.reached_all
+        assert (d.delay_slots, d.rx) >= (n.delay_slots, n.rx) or \
+            d.delay_slots > n.delay_slots or d.rx >= n.rx

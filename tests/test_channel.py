@@ -1,0 +1,112 @@
+"""Unit tests for the slotted collision channel."""
+
+import numpy as np
+import pytest
+
+from repro.radio import Packet, resolve_slot, unique_transmitter
+from repro.topology import Mesh2D4
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D4(5, 5)
+
+
+def mask_for(mesh, coords):
+    m = np.zeros(mesh.num_nodes, dtype=bool)
+    for c in coords:
+        m[mesh.index(c)] = True
+    return m
+
+
+class TestResolveSlot:
+    def test_single_transmitter_reaches_all_neighbors(self, mesh):
+        tx = mask_for(mesh, [(3, 3)])
+        out = resolve_slot(mesh.adjacency, tx)
+        for nb in mesh.neighbors((3, 3)):
+            assert out.received[mesh.index(nb)]
+        assert out.received.sum() == 4
+        assert out.collided.sum() == 0
+
+    def test_two_transmitters_collide_at_common_neighbor(self, mesh):
+        tx = mask_for(mesh, [(2, 3), (4, 3)])
+        out = resolve_slot(mesh.adjacency, tx)
+        # (3,3) hears both -> collision
+        assert out.collided[mesh.index((3, 3))]
+        assert not out.received[mesh.index((3, 3))]
+        # (1,3) hears only (2,3)
+        assert out.received[mesh.index((1, 3))]
+
+    def test_transmitter_is_deaf(self, mesh):
+        """Half-duplex: a transmitter never receives in its own slot."""
+        tx = mask_for(mesh, [(3, 3), (3, 4)])
+        out = resolve_slot(mesh.adjacency, tx)
+        assert not out.received[mesh.index((3, 3))]
+        assert not out.received[mesh.index((3, 4))]
+        assert not out.collided[mesh.index((3, 3))]
+
+    def test_heard_counts(self, mesh):
+        tx = mask_for(mesh, [(2, 2), (2, 4), (4, 3)])
+        out = resolve_slot(mesh.adjacency, tx)
+        assert out.heard[mesh.index((2, 3))] == 2
+        assert out.heard[mesh.index((3, 3))] == 1
+        assert out.heard[mesh.index((5, 5))] == 0
+
+    def test_silence(self, mesh):
+        tx = mask_for(mesh, [])
+        out = resolve_slot(mesh.adjacency, tx)
+        assert out.received.sum() == 0
+        assert out.collided.sum() == 0
+        assert out.heard.sum() == 0
+
+    def test_three_way_collision(self, mesh):
+        tx = mask_for(mesh, [(2, 3), (4, 3), (3, 2)])
+        out = resolve_slot(mesh.adjacency, tx)
+        assert out.heard[mesh.index((3, 3))] == 3
+        assert out.collided[mesh.index((3, 3))]
+
+    def test_shape_mismatch_raises(self, mesh):
+        with pytest.raises(ValueError):
+            resolve_slot(mesh.adjacency, np.zeros(7, dtype=bool))
+
+
+class TestUniqueTransmitter:
+    def test_attributes_single_sender(self, mesh):
+        tx = mask_for(mesh, [(3, 3)])
+        sender = unique_transmitter(mesh.adjacency, tx, mesh.index((3, 4)))
+        assert sender == mesh.index((3, 3))
+
+    def test_ambiguous_returns_minus_one(self, mesh):
+        tx = mask_for(mesh, [(2, 3), (4, 3)])
+        assert unique_transmitter(
+            mesh.adjacency, tx, mesh.index((3, 3))) == -1
+
+    def test_silence_returns_minus_one(self, mesh):
+        tx = mask_for(mesh, [])
+        assert unique_transmitter(
+            mesh.adjacency, tx, mesh.index((3, 3))) == -1
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = Packet()
+        assert p.bits == 512
+        assert p.seq == 0
+
+    def test_with_seq(self):
+        p = Packet(bits=128, source=(1, 1))
+        q = p.with_seq(5)
+        assert q.seq == 5
+        assert q.bits == 128
+        assert q.source == (1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet(bits=0)
+        with pytest.raises(ValueError):
+            Packet(seq=-1)
+
+    def test_frozen(self):
+        p = Packet()
+        with pytest.raises(Exception):
+            p.bits = 9  # type: ignore[misc]

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommand:
+    def test_topology_report(self, capsys):
+        assert main(["topology", "2D-4"]) == 0
+        out = capsys.readouterr().out
+        assert "512" in out
+        assert "2D-4" in out
+
+    def test_custom_shape(self, capsys):
+        assert main(["topology", "2D-8", "--shape", "5", "5"]) == 0
+        assert "25" in capsys.readouterr().out
+
+
+class TestTableCommand:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2/3" in out and "3/4" in out and "5/8" in out \
+            and "5/6" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        for v in ("255", "170", "102", "124"):
+            assert v in out
+
+    def test_table3_strided(self, capsys):
+        assert main(["table", "3", "--stride", "101"]) == 0
+        out = capsys.readouterr().out
+        assert "best case" in out
+
+    def test_table5_strided(self, capsys):
+        assert main(["table", "5", "--stride", "101"]) == 0
+        out = capsys.readouterr().out
+        assert "maximum delay" in out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "9"]) == 2
+
+
+class TestFigureCommand:
+    def test_figure5(self, capsys):
+        assert main(["figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "source (6, 8)" in out
+        assert "S" in out
+
+    def test_figure6(self, capsys):
+        assert main(["figure", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "5/8" in out and "3/8" in out
+
+    def test_figure9(self, capsys):
+        assert main(["figure", "9"]) == 0
+        assert "plane z=" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "1"]) == 2
+
+
+class TestBroadcastCommand:
+    def test_broadcast(self, capsys):
+        assert main(["broadcast", "2D-4", "--source", "3", "3",
+                     "--shape", "8", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule audit: OK" in out
+        assert "100.0%" in out
+
+    def test_broadcast_timeline(self, capsys):
+        assert main(["broadcast", "2D-4", "--source", "2", "2",
+                     "--shape", "6", "4", "--timeline"]) == 0
+        assert "slot timeline" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "2D-4", "--shape", "8", "6",
+                     "--stride", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "all reached" in out
+        assert "True" in out
+
+
+class TestSelfcheck:
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        assert "PASS" in capsys.readouterr().out

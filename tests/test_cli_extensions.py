@@ -1,0 +1,68 @@
+"""Tests for the extension CLI commands (figure --svg, robustness,
+scaling)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigureSvg:
+    def test_figure5_svg(self, tmp_path, capsys):
+        out = tmp_path / "fig5.svg"
+        assert main(["figure", "5", "--svg", str(out)]) == 0
+        assert out.exists()
+        content = out.read_text()
+        assert content.startswith("<svg")
+        assert "SVG written" in capsys.readouterr().out
+
+    def test_figure9_svg_renders_source_plane(self, tmp_path):
+        out = tmp_path / "fig9.svg"
+        assert main(["figure", "9", "--svg", str(out)]) == 0
+        assert "plane z=2" in out.read_text()
+
+
+class TestRobustnessCommand:
+    def test_default_run(self, capsys):
+        assert main(["robustness", "2D-4", "--shape", "10", "6",
+                     "--loss-rates", "0", "0.1",
+                     "--failures", "0", "4", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "loss p=0.0" in out
+        assert "4 dead (static)" in out
+
+    def test_recompile_mode(self, capsys):
+        assert main(["robustness", "2D-4", "--shape", "10", "6",
+                     "--loss-rates", "0",
+                     "--failures", "4", "--trials", "2",
+                     "--recompile"]) == 0
+        assert "(recompiled)" in capsys.readouterr().out
+
+    def test_harden_flag(self, capsys):
+        assert main(["robustness", "2D-4", "--shape", "10", "6",
+                     "--loss-rates", "0.1", "--failures", "0",
+                     "--trials", "2", "--harden", "1"]) == 0
+        assert "loss p=0.1" in capsys.readouterr().out
+
+    def test_explicit_source(self, capsys):
+        assert main(["robustness", "2D-4", "--shape", "8", "6",
+                     "--source", "2", "2", "--loss-rates", "0",
+                     "--failures", "0", "--trials", "1"]) == 0
+        assert "(2, 2)" in capsys.readouterr().out
+
+    def test_3d_default_source(self, capsys):
+        assert main(["robustness", "3D-6", "--shape", "4", "4", "3",
+                     "--loss-rates", "0", "--failures", "0",
+                     "--trials", "1"]) == 0
+        assert "3D-6" in capsys.readouterr().out
+
+
+class TestScalingCommand:
+    def test_scaling(self, capsys):
+        assert main(["scaling", "2D-4", "--sizes", "128", "288"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling study: 2D-4" in out
+        assert "16x8" in out
+
+    def test_scaling_3d(self, capsys):
+        assert main(["scaling", "3D-6", "--sizes", "64"]) == 0
+        assert "4x4x4" in capsys.readouterr().out

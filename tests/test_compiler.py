@@ -1,0 +1,119 @@
+"""Unit tests for the rule/completion/repair schedule compiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import RelayPlan, compile_broadcast, protocol_for
+from repro.core.compiler import CompilationError
+from repro.topology import Mesh2D3, Mesh2D4
+
+
+class TestPhases:
+    def test_complete_plan_needs_no_fixes(self):
+        """A relay plan that already covers everything compiles in one
+        round with no completions or repairs."""
+        mesh = Mesh2D4(6, 1)  # a line: full relaying is collision-free
+        plan = RelayPlan(relay_mask=np.ones(6, dtype=bool),
+                         extra_delay=np.zeros(6, dtype=np.int64))
+        result = compile_broadcast(mesh, 0, plan)
+        assert result.reached_all
+        assert result.completions == []
+        assert result.repairs == []
+        assert result.rounds == 1
+
+    def test_completion_promotes_relays(self):
+        """An empty plan must be completed into a working broadcast by
+        promoting relays greedily."""
+        mesh = Mesh2D4(5, 1)
+        plan = RelayPlan.empty(5)
+        result = compile_broadcast(mesh, 0, plan)
+        assert result.reached_all
+        assert len(result.completions) >= 3
+
+    def test_phases_disabled_returns_partial(self):
+        mesh = Mesh2D4(5, 1)
+        plan = RelayPlan.empty(5)
+        result = compile_broadcast(mesh, 0, plan,
+                                   completion=False, repair=False)
+        assert not result.reached_all
+        assert result.trace.num_tx == 1  # only the source fired
+
+    def test_repair_only_cannot_create_new_relays(self):
+        """With completion off, only nodes that already transmit may add
+        slots; an empty plan stays stuck at the source."""
+        mesh = Mesh2D4(5, 1)
+        plan = RelayPlan.empty(5)
+        result = compile_broadcast(mesh, 0, plan,
+                                   completion=False, repair=True)
+        assert not result.reached_all
+        # the source may retransmit, but the wave cannot advance
+        assert all(v == 0 for _, v in result.trace.tx_events)
+
+    def test_repair_fixes_collision_starvation(self):
+        """Two symmetric relays starve the node between them; the repair
+        phase must schedule a retransmission for it."""
+        mesh = Mesh2D4(5, 3)
+        plan = RelayPlan.empty(15)
+        # relays: the source row sweeps outwards; columns 2 and 4 fire
+        # simultaneously at slot 3, colliding at (3, 1) and (3, 3)
+        for x in range(1, 6):
+            plan.relay_mask[mesh.index((x, 2))] = True
+        for x in (2, 4):
+            for y in (1, 3):
+                plan.relay_mask[mesh.index((x, y))] = True
+        result = compile_broadcast(mesh, mesh.index((3, 2)), plan)
+        assert result.reached_all
+
+    def test_disconnected_graph_partial_result(self):
+        mesh = Mesh2D3(1, 6)  # disconnected brick column
+        plan = RelayPlan.empty(6)
+        plan.relay_mask[:] = True
+        result = compile_broadcast(mesh, 0, plan)
+        assert not result.reached_all
+        assert result.trace.reachability < 1.0
+
+    def test_round_cap_raises(self):
+        mesh = Mesh2D4(6, 1)
+        plan = RelayPlan.empty(6)
+        with pytest.raises(CompilationError):
+            compile_broadcast(mesh, 0, plan, max_rounds=1)
+
+
+class TestDeterminism:
+    def test_compile_is_deterministic(self):
+        mesh = Mesh2D4(12, 9)
+        proto = protocol_for("2D-4")
+        a = proto.compile(mesh, (5, 4))
+        b = proto.compile(mesh, (5, 4))
+        assert a.schedule == b.schedule
+        assert a.completions == b.completions
+        assert a.repairs == b.repairs
+
+    def test_trace_schedule_consistency(self):
+        mesh = Mesh2D3(12, 9)
+        result = protocol_for("2D-3").compile(mesh, (5, 4))
+        assert result.schedule.num_transmissions == result.trace.num_tx
+        assert set(result.schedule) == {
+            (s, v) for s, v in result.trace.tx_events}
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("label,shape,src", [
+        ("2D-4", (9, 7), (4, 4)),
+        ("2D-8", (9, 7), (4, 4)),
+        ("2D-3", (9, 7), (4, 4)),
+    ])
+    def test_no_dropped_forced_in_final_schedule(self, label, shape, src):
+        mesh = {"2D-4": Mesh2D4, "2D-8": __import__(
+            "repro.topology", fromlist=["Mesh2D8"]).Mesh2D8,
+            "2D-3": Mesh2D3}[label](*shape)
+        result = protocol_for(label).compile(mesh, src)
+        assert result.trace.dropped_forced == []
+
+    def test_causality_always_holds(self):
+        mesh = Mesh2D4(10, 10)
+        result = protocol_for("2D-4").compile(mesh, (7, 2))
+        for slot, node in result.trace.tx_events:
+            if node == result.source:
+                continue
+            assert 0 <= result.trace.first_rx[node] < slot

@@ -1,0 +1,113 @@
+"""Unit tests for coordinate flattening and distance helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.coords import (chebyshev, flatten2d, flatten3d, in_box2d,
+                                   in_box3d, manhattan, unflatten2d,
+                                   unflatten3d, validate_coord)
+
+
+class TestFlatten2D:
+    def test_origin_is_index_zero(self):
+        assert flatten2d(1, 1, 7) == 0
+
+    def test_x_major_order(self):
+        assert flatten2d(2, 1, 7) == 1
+        assert flatten2d(1, 2, 7) == 7
+
+    def test_last_cell(self):
+        assert flatten2d(7, 3, 7) == 20
+
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(1, 50))
+    def test_roundtrip(self, m, x, y):
+        x = min(x, m)
+        idx = flatten2d(x, y, m)
+        assert unflatten2d(idx, m) == (x, y)
+
+    def test_indices_are_dense_and_unique(self):
+        m, n = 5, 4
+        seen = {flatten2d(x, y, m)
+                for y in range(1, n + 1) for x in range(1, m + 1)}
+        assert seen == set(range(m * n))
+
+
+class TestFlatten3D:
+    def test_origin(self):
+        assert flatten3d(1, 1, 1, 4, 3) == 0
+
+    def test_axis_strides(self):
+        m, n = 4, 3
+        assert flatten3d(2, 1, 1, m, n) == 1
+        assert flatten3d(1, 2, 1, m, n) == m
+        assert flatten3d(1, 1, 2, m, n) == m * n
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12),
+           st.integers(1, 12), st.integers(1, 12))
+    def test_roundtrip(self, m, n, x, y, z):
+        x, y = min(x, m), min(y, n)
+        idx = flatten3d(x, y, z, m, n)
+        assert unflatten3d(idx, m, n) == (x, y, z)
+
+
+class TestBoxes:
+    def test_in_box2d_inclusive_bounds(self):
+        assert in_box2d(1, 1, 3, 3)
+        assert in_box2d(3, 3, 3, 3)
+        assert not in_box2d(0, 1, 3, 3)
+        assert not in_box2d(4, 1, 3, 3)
+        assert not in_box2d(1, 0, 3, 3)
+        assert not in_box2d(1, 4, 3, 3)
+
+    def test_in_box3d(self):
+        assert in_box3d(2, 2, 2, 3, 3, 3)
+        assert not in_box3d(2, 2, 4, 3, 3, 3)
+        assert not in_box3d(2, 2, 0, 3, 3, 3)
+
+
+class TestDistances:
+    def test_manhattan_basic(self):
+        assert manhattan((1, 1), (4, 5)) == 7
+
+    def test_chebyshev_basic(self):
+        assert chebyshev((1, 1), (4, 5)) == 4
+
+    def test_3d(self):
+        assert manhattan((1, 1, 1), (2, 3, 5)) == 7
+        assert chebyshev((1, 1, 1), (2, 3, 5)) == 4
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            manhattan((1, 2), (1, 2, 3))
+        with pytest.raises(ValueError):
+            chebyshev((1,), (1, 2))
+
+    @given(st.tuples(st.integers(-99, 99), st.integers(-99, 99)),
+           st.tuples(st.integers(-99, 99), st.integers(-99, 99)))
+    def test_chebyshev_le_manhattan(self, a, b):
+        assert chebyshev(a, b) <= manhattan(a, b)
+
+    @given(st.tuples(st.integers(-99, 99), st.integers(-99, 99)),
+           st.tuples(st.integers(-99, 99), st.integers(-99, 99)))
+    def test_symmetry(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)
+        assert chebyshev(a, b) == chebyshev(b, a)
+
+
+class TestValidateCoord:
+    def test_accepts_lists_and_tuples(self):
+        assert validate_coord([3, 4], 2) == (3, 4)
+        assert validate_coord((3, 4, 5), 3) == (3, 4, 5)
+
+    def test_coerces_to_int(self):
+        import numpy as np
+        got = validate_coord((np.int64(2), np.int64(9)), 2)
+        assert got == (2, 9)
+        assert all(type(c) is int for c in got)
+
+    def test_wrong_dims_raise(self):
+        with pytest.raises(ValueError):
+            validate_coord((1, 2, 3), 2)
+        with pytest.raises(ValueError):
+            validate_coord((1,), 2)

@@ -1,0 +1,106 @@
+"""Unit tests for the First Order Radio Model (paper Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.radio import (E_AMP_J_PER_BIT_M2, E_ELEC_J_PER_BIT,
+                         PAPER_RADIO_MODEL, FirstOrderRadioModel)
+
+
+class TestPaperConstants:
+    def test_constants(self):
+        assert E_ELEC_J_PER_BIT == pytest.approx(50e-9)
+        assert E_AMP_J_PER_BIT_M2 == pytest.approx(100e-12)
+
+    def test_rx_512_bits(self):
+        """E_Rx(512) = 50 nJ/bit * 512 bit = 25.6 uJ."""
+        assert PAPER_RADIO_MODEL.rx_energy(512) == pytest.approx(2.56e-5)
+
+    def test_tx_512_bits_half_metre(self):
+        """E_Tx(512, 0.5) = 25.6 uJ + 100 pJ * 512 * 0.25 = 25.6128 uJ."""
+        got = PAPER_RADIO_MODEL.tx_energy(512, 0.5)
+        assert got == pytest.approx(2.56e-5 + 1.28e-8)
+
+    def test_table2_2d4_power(self):
+        """The paper's Table 2 2D-4 row: 170 Tx + 680 Rx = 2.18e-2 J."""
+        total = PAPER_RADIO_MODEL.broadcast_energy(170, 680, 512, 0.5)
+        assert total == pytest.approx(2.18e-2, rel=2e-3)
+
+    def test_table2_2d3_power(self):
+        total = PAPER_RADIO_MODEL.broadcast_energy(255, 765, 512, 0.5)
+        assert total == pytest.approx(2.61e-2, rel=2e-3)
+
+
+class TestFormulas:
+    def test_tx_zero_distance_equals_rx(self):
+        m = FirstOrderRadioModel()
+        assert m.tx_energy(100, 0.0) == pytest.approx(m.rx_energy(100))
+
+    def test_amplifier_quadratic_in_distance(self):
+        m = FirstOrderRadioModel(e_elec=0.0, e_amp=1.0)
+        assert m.tx_energy(1, 2.0) == pytest.approx(4.0)
+        assert m.tx_energy(1, 3.0) == pytest.approx(9.0)
+
+    def test_linear_in_bits(self):
+        m = PAPER_RADIO_MODEL
+        assert m.tx_energy(1024, 0.5) == pytest.approx(
+            2 * m.tx_energy(512, 0.5))
+        assert m.rx_energy(1024) == pytest.approx(2 * m.rx_energy(512))
+
+    @given(st.floats(0, 1e5), st.floats(0, 1e3))
+    def test_non_negative(self, bits, d):
+        m = PAPER_RADIO_MODEL
+        assert m.tx_energy(bits, d) >= 0
+        assert m.rx_energy(bits) >= 0
+
+    @given(st.floats(1, 1e4), st.floats(0, 100), st.floats(0, 100))
+    def test_monotone_in_distance(self, bits, d1, d2):
+        m = PAPER_RADIO_MODEL
+        lo, hi = sorted((d1, d2))
+        assert m.tx_energy(bits, lo) <= m.tx_energy(bits, hi)
+
+    def test_tx_always_geq_rx(self):
+        m = PAPER_RADIO_MODEL
+        assert m.tx_energy(512, 0.5) >= m.rx_energy(512)
+
+    def test_input_validation(self):
+        m = PAPER_RADIO_MODEL
+        with pytest.raises(ValueError):
+            m.tx_energy(-1, 0.5)
+        with pytest.raises(ValueError):
+            m.tx_energy(1, -0.5)
+        with pytest.raises(ValueError):
+            m.rx_energy(-1)
+        with pytest.raises(ValueError):
+            m.broadcast_energy(-1, 0, 512, 0.5)
+        with pytest.raises(ValueError):
+            FirstOrderRadioModel(e_elec=-1.0)
+
+
+class TestVectorised:
+    def test_batch_matches_scalar(self):
+        m = PAPER_RADIO_MODEL
+        bits = np.array([64.0, 512.0, 1024.0])
+        d = np.array([0.5, 1.0, 2.0])
+        batch = m.tx_energy_batch(bits, d)
+        for k in range(3):
+            assert batch[k] == pytest.approx(m.tx_energy(bits[k], d[k]))
+
+    def test_batch_broadcasts(self):
+        m = PAPER_RADIO_MODEL
+        out = m.tx_energy_batch(512.0, np.array([0.5, 1.0]))
+        assert out.shape == (2,)
+
+    def test_rx_batch(self):
+        m = PAPER_RADIO_MODEL
+        out = m.rx_energy_batch(np.array([1.0, 2.0]))
+        assert out[1] == pytest.approx(2 * out[0])
+
+    def test_batch_validation(self):
+        m = PAPER_RADIO_MODEL
+        with pytest.raises(ValueError):
+            m.tx_energy_batch(np.array([-1.0]), 0.5)
+        with pytest.raises(ValueError):
+            m.rx_energy_batch(np.array([-1.0]))

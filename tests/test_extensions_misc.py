@@ -1,0 +1,149 @@
+"""Tests for sensitivity analysis, TEEN gathering and all-to-all."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sensitivity, sensitivity_table, sweep_sources
+from repro.core import all_to_all, protocol_for
+from repro.gather import LeachGathering, TeenGathering
+from repro.topology import Mesh2D4, make_topology
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_sources(Mesh2D4(10, 6))
+
+    def test_report_fields(self, sweep):
+        rep = sensitivity(sweep, "tx")
+        assert rep.minimum <= rep.mean <= rep.maximum
+        assert rep.relative_spread >= 0
+        assert rep.coefficient_of_variation >= 0
+        assert rep.topology == "2D-4"
+
+    def test_all_metrics(self, sweep):
+        for metric in ("tx", "rx", "energy_J", "delay"):
+            rep = sensitivity(sweep, metric)
+            assert rep.metric == metric
+
+    def test_unknown_metric(self, sweep):
+        with pytest.raises(ValueError):
+            sensitivity(sweep, "latency")
+
+    def test_table(self, sweep):
+        rows = sensitivity_table({"2D-4": sweep})
+        assert len(rows) == 3
+        assert all(r["topology"] == "2D-4" for r in rows)
+
+    def test_spread_consistency(self, sweep):
+        rep = sensitivity(sweep, "energy_J")
+        expected = (rep.maximum - rep.minimum) / rep.mean
+        assert rep.relative_spread == pytest.approx(expected)
+
+    def test_cv_below_spread(self, sweep):
+        """The std-based CV never exceeds the range-based spread."""
+        for metric in ("tx", "delay"):
+            rep = sensitivity(sweep, metric)
+            assert rep.coefficient_of_variation <= \
+                rep.relative_spread + 1e-12
+
+
+class TestTeen:
+    BS = np.array([5.0, -10.0])
+
+    def test_reporting_is_threshold_gated(self):
+        teen = TeenGathering(seed=3, hard_threshold=1e9)
+        mask = teen.reporters(100, 0)
+        assert not mask.any()  # nothing ever crosses an absurd threshold
+
+    def test_zero_threshold_reports_everything_first_round(self):
+        teen = TeenGathering(seed=3, hard_threshold=0.0,
+                             soft_threshold=0.0)
+        assert teen.reporters(50, 0).all()
+
+    def test_soft_threshold_suppresses_repeats(self):
+        teen = TeenGathering(seed=3, hard_threshold=0.0,
+                             soft_threshold=1e6, volatility=0.01)
+        first = teen.reporters(50, 0)
+        second = teen.reporters(50, 1)
+        assert first.all()
+        assert not second.any()  # nothing moved by 1e6
+
+    def test_energy_scales_with_volatility(self):
+        mesh = Mesh2D4(16, 8)
+        totals = []
+        for vol in (0.05, 1.0):
+            teen = TeenGathering(p=0.05, seed=1, volatility=vol)
+            totals.append(sum(
+                float(teen.round_energy(mesh, self.BS, r).sum())
+                for r in range(30)))
+        assert totals[0] < totals[1]
+
+    def test_quiet_field_cheaper_than_leach(self):
+        """TEEN's core claim: reactive reporting beats periodic reporting
+        when the environment is quiet."""
+        mesh = Mesh2D4(16, 8)
+        teen = TeenGathering(p=0.05, seed=1, volatility=0.05)
+        leach = LeachGathering(p=0.05, seed=1)
+        te = sum(float(teen.round_energy(mesh, self.BS, r).sum())
+                 for r in range(30))
+        le = sum(float(leach.round_energy(mesh, self.BS, r).sum())
+                 for r in range(30))
+        assert te < 0.5 * le
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TeenGathering(soft_threshold=-1.0)
+        with pytest.raises(ValueError):
+            TeenGathering(volatility=-0.1)
+
+    def test_deterministic(self):
+        mesh = Mesh2D4(8, 8)
+        a = TeenGathering(seed=9)
+        b = TeenGathering(seed=9)
+        for r in range(5):
+            ea = a.round_energy(mesh, self.BS, r)
+            eb = b.round_energy(mesh, self.BS, r)
+            assert np.allclose(ea, eb)
+
+
+class TestAllToAll:
+    def test_full_exchange_small_mesh(self):
+        mesh = Mesh2D4(6, 4)
+        result = all_to_all(mesh)
+        assert result.all_reached
+        assert result.num_sources == 24
+        # each broadcast transmits at least the ideal count
+        assert result.total_tx >= 24 * 8
+
+    def test_subset_of_sources(self):
+        mesh = Mesh2D4(6, 4)
+        result = all_to_all(mesh, sources=[(1, 1), (6, 4)])
+        assert result.num_sources == 2
+        assert result.all_reached
+
+    def test_energy_is_sum_of_parts(self):
+        from repro.sim import compute_metrics
+        mesh = Mesh2D4(6, 4)
+        srcs = [(2, 2), (5, 3)]
+        result = all_to_all(mesh, sources=srcs)
+        expected = 0.0
+        proto = protocol_for(mesh)
+        for s in srcs:
+            compiled = proto.compile(mesh, s)
+            expected += compute_metrics(compiled.trace, mesh).energy_j
+        assert result.energy_j == pytest.approx(expected)
+
+    def test_rotation_balances_load(self):
+        """Every node taking a turn as source flattens the per-node
+        transmission distribution compared with one fixed source."""
+        mesh = Mesh2D4(8, 6)
+        full = all_to_all(mesh)
+        single = all_to_all(mesh, sources=[(4, 3)])
+        assert full.tx_imbalance < single.tx_imbalance
+
+    def test_row(self):
+        mesh = Mesh2D4(4, 4)
+        row = all_to_all(mesh, sources=[(2, 2)]).as_row()
+        assert row["sources"] == 1
+        assert row["total_slots"] > 0

@@ -1,0 +1,115 @@
+"""Tests for the hexagonal 2D-6 mesh and the generic greedy-ETR protocol
+(extensions beyond the paper; DESIGN.md §4, ablation benchmarks)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ideal_case, protocol_for, validate_broadcast
+from repro.core.baselines import GreedyETRProtocol
+from repro.sim import compute_metrics
+from repro.topology import Mesh2D4, Mesh2D6, Mesh3D6, RandomDiskTopology
+
+
+class TestHexMesh:
+    def test_interior_has_six_neighbors(self):
+        mesh = Mesh2D6(7, 7)
+        assert len(mesh.neighbors((4, 4))) == 6
+
+    def test_odd_row_diagonals_point_right(self):
+        mesh = Mesh2D6(7, 7)
+        nbrs = mesh.neighbors((4, 3))  # y=3 odd
+        assert (5, 2) in nbrs and (5, 4) in nbrs
+        assert (3, 2) not in nbrs
+
+    def test_even_row_diagonals_point_left(self):
+        mesh = Mesh2D6(7, 7)
+        nbrs = mesh.neighbors((4, 4))  # y=4 even
+        assert (3, 3) in nbrs and (3, 5) in nbrs
+        assert (5, 3) not in nbrs
+
+    def test_symmetry_and_structure(self):
+        Mesh2D6(9, 6).validate()
+
+    def test_all_neighbors_equidistant(self):
+        """The offset geometry must make all six neighbours sit exactly
+        one spacing away (proper triangular tiling)."""
+        mesh = Mesh2D6(9, 9, spacing=0.5)
+        for centre in [(4, 4), (5, 5), (4, 5), (5, 4)]:
+            for nb in mesh.neighbors(centre):
+                assert mesh.link_distance(centre, nb) == \
+                    pytest.approx(0.5, rel=1e-9)
+
+    def test_adjacent_nodes_share_two_neighbors(self):
+        mesh = Mesh2D6(9, 9)
+        a, b = (4, 4), (5, 4)
+        common = set(mesh.neighbors(a)) & set(mesh.neighbors(b))
+        assert len(common) == 2
+
+    @given(st.integers(2, 10), st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_connected(self, m, n):
+        assert Mesh2D6(m, n).is_connected()
+
+    def test_ideal_model_extension(self):
+        mesh = Mesh2D6(32, 16)
+        ideal = ideal_case(mesh)
+        # 1 + ceil((511 - 6) / 3) = 170
+        assert ideal.tx == 170
+        assert ideal.rx == 170 * 6
+
+
+class TestGreedyProtocol:
+    def test_reaches_all_on_every_lattice(self, small_meshes):
+        proto = GreedyETRProtocol()
+        for label, mesh in small_meshes.items():
+            src = mesh.coord(mesh.num_nodes // 2)
+            result = proto.compile(mesh, src)
+            assert result.reached_all, label
+            validate_broadcast(mesh, result.schedule,
+                               mesh.index(src)).raise_if_failed()
+
+    def test_reaches_all_on_hex(self):
+        mesh = Mesh2D6(12, 9)
+        result = GreedyETRProtocol().compile(mesh, (6, 5))
+        assert result.reached_all
+
+    def test_reaches_connected_part_of_random_graph(self):
+        topo = RandomDiskTopology(60, 10, 10, 3.0, seed=4)
+        src = topo.coord(int(topo.degrees.argmax()))
+        result = GreedyETRProtocol().compile(topo, src)
+        # reaches at least the giant component
+        assert result.trace.reachability > 0.8
+
+    def test_paper_rules_beat_greedy_on_tx(self):
+        """The ablation's point: hand-crafted structure is cheaper than
+        pure greedy on the lattices it was designed for."""
+        mesh = Mesh2D4(32, 16)
+        greedy = GreedyETRProtocol().compile(mesh, (16, 8))
+        paper = protocol_for("2D-4").compile(mesh, (16, 8))
+        assert paper.trace.num_tx < greedy.trace.num_tx
+
+    def test_greedy_beats_flooding(self):
+        from repro.core.baselines import FloodingProtocol
+        mesh = Mesh2D4(16, 16)
+        greedy = GreedyETRProtocol().compile(mesh, (8, 8))
+        flood = FloodingProtocol().compile(mesh, (8, 8))
+        assert greedy.trace.num_tx < flood.trace.num_tx
+
+    def test_completion_false_rejected(self):
+        mesh = Mesh2D4(4, 4)
+        with pytest.raises(ValueError):
+            GreedyETRProtocol().compile(mesh, (2, 2), completion=False)
+
+    def test_3d_support(self):
+        mesh = Mesh3D6(4, 4, 3)
+        result = GreedyETRProtocol().compile(mesh, (2, 2, 2))
+        assert result.reached_all
+
+    def test_deterministic(self):
+        mesh = Mesh2D6(8, 8)
+        a = GreedyETRProtocol().compile(mesh, (4, 4))
+        b = GreedyETRProtocol().compile(mesh, (4, 4))
+        assert a.schedule == b.schedule

@@ -1,0 +1,91 @@
+"""Unit tests for the ideal-case analytic model (paper Tables 2 and 5)."""
+
+import pytest
+
+from repro.core.ideal import (ideal_case, ideal_delay, ideal_max_delay,
+                              ideal_tx_2d, ideal_tx_3d6)
+from repro.topology import (Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6,
+                            make_topology, paper_topologies)
+
+
+class TestTable2Exact:
+    """The ideal model must reproduce Table 2 cell for cell."""
+
+    @pytest.mark.parametrize("label,tx,rx,power", [
+        ("2D-3", 255, 765, 2.61e-2),
+        ("2D-4", 170, 680, 2.18e-2),
+        ("2D-8", 102, 816, 2.35e-2),
+        ("3D-6", 124, 744, 2.22e-2),
+    ])
+    def test_row(self, label, tx, rx, power):
+        ideal = ideal_case(make_topology(label))
+        assert ideal.tx == tx
+        assert ideal.rx == rx
+        assert ideal.energy_j == pytest.approx(power, rel=5e-3)
+
+    def test_as_row(self):
+        row = ideal_case(make_topology("2D-4")).as_row()
+        assert row["tx"] == 170
+
+
+class TestFormulas:
+    def test_2d_formula_components(self):
+        # 512 nodes: 1 + ceil((511 - deg) / M_opt)
+        assert ideal_tx_2d("2D-3", 512) == 255
+        assert ideal_tx_2d("2D-4", 512) == 170
+        assert ideal_tx_2d("2D-8", 512) == 102
+
+    def test_2d_formula_small(self):
+        assert ideal_tx_2d("2D-4", 64) == 21
+        # trivially small networks: one transmission suffices
+        assert ideal_tx_2d("2D-4", 5) == 1
+        assert ideal_tx_2d("2D-8", 9) == 1
+
+    def test_2d_rejects_3d_label(self):
+        with pytest.raises(ValueError):
+            ideal_tx_2d("3D-6", 512)
+
+    def test_3d_formula(self):
+        # 8x8x8 with a 13-column Lee class: 21 + 8*13 - 1 = 124
+        assert ideal_tx_3d6(8, 8, 8, seed=(1, 1)) in (116, 124)
+        seeds13 = [s for s in [(x, y) for x in range(1, 6)
+                               for y in range(1, 6)]
+                   if ideal_tx_3d6(8, 8, 8, seed=s) == 124]
+        assert seeds13  # the paper's 124 corresponds to a 13-point class
+
+    def test_ideal_case_picks_max_z_seed(self):
+        ideal = ideal_case(Mesh3D6(8, 8, 8))
+        assert ideal.tx == 124
+
+    def test_rx_is_tx_times_degree(self):
+        for label, topo in paper_topologies().items():
+            ideal = ideal_case(topo)
+            assert ideal.rx == ideal.tx * topo.nominal_degree
+
+    def test_unsupported_topology(self):
+        from repro.topology import RandomDiskTopology
+        with pytest.raises(ValueError):
+            ideal_case(RandomDiskTopology(10, 5, 5, 2.0))
+
+
+class TestIdealDelay:
+    def test_delay_is_eccentricity(self):
+        mesh = Mesh2D4(10, 6)
+        assert ideal_delay(mesh, (1, 1)) == 9 + 5
+        # centre node: farthest corner is (10, 6) or (1, 6) etc.
+        assert ideal_delay(mesh, (5, 3)) == max(
+            (10 - 5) + (6 - 3), (5 - 1) + (6 - 3),
+            (10 - 5) + (3 - 1), (5 - 1) + (3 - 1))
+
+    def test_delay_center_vs_corner(self):
+        mesh = Mesh2D4(10, 6)
+        assert ideal_delay(mesh, (5, 3)) < ideal_delay(mesh, (1, 1))
+
+    @pytest.mark.parametrize("label,expected", [
+        ("2D-3", 46), ("2D-4", 46), ("2D-8", 31), ("3D-6", 21),
+    ])
+    def test_table5_ideal_column(self, label, expected):
+        """Our ideal max delay = graph diameter.  The paper reports
+        46/45/31/20; the 2D-4 and 3D-6 rows differ from the true diameter
+        by exactly one slot (see EXPERIMENTS.md)."""
+        assert ideal_max_delay(make_topology(label)) == expected

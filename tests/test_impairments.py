@@ -1,0 +1,153 @@
+"""Tests for channel impairments and fault injection in the engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import (BernoulliLoss, BurstLoss, PerfectChannel,
+                         dead_mask_from_coords, random_dead_mask)
+from repro.sim import replay, run_reactive
+from repro.topology import Mesh2D4
+
+
+class TestLossProcesses:
+    def test_perfect_channel_identity(self):
+        rx = np.array([True, False, True])
+        assert (PerfectChannel().apply(3, rx) == rx).all()
+
+    def test_bernoulli_zero_is_identity(self):
+        rx = np.ones(10, dtype=bool)
+        assert BernoulliLoss(0.0).apply(1, rx).all()
+
+    def test_bernoulli_one_erases_everything(self):
+        rx = np.ones(10, dtype=bool)
+        assert not BernoulliLoss(1.0).apply(1, rx).any()
+
+    def test_bernoulli_deterministic_per_slot(self):
+        """The same slot must always draw the same erasures, regardless of
+        call order — replay stability."""
+        rx = np.ones(50, dtype=bool)
+        loss = BernoulliLoss(0.5, seed=7)
+        a = loss.apply(9, rx)
+        loss.apply(3, rx)  # interleave another slot
+        b = loss.apply(9, rx)
+        assert (a == b).all()
+
+    def test_bernoulli_slots_differ(self):
+        rx = np.ones(200, dtype=bool)
+        loss = BernoulliLoss(0.5, seed=7)
+        assert (loss.apply(1, rx) != loss.apply(2, rx)).any()
+
+    def test_bernoulli_rate_roughly_respected(self):
+        rx = np.ones(8000, dtype=bool)
+        survived = BernoulliLoss(0.3, seed=1).apply(1, rx).sum()
+        assert 0.6 * 8000 <= survived <= 0.8 * 8000
+
+    def test_burst_all_or_nothing(self):
+        rx = np.ones(20, dtype=bool)
+        loss = BurstLoss(0.5, seed=3)
+        for slot in range(1, 30):
+            out = loss.apply(slot, rx)
+            assert out.all() or not out.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(ValueError):
+            BurstLoss(1.1)
+
+    def test_loss_never_creates_receptions(self):
+        rx = np.zeros(10, dtype=bool)
+        assert not BernoulliLoss(0.5, seed=0).apply(1, rx).any()
+
+
+class TestDeadMasks:
+    def test_from_coords(self):
+        mesh = Mesh2D4(4, 4)
+        mask = dead_mask_from_coords(mesh, [(1, 1), (4, 4)])
+        assert mask.sum() == 2
+        assert mask[mesh.index((1, 1))]
+
+    def test_random_mask_protects(self):
+        mesh = Mesh2D4(6, 6)
+        for seed in range(5):
+            mask = random_dead_mask(mesh, 10, seed=seed, protect=[0])
+            assert mask.sum() == 10
+            assert not mask[0]
+
+    def test_random_mask_deterministic(self):
+        mesh = Mesh2D4(6, 6)
+        a = random_dead_mask(mesh, 5, seed=3)
+        b = random_dead_mask(mesh, 5, seed=3)
+        assert (a == b).all()
+
+    def test_too_many_failures(self):
+        mesh = Mesh2D4(3, 3)
+        with pytest.raises(ValueError):
+            random_dead_mask(mesh, 9, protect=[0])
+
+
+class TestEngineFaults:
+    def test_dead_node_blocks_line(self):
+        mesh = Mesh2D4(6, 1)
+        relay = np.ones(6, dtype=bool)
+        dead = np.zeros(6, dtype=bool)
+        dead[3] = True
+        trace = run_reactive(mesh, 0, relay, dead_mask=dead)
+        assert trace.first_rx[2] >= 0
+        assert trace.first_rx[3] == -1   # dead: never receives
+        assert trace.first_rx[4] == -1   # cut off behind the corpse
+        assert all(v != 3 for _, v in trace.tx_events)
+
+    def test_dead_source_rejected(self):
+        mesh = Mesh2D4(4, 1)
+        dead = np.zeros(4, dtype=bool)
+        dead[0] = True
+        with pytest.raises(ValueError):
+            run_reactive(mesh, 0, np.ones(4, dtype=bool), dead_mask=dead)
+
+    def test_replay_with_dead_drops_downstream_tx(self):
+        """A fault-injected replay must not let uninformed nodes forward."""
+        mesh = Mesh2D4(6, 1)
+        relay = np.ones(6, dtype=bool)
+        baseline = run_reactive(mesh, 0, relay)
+        dead = np.zeros(6, dtype=bool)
+        dead[2] = True
+        trace = replay(mesh, baseline.as_schedule(), 0, dead_mask=dead)
+        # nodes 3..5 never got the message, so they never transmit
+        for _, v in trace.tx_events:
+            assert v in (0, 1)
+
+    def test_total_loss_stops_wave(self):
+        mesh = Mesh2D4(5, 1)
+        relay = np.ones(5, dtype=bool)
+        trace = run_reactive(mesh, 0, relay, loss=BernoulliLoss(1.0))
+        assert trace.num_rx == 0
+        assert trace.num_tx == 1  # only the source fires
+
+    def test_reactive_and_replay_agree_under_loss(self):
+        """Per-slot seeding makes loss identical across execution modes
+        whenever the transmission sets coincide."""
+        mesh = Mesh2D4(8, 4)
+        relay = np.ones(mesh.num_nodes, dtype=bool)
+        loss = BernoulliLoss(0.2, seed=11)
+        reactive = run_reactive(mesh, 0, relay, loss=loss)
+        replayed = replay(mesh, reactive.as_schedule(), 0, loss=loss)
+        assert replayed.rx_events == reactive.rx_events
+        assert (replayed.first_rx == reactive.first_rx).all()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_loss_only_removes_receptions_on_collision_free_wave(self, seed):
+        """On a collision-free schedule (a line wave: one transmitter per
+        slot), a lossy replay's receptions are a subset of the clean
+        replay's.  (With collisions this need not hold pointwise: a lost
+        upstream transmission can also *remove* a collision.)"""
+        mesh = Mesh2D4(8, 1)
+        relay = np.ones(8, dtype=bool)
+        sched = run_reactive(mesh, 0, relay).as_schedule()
+        clean = replay(mesh, sched, 0)
+        lossy = replay(mesh, sched, 0, loss=BernoulliLoss(0.3, seed=seed))
+        assert set(lossy.rx_events) <= set(clean.rx_events)
+        assert lossy.num_tx <= clean.num_tx

@@ -1,0 +1,144 @@
+"""Integration and property-based tests across the whole stack.
+
+The paper's headline correctness claim — "our one-to-all broadcast
+protocols can achieve 100% reachability" — is asserted here over random
+grid shapes and source positions for all four protocols, with the audit
+replay as an independent witness.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (compute_metrics, make_topology, protocol_for,
+                   validate_broadcast)
+from repro.core import ideal_case, optimal_etr
+from repro.topology import Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6
+
+
+@st.composite
+def mesh_and_source_2d(draw, cls, min_side=2, max_side=14):
+    m = draw(st.integers(min_side, max_side))
+    n = draw(st.integers(min_side, max_side))
+    x = draw(st.integers(1, m))
+    y = draw(st.integers(1, n))
+    return cls(m, n), (x, y)
+
+
+@st.composite
+def mesh_and_source_3d(draw, max_side=6):
+    m = draw(st.integers(2, max_side))
+    n = draw(st.integers(2, max_side))
+    l = draw(st.integers(1, max_side))
+    src = (draw(st.integers(1, m)), draw(st.integers(1, n)),
+           draw(st.integers(1, l)))
+    return Mesh3D6(m, n, l), src
+
+
+class TestReachabilityProperty:
+    @given(mesh_and_source_2d(Mesh2D4))
+    @settings(max_examples=25, deadline=None)
+    def test_2d4(self, ms):
+        mesh, src = ms
+        result = protocol_for("2D-4").compile(mesh, src)
+        assert result.reached_all
+        validate_broadcast(mesh, result.schedule,
+                           mesh.index(src)).raise_if_failed()
+
+    @given(mesh_and_source_2d(Mesh2D8))
+    @settings(max_examples=20, deadline=None)
+    def test_2d8(self, ms):
+        mesh, src = ms
+        result = protocol_for("2D-8").compile(mesh, src)
+        assert result.reached_all
+        validate_broadcast(mesh, result.schedule,
+                           mesh.index(src)).raise_if_failed()
+
+    @given(mesh_and_source_2d(Mesh2D3, min_side=2))
+    @settings(max_examples=20, deadline=None)
+    def test_2d3(self, ms):
+        mesh, src = ms
+        result = protocol_for("2D-3").compile(mesh, src)
+        assert result.reached_all
+        validate_broadcast(mesh, result.schedule,
+                           mesh.index(src)).raise_if_failed()
+
+    @given(mesh_and_source_3d())
+    @settings(max_examples=15, deadline=None)
+    def test_3d6(self, ms):
+        mesh, src = ms
+        result = protocol_for("3D-6").compile(mesh, src)
+        assert result.reached_all
+        validate_broadcast(mesh, result.schedule,
+                           mesh.index(src)).raise_if_failed()
+
+
+class TestEfficiencyProperties:
+    @given(mesh_and_source_2d(Mesh2D4, min_side=4))
+    @settings(max_examples=15, deadline=None)
+    def test_2d4_tx_bounded_by_density(self, ms):
+        """The 2D-4 relay structure uses roughly one relay per 3 columns
+        plus the source row; transmissions must stay well below the
+        flooding bound of one per node plus overhead."""
+        mesh, src = ms
+        result = protocol_for("2D-4").compile(mesh, src)
+        bound = mesh.num_nodes * 0.55 + mesh.m + mesh.n + 10
+        assert result.trace.num_tx <= bound
+
+    @given(mesh_and_source_2d(Mesh2D4, min_side=3))
+    @settings(max_examples=15, deadline=None)
+    def test_delay_at_least_eccentricity(self, ms):
+        """No schedule can beat the hop-distance lower bound."""
+        mesh, src = ms
+        result = protocol_for("2D-4").compile(mesh, src)
+        assert result.trace.delay_slots >= mesh.eccentricity(src)
+
+    @given(mesh_and_source_2d(Mesh2D8, min_side=3))
+    @settings(max_examples=15, deadline=None)
+    def test_2d8_delay_lower_bound(self, ms):
+        mesh, src = ms
+        result = protocol_for("2D-8").compile(mesh, src)
+        assert result.trace.delay_slots >= mesh.eccentricity(src)
+
+    @given(mesh_and_source_2d(Mesh2D4, min_side=3))
+    @settings(max_examples=10, deadline=None)
+    def test_rx_bounded_by_tx_times_degree(self, ms):
+        mesh, src = ms
+        trace = protocol_for("2D-4").compile(mesh, src).trace
+        assert trace.num_rx <= trace.num_tx * mesh.nominal_degree
+
+
+class TestCrossTopologyClaims:
+    """Section 4 qualitative findings on the paper's 512-node networks."""
+
+    def test_more_neighbors_fewer_tx(self, paper_meshes, compiled_central):
+        """'when the number of neighbors increase, the total number of
+        transmissions decrease' (2D topologies)."""
+        tx = {lab: compiled_central[lab].trace.num_tx
+              for lab in ("2D-3", "2D-4", "2D-8")}
+        assert tx["2D-3"] > tx["2D-4"] > tx["2D-8"]
+
+    def test_more_neighbors_more_rx_per_tx(self, paper_meshes,
+                                           compiled_central):
+        """'...but the total number of receptions increase' — true in
+        ratio: each transmission reaches more neighbours."""
+        ratios = {}
+        for lab in ("2D-3", "2D-4", "2D-8"):
+            t = compiled_central[lab].trace
+            ratios[lab] = t.num_rx / t.num_tx
+        assert ratios["2D-3"] < ratios["2D-4"] < ratios["2D-8"]
+
+    def test_protocol_energy_within_25pct_of_ideal(self, paper_meshes,
+                                                   compiled_central):
+        """'the total power consumption of our protocols is quite close
+        to that of the ideal case'."""
+        for label, mesh in paper_meshes.items():
+            m = compute_metrics(compiled_central[label].trace, mesh)
+            ideal = ideal_case(mesh)
+            assert m.energy_j <= 1.25 * ideal.energy_j, label
+
+    def test_all_protocols_reach_everything(self, compiled_central,
+                                            compiled_corner):
+        for results in (compiled_central, compiled_corner):
+            for label, result in results.items():
+                assert result.reached_all, label

@@ -1,0 +1,89 @@
+"""Tests for the network-lifetime extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (per_node_round_energy, simulate_lifetime)
+from repro.topology import Mesh2D4
+
+
+class TestPerNodeEnergy:
+    def test_nonrelay_pays_only_rx(self):
+        mesh = Mesh2D4(8, 8)
+        cost = per_node_round_energy(mesh, (4, 4))
+        from repro.radio import PAPER_RADIO_MODEL
+        e_rx = PAPER_RADIO_MODEL.rx_energy(512)
+        # a node that never transmits pays a multiple of e_rx
+        idx = mesh.index((2, 2))
+        assert cost[idx] == pytest.approx(
+            round(cost[idx] / e_rx) * e_rx)
+
+    def test_source_pays_at_least_one_tx(self):
+        mesh = Mesh2D4(8, 8)
+        cost = per_node_round_energy(mesh, (4, 4))
+        from repro.radio import PAPER_RADIO_MODEL
+        assert cost[mesh.index((4, 4))] >= \
+            PAPER_RADIO_MODEL.tx_energy(512, mesh.tx_range())
+
+    def test_total_matches_broadcast_metrics(self):
+        from repro.core import protocol_for
+        from repro.sim import compute_metrics
+        mesh = Mesh2D4(8, 8)
+        cost = per_node_round_energy(mesh, (4, 4))
+        compiled = protocol_for(mesh).compile(mesh, (4, 4))
+        m = compute_metrics(compiled.trace, mesh)
+        assert float(cost.sum()) == pytest.approx(m.energy_j)
+
+
+class TestLifetime:
+    def test_rounds_scale_with_battery(self):
+        mesh = Mesh2D4(6, 6)
+        small = simulate_lifetime(mesh, [(3, 3)], battery_j=1e-3)
+        large = simulate_lifetime(mesh, [(3, 3)], battery_j=2e-3)
+        assert large.rounds_completed >= 2 * small.rounds_completed - 1
+        assert not small.survived_all_rounds
+
+    def test_first_death_is_busiest_node(self):
+        mesh = Mesh2D4(6, 6)
+        res = simulate_lifetime(mesh, [(3, 3)], battery_j=1e-3)
+        cost = per_node_round_energy(mesh, (3, 3))
+        assert res.first_death_node == tuple(
+            mesh.coord(int(np.argmax(cost))))
+
+    def test_rotation_extends_lifetime(self):
+        """Rotating sources (LEACH-style) balances load and extends time
+        to first death versus a fixed source."""
+        mesh = Mesh2D4(8, 8)
+        fixed = simulate_lifetime(mesh, [(4, 4)], battery_j=5e-3)
+        rotated = simulate_lifetime(
+            mesh, [(4, 4), (1, 1), (8, 8), (1, 8), (8, 1)],
+            battery_j=5e-3)
+        assert rotated.rounds_completed >= fixed.rounds_completed
+
+    def test_rotation_lowers_imbalance(self):
+        mesh = Mesh2D4(8, 8)
+        fixed = simulate_lifetime(mesh, [(4, 4)], battery_j=2e-3)
+        rotated = simulate_lifetime(
+            mesh, [(2, 2), (7, 7), (2, 7), (7, 2)], battery_j=2e-3)
+        assert rotated.energy_imbalance() <= fixed.energy_imbalance() + 0.5
+
+    def test_max_rounds_budget(self):
+        mesh = Mesh2D4(4, 4)
+        res = simulate_lifetime(mesh, [(2, 2)], battery_j=10.0,
+                                max_rounds=5)
+        assert res.rounds_completed == 5
+        assert res.survived_all_rounds
+
+    def test_residual_energy_decreases(self):
+        mesh = Mesh2D4(5, 5)
+        res = simulate_lifetime(mesh, [(3, 3)], battery_j=1.0,
+                                max_rounds=10)
+        assert (res.residual_energy_j < 1.0).all()
+        assert (res.energy_spent_j > 0).all()
+
+    def test_validation(self):
+        mesh = Mesh2D4(4, 4)
+        with pytest.raises(ValueError):
+            simulate_lifetime(mesh, [(2, 2)], battery_j=0.0)
+        with pytest.raises(ValueError):
+            simulate_lifetime(mesh, [], battery_j=1.0)

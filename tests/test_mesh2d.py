@@ -1,0 +1,194 @@
+"""Unit tests for the 2D mesh topologies (paper Figs. 1-3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Mesh2D3, Mesh2D4, Mesh2D8
+
+mesh_dims = st.tuples(st.integers(1, 12), st.integers(1, 12))
+
+
+class TestMesh2D4:
+    def test_interior_neighbors(self):
+        mesh = Mesh2D4(5, 5)
+        assert mesh.neighbors((3, 3)) == [(2, 3), (3, 2), (3, 4), (4, 3)]
+
+    def test_corner_neighbors(self):
+        mesh = Mesh2D4(5, 5)
+        assert mesh.neighbors((1, 1)) == [(1, 2), (2, 1)]
+        assert mesh.neighbors((5, 5)) == [(4, 5), (5, 4)]
+
+    def test_edge_neighbors(self):
+        mesh = Mesh2D4(5, 5)
+        assert mesh.neighbors((3, 1)) == [(2, 1), (3, 2), (4, 1)]
+
+    def test_degree_census(self):
+        mesh = Mesh2D4(6, 4)
+        degs = mesh.degrees
+        # corners: 4 nodes of degree 2; edges: 2*(6-2)+2*(4-2)=12 of deg 3
+        assert (degs == 2).sum() == 4
+        assert (degs == 3).sum() == 12
+        assert (degs == 4).sum() == 6 * 4 - 16
+
+    def test_border_classification(self):
+        mesh = Mesh2D4(5, 5)
+        assert mesh.is_border((1, 3))
+        assert not mesh.is_border((3, 3))
+
+    def test_tx_range_is_spacing(self):
+        mesh = Mesh2D4(3, 3, spacing=0.7)
+        assert mesh.tx_range() == pytest.approx(0.7)
+
+    def test_index_errors(self):
+        mesh = Mesh2D4(3, 3)
+        with pytest.raises(ValueError):
+            mesh.index((0, 1))
+        with pytest.raises(ValueError):
+            mesh.index((4, 1))
+        with pytest.raises(ValueError):
+            mesh.coord(9)
+
+    def test_positions_scale_with_spacing(self):
+        mesh = Mesh2D4(3, 2, spacing=0.5)
+        pos = mesh.positions()
+        assert pos.shape == (6, 2)
+        a = pos[mesh.index((1, 1))]
+        b = pos[mesh.index((2, 1))]
+        assert math.dist(a, b) == pytest.approx(0.5)
+
+    @given(mesh_dims)
+    @settings(max_examples=25, deadline=None)
+    def test_validate_any_shape(self, dims):
+        Mesh2D4(*dims).validate()
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            Mesh2D4(0, 5)
+        with pytest.raises(ValueError):
+            Mesh2D4(5, -1)
+        with pytest.raises(ValueError):
+            Mesh2D4(5, 5, spacing=0.0)
+
+
+class TestMesh2D8:
+    def test_interior_has_eight_neighbors(self):
+        mesh = Mesh2D8(5, 5)
+        nbrs = mesh.neighbors((3, 3))
+        assert len(nbrs) == 8
+        assert (2, 2) in nbrs and (4, 4) in nbrs
+        assert (2, 4) in nbrs and (4, 2) in nbrs
+
+    def test_corner_has_three(self):
+        mesh = Mesh2D8(5, 5)
+        assert mesh.neighbors((1, 1)) == [(1, 2), (2, 1), (2, 2)]
+
+    def test_degree_census(self):
+        mesh = Mesh2D8(6, 4)
+        degs = mesh.degrees
+        assert (degs == 3).sum() == 4          # corners
+        assert (degs == 5).sum() == 12         # non-corner border
+        assert (degs == 8).sum() == 24 - 16    # interior
+
+    def test_tx_range_covers_diagonal(self):
+        mesh = Mesh2D8(4, 4, spacing=0.5)
+        assert mesh.tx_range() == pytest.approx(0.5 * math.sqrt(2))
+        # the range must reach the farthest lattice neighbour
+        assert mesh.tx_range() >= mesh.link_distance((2, 2), (3, 3)) - 1e-12
+
+    @given(mesh_dims)
+    @settings(max_examples=25, deadline=None)
+    def test_validate_any_shape(self, dims):
+        Mesh2D8(*dims).validate()
+
+    def test_edge_count(self):
+        # 6x4: horizontal 5*4 + vertical 6*3 + diagonals 2*5*3
+        mesh = Mesh2D8(6, 4)
+        assert int(mesh.degrees.sum()) // 2 == 20 + 18 + 30
+
+
+class TestMesh2D3:
+    def test_paper_example_neighbourhood(self):
+        """The paper's Section 3.3 example: node (5,4) has (5,3) but not
+        (5,5) as a neighbour."""
+        mesh = Mesh2D3(10, 10)
+        nbrs = mesh.neighbors((5, 4))
+        assert (5, 3) in nbrs
+        assert (5, 5) not in nbrs
+        assert nbrs == [(4, 4), (5, 3), (6, 4)]
+
+    def test_vertical_edge_parity(self):
+        mesh = Mesh2D3(8, 8)
+        # (x, y)-(x, y+1) exists iff x+y even
+        assert (2, 3) in mesh.neighbors((2, 2))   # 2+2 even -> up edge
+        assert (2, 4) not in mesh.neighbors((2, 3))  # 2+3 odd -> no up edge
+        assert (3, 1) in mesh.neighbors((3, 2))   # 3+2 odd -> down edge
+        assert (3, 4) in mesh.neighbors((3, 3))   # 3+3 even -> up edge
+
+    def test_every_interior_node_has_three(self):
+        mesh = Mesh2D3(8, 8)
+        for x in range(2, 8):
+            for y in range(2, 8):
+                assert mesh.degree((x, y)) == 3
+
+    def test_vertical_neighbor_is_mutual(self):
+        mesh = Mesh2D3(6, 6)
+        for i in range(mesh.num_nodes):
+            c = mesh.coord(i)
+            for nb in mesh.neighbors(c):
+                assert c in mesh.neighbors(nb)
+
+    def test_has_up_neighbor(self):
+        mesh = Mesh2D3(6, 6)
+        assert mesh.has_up_neighbor((2, 2))       # 4 even
+        assert not mesh.has_up_neighbor((2, 3))   # 5 odd
+
+    def test_degree_at_most_three(self):
+        mesh = Mesh2D3(9, 7)
+        assert mesh.max_degree == 3
+
+    @given(st.tuples(st.integers(2, 12), st.integers(2, 12)))
+    @settings(max_examples=25, deadline=None)
+    def test_validate_any_shape(self, dims):
+        Mesh2D3(*dims).validate()
+
+    @given(st.tuples(st.integers(2, 10), st.integers(2, 10)))
+    @settings(max_examples=20, deadline=None)
+    def test_connected_for_m_ge_2(self, dims):
+        assert Mesh2D3(*dims).is_connected()
+
+    def test_single_column_is_disconnected(self):
+        # degenerate: a 1-wide brick wall has only alternating vertical
+        # edges and falls apart into pairs
+        mesh = Mesh2D3(1, 6)
+        assert not mesh.is_connected()
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("cls", [Mesh2D3, Mesh2D4, Mesh2D8])
+    def test_shape_property(self, cls):
+        mesh = cls(7, 4)
+        assert mesh.shape == (7, 4)
+        assert mesh.num_nodes == 28
+        assert mesh.dims == 2
+
+    @pytest.mark.parametrize("cls", [Mesh2D3, Mesh2D4, Mesh2D8])
+    def test_iter_coords_matches_indices(self, cls):
+        mesh = cls(4, 3)
+        coords = list(mesh.iter_coords())
+        assert len(coords) == 12
+        assert coords[0] == (1, 1)
+        assert [mesh.index(c) for c in coords] == list(range(12))
+
+    @pytest.mark.parametrize("cls", [Mesh2D3, Mesh2D8, Mesh2D4])
+    def test_neighbors_rejects_foreign_coord(self, cls):
+        mesh = cls(4, 4)
+        with pytest.raises(ValueError):
+            mesh.neighbors((0, 0))
+
+    @pytest.mark.parametrize("cls", [Mesh2D3, Mesh2D4, Mesh2D8])
+    def test_adjacency_cached(self, cls):
+        mesh = cls(4, 4)
+        assert mesh.adjacency is mesh.adjacency

@@ -1,0 +1,91 @@
+"""Unit tests for the 3D mesh with 6 neighbours (paper Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Mesh3D6
+
+
+class TestNeighbourhood:
+    def test_interior_has_six(self):
+        mesh = Mesh3D6(4, 4, 4)
+        nbrs = mesh.neighbors((2, 2, 2))
+        assert len(nbrs) == 6
+        assert set(nbrs) == {(1, 2, 2), (3, 2, 2), (2, 1, 2),
+                             (2, 3, 2), (2, 2, 1), (2, 2, 3)}
+
+    def test_corner_has_three(self):
+        mesh = Mesh3D6(4, 4, 4)
+        assert mesh.neighbors((1, 1, 1)) == [(1, 1, 2), (1, 2, 1), (2, 1, 1)]
+
+    def test_no_diagonal_edges(self):
+        mesh = Mesh3D6(3, 3, 3)
+        assert (2, 2, 2) not in mesh.neighbors((1, 1, 1))
+        assert (2, 2, 1) not in mesh.neighbors((1, 1, 1))
+
+    def test_degree_census_paper_shape(self):
+        mesh = Mesh3D6(8, 8, 8)
+        degs = mesh.degrees
+        assert (degs == 3).sum() == 8                 # corners
+        assert (degs == 4).sum() == 12 * 6            # edges
+        assert (degs == 5).sum() == 6 * 36            # faces
+        assert (degs == 6).sum() == 6 ** 3            # interior
+        assert mesh.num_nodes == 512
+
+
+class TestStructure:
+    def test_shape_and_dims(self):
+        mesh = Mesh3D6(5, 4, 3)
+        assert mesh.shape == (5, 4, 3)
+        assert mesh.num_nodes == 60
+        assert mesh.dims == 3
+
+    def test_plane_indices(self):
+        mesh = Mesh3D6(3, 2, 4)
+        plane = mesh.plane_indices(2)
+        assert len(plane) == 6
+        assert all(mesh.coord(int(i))[2] == 2 for i in plane)
+        with pytest.raises(ValueError):
+            mesh.plane_indices(0)
+        with pytest.raises(ValueError):
+            mesh.plane_indices(5)
+
+    def test_positions(self):
+        mesh = Mesh3D6(2, 2, 2, spacing=0.5)
+        pos = mesh.positions()
+        assert pos.shape == (8, 3)
+        a = pos[mesh.index((1, 1, 1))]
+        b = pos[mesh.index((1, 1, 2))]
+        assert np.linalg.norm(a - b) == pytest.approx(0.5)
+
+    def test_index_bounds(self):
+        mesh = Mesh3D6(2, 2, 2)
+        with pytest.raises(ValueError):
+            mesh.index((3, 1, 1))
+        with pytest.raises(ValueError):
+            mesh.index((1, 1, 0))
+        with pytest.raises(ValueError):
+            mesh.coord(8)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            Mesh3D6(0, 2, 2)
+
+    def test_diameter_is_sum_of_extents(self):
+        mesh = Mesh3D6(4, 3, 2)
+        assert mesh.diameter == 3 + 2 + 1
+
+    def test_paper_mesh_diameter(self):
+        assert Mesh3D6(8, 8, 8).diameter == 21
+
+    @given(st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)))
+    @settings(max_examples=15, deadline=None)
+    def test_validate_any_shape(self, dims):
+        Mesh3D6(*dims).validate()
+
+    @given(st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)))
+    @settings(max_examples=10, deadline=None)
+    def test_always_connected(self, dims):
+        assert Mesh3D6(*dims).is_connected()

@@ -1,0 +1,133 @@
+"""Tests for the 2D-4 broadcasting protocol (Section 3.1, Fig. 5)."""
+
+import pytest
+
+from repro.core import protocol_for, validate_broadcast
+from repro.core.mesh2d4 import (Mesh2D4Protocol, relay_columns,
+                                retransmitter_columns)
+from repro.sim import compute_metrics
+from repro.topology import Mesh2D4, Mesh2D8
+
+
+class TestRelayRules:
+    def test_relay_columns_every_three(self):
+        # columns x = 6 + 3k clipped to [1, 16], plus border column 1
+        # (column 2 is not a relay, so column 1 becomes one)
+        assert relay_columns(16, 6) == [1, 3, 6, 9, 12, 15]
+
+    def test_border_rule_left(self):
+        """Column 1 is added iff neither 1 nor 2 is a relay column —
+        exactly the paper's '(1, y) checks (2, y)' rule."""
+        assert 1 in relay_columns(10, 3)       # columns 3,6,9 -> add 1
+        assert 1 in relay_columns(10, 4)       # 1 = 4 - 3 is natural
+        assert relay_columns(10, 5)[0] == 2    # 2 covers 1, no extra
+
+    def test_border_rule_right(self):
+        assert 10 in relay_columns(10, 4)      # columns ...,7 -> add 10
+        cols = relay_columns(10, 3)            # ..., 9 covers 10
+        assert 10 not in cols
+
+    def test_retransmitter_columns_pattern(self):
+        """Fig. 5 (source (6,8) on 16x16): the gray nodes are at
+        x = 2, 5, 7, 10, 13, 16."""
+        assert retransmitter_columns(16, 6) == [2, 5, 7, 10, 13, 16]
+
+    def test_relay_plan_marks_row_and_columns(self):
+        mesh = Mesh2D4(16, 16)
+        plan = Mesh2D4Protocol().relay_plan(mesh, (6, 8))
+        for x in range(1, 17):
+            assert plan.relay_mask[mesh.index((x, 8))]
+        for x in (1, 3, 6, 9, 12, 15):
+            for y in range(1, 17):
+                assert plan.relay_mask[mesh.index((x, y))]
+        # a non-column, non-row node is not a relay
+        assert not plan.relay_mask[mesh.index((4, 4))]
+
+    def test_repeat_offsets_are_row_nodes(self):
+        mesh = Mesh2D4(16, 16)
+        plan = Mesh2D4Protocol().relay_plan(mesh, (6, 8))
+        coords = sorted(mesh.coord(v) for v in plan.repeat_offsets)
+        assert coords == [(2, 8), (5, 8), (7, 8), (10, 8), (13, 8), (16, 8)]
+        assert all(offs == (1,) for offs in plan.repeat_offsets.values())
+
+    def test_wrong_topology_type(self):
+        with pytest.raises(TypeError):
+            Mesh2D4Protocol().relay_plan(Mesh2D8(4, 4), (2, 2))
+
+    def test_source_outside_raises(self):
+        with pytest.raises(ValueError):
+            Mesh2D4Protocol().relay_plan(Mesh2D4(4, 4), (5, 5))
+
+
+class TestFig5Example:
+    """The worked example of Fig. 5: 16x16 mesh, source (6, 8)."""
+
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        mesh = Mesh2D4(16, 16)
+        return mesh, Mesh2D4Protocol().compile(mesh, (6, 8))
+
+    def test_full_reachability(self, compiled):
+        mesh, result = compiled
+        assert result.reached_all
+
+    def test_retransmitters_match_figure(self, compiled):
+        """The nodes that transmit twice are exactly the paper's gray
+        nodes (2,8), (5,8), (7,8), (10,8), (13,8), (16,8)."""
+        mesh, result = compiled
+        grays = sorted(mesh.coord(v)
+                       for v in result.trace.retransmitting_nodes())
+        assert grays == [(2, 8), (5, 8), (7, 8), (10, 8), (13, 8), (16, 8)]
+
+    def test_rules_alone_suffice(self, compiled):
+        """On the figure's own grid the literal Section 3.1 rules achieve
+        100% reachability with no compiler patches."""
+        mesh, result = compiled
+        assert result.completions == []
+        assert result.repairs == []
+
+    def test_audits_clean(self, compiled):
+        mesh, result = compiled
+        report = validate_broadcast(mesh, result.schedule, result.source)
+        assert report.ok, report.issues
+
+
+class TestPaperMeshBehaviour:
+    def test_best_case_matches_paper_tx(self, paper_meshes,
+                                        compiled_central):
+        """A central source on the 32x16 mesh gives exactly the paper's
+        best-case transmission count: 208."""
+        result = compiled_central["2D-4"]
+        assert result.trace.num_tx == 208
+
+    def test_central_delay_is_eccentricity(self, paper_meshes,
+                                           compiled_central):
+        mesh = paper_meshes["2D-4"]
+        result = compiled_central["2D-4"]
+        assert result.trace.delay_slots == mesh.eccentricity((16, 8))
+
+    def test_corner_delay_is_diameter(self, paper_meshes, compiled_corner):
+        mesh = paper_meshes["2D-4"]
+        result = compiled_corner["2D-4"]
+        assert result.trace.delay_slots == mesh.diameter == 46
+
+    def test_corner_reaches_all(self, compiled_corner):
+        assert compiled_corner["2D-4"].reached_all
+
+    def test_energy_close_to_ideal(self, paper_meshes, compiled_central):
+        from repro.core import ideal_case
+        mesh = paper_meshes["2D-4"]
+        m = compute_metrics(compiled_central["2D-4"].trace, mesh)
+        ideal = ideal_case(mesh)
+        assert m.energy_j <= 1.15 * ideal.energy_j
+
+
+class TestManySources:
+    @pytest.mark.parametrize("src", [(1, 1), (16, 1), (1, 8), (9, 5),
+                                     (2, 2), (15, 7)])
+    def test_reachability_small_grid(self, src):
+        mesh = Mesh2D4(16, 8)
+        result = Mesh2D4Protocol().compile(mesh, src)
+        assert result.reached_all
+        report = validate_broadcast(mesh, result.schedule, result.source)
+        assert report.ok

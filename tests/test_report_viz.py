@@ -1,0 +1,125 @@
+"""Tests for report rendering and ASCII visualisation."""
+
+import pytest
+
+from repro.analysis.report import (format_number, render_kv,
+                                   render_paper_comparison, render_table)
+from repro.core import protocol_for
+from repro.topology import Mesh2D4, Mesh3D6
+from repro.viz import relay_map, slot_timeline, summary_block, wave_map
+
+
+class TestReport:
+    def test_format_number(self):
+        assert format_number(3) == "3"
+        assert format_number(True) == "True"
+        assert format_number(0.0218) == "0.0218"
+        assert format_number(2.18e-5) == "2.180e-05"
+        assert format_number("x") == "x"
+
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        out = render_table(rows, ["a", "b"], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len({len(l) for l in lines[2:]}) <= 2
+
+    def test_render_table_header_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table([], ["a"], headers=["x", "y"])
+
+    def test_render_table_empty_rows(self):
+        out = render_table([], ["a", "b"])
+        assert "a" in out
+
+    def test_render_paper_comparison(self):
+        rows = [{"topology": "2D-4", "tx": 208,
+                 "paper": {"tx": 208}}]
+        out = render_paper_comparison(rows, ["tx"], "cmp")
+        assert "tx (paper)" in out
+        assert "208" in out
+
+    def test_render_kv(self):
+        out = render_kv([("key", 1), ("longer key", 2.5)], title="hdr")
+        assert out.splitlines()[0] == "hdr"
+        assert ": 1" in out
+
+    def test_render_kv_empty(self):
+        assert render_kv([], title="t") == "t"
+
+
+class TestViz:
+    @pytest.fixture(scope="class")
+    def compiled_2d(self):
+        mesh = Mesh2D4(10, 6)
+        return mesh, protocol_for("2D-4").compile(mesh, (5, 3))
+
+    @pytest.fixture(scope="class")
+    def compiled_3d(self):
+        mesh = Mesh3D6(4, 4, 3)
+        return mesh, protocol_for("3D-6").compile(mesh, (2, 2, 2))
+
+    def test_relay_map_contains_source_and_legend(self, compiled_2d):
+        mesh, result = compiled_2d
+        out = relay_map(mesh, result)
+        assert "S" in out
+        assert "legend" not in out  # legend text itself, not the word
+        assert "#=relay" in out
+        # one row per y plus header/ruler
+        assert len(out.splitlines()) == 6 + 3
+
+    def test_relay_map_3d_renders_planes(self, compiled_3d):
+        mesh, result = compiled_3d
+        out = relay_map(mesh, result)
+        for z in (1, 2, 3):
+            assert f"plane z={z}" in out
+
+    def test_wave_map_rx(self, compiled_2d):
+        mesh, result = compiled_2d
+        out = wave_map(mesh, result, what="rx")
+        assert "first rx slot" in out
+        # the source cell shows slot 0
+        assert " 0" in out
+
+    def test_wave_map_tx(self, compiled_2d):
+        mesh, result = compiled_2d
+        out = wave_map(mesh, result, what="tx")
+        assert "first tx slot" in out
+
+    def test_wave_map_3d_needs_plane(self, compiled_3d):
+        mesh, result = compiled_3d
+        with pytest.raises(ValueError):
+            wave_map(mesh, result)
+        out = wave_map(mesh, result, z=2)
+        assert "plane z=2" in out
+
+    def test_wave_map_invalid_what(self, compiled_2d):
+        mesh, result = compiled_2d
+        with pytest.raises(ValueError):
+            wave_map(mesh, result, what="energy")
+
+    def test_slot_timeline(self, compiled_2d):
+        mesh, result = compiled_2d
+        out = slot_timeline(mesh, result)
+        lines = out.splitlines()
+        assert "slot" in lines[1]
+        # one line per active slot (+2 header lines)
+        assert len(lines) == len(result.schedule.active_slots()) + 2
+
+    def test_slot_timeline_truncation(self, compiled_2d):
+        mesh, result = compiled_2d
+        out = slot_timeline(mesh, result, max_slots=2)
+        assert len(out.splitlines()) == 4
+
+    def test_summary_block(self, compiled_2d):
+        mesh, result = compiled_2d
+        out = summary_block(mesh, result)
+        assert "transmissions" in out
+        assert "100.0%" in out
+
+    def test_retransmitters_marked(self):
+        mesh = Mesh2D4(16, 16)
+        result = protocol_for("2D-4").compile(mesh, (6, 8))
+        out = relay_map(mesh, result)
+        assert "*" in out

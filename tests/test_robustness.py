@@ -1,0 +1,98 @@
+"""Tests for the robustness analysis (loss/failure degradation curves)."""
+
+import pytest
+
+from repro.analysis import (failure_degradation, harden_plan,
+                            loss_degradation)
+from repro.core import protocol_for
+from repro.topology import Mesh2D4
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D4(12, 8)
+
+
+class TestHardenPlan:
+    def test_zero_repeats_is_copy(self, mesh):
+        plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
+        hardened = harden_plan(plan, 0)
+        assert hardened.repeat_offsets == plan.repeat_offsets
+        assert hardened is not plan
+
+    def test_adds_offsets_to_every_relay(self, mesh):
+        plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
+        hardened = harden_plan(plan, 2)
+        import numpy as np
+        for v in np.nonzero(plan.relay_mask)[0]:
+            offs = hardened.repeat_offsets[int(v)]
+            assert 2 in offs and 4 in offs  # wave-phase-aligned spacing
+
+    def test_merges_existing_offsets(self, mesh):
+        plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
+        # designated retransmitters already have offset (1,); hardening
+        # merges its own even offsets with it
+        some = next(iter(plan.repeat_offsets))
+        hardened = harden_plan(plan, 1)
+        assert hardened.repeat_offsets[some] == (1, 2)
+
+    def test_negative_rejected(self, mesh):
+        plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
+        with pytest.raises(ValueError):
+            harden_plan(plan, -1)
+
+
+class TestLossDegradation:
+    def test_zero_loss_full_reach(self, mesh):
+        (point,) = loss_degradation(mesh, (6, 4), [0.0], trials=2)
+        assert point.mean_reachability == 1.0
+
+    def test_hardened_plan_keeps_clean_channel_perfect(self, mesh):
+        (point,) = loss_degradation(mesh, (6, 4), [0.0], trials=2,
+                                    harden=2)
+        assert point.mean_reachability == 1.0
+
+    def test_monotone_in_loss(self, mesh):
+        points = loss_degradation(mesh, (6, 4), [0.0, 0.1, 0.4],
+                                  trials=4, seed=5)
+        reaches = [p.mean_reachability for p in points]
+        assert reaches[0] >= reaches[1] >= reaches[2] - 0.05
+
+    def test_hardening_helps(self, mesh):
+        base = loss_degradation(mesh, (6, 4), [0.15], trials=4, seed=2)
+        hard = loss_degradation(mesh, (6, 4), [0.15], trials=4, seed=2,
+                                harden=2)
+        assert hard[0].mean_reachability >= base[0].mean_reachability
+        assert hard[0].mean_tx > base[0].mean_tx  # hardening costs energy
+
+    def test_rows(self, mesh):
+        (point,) = loss_degradation(mesh, (6, 4), [0.1], trials=2)
+        row = point.as_row()
+        assert row["parameter"] == 0.1
+        assert 0 <= row["min_reach"] <= row["mean_reach"] <= 1
+
+
+class TestFailureDegradation:
+    def test_zero_failures_full_reach(self, mesh):
+        (point,) = failure_degradation(mesh, (6, 4), [0], trials=2)
+        assert point.mean_reachability == 1.0
+
+    def test_static_schedule_degrades(self, mesh):
+        points = failure_degradation(mesh, (6, 4), [0, 8], trials=4,
+                                     recompile=False, seed=1)
+        assert points[1].mean_reachability < 1.0
+
+    def test_recompile_beats_static(self, mesh):
+        static = failure_degradation(mesh, (6, 4), [8], trials=4,
+                                     recompile=False, seed=1)
+        adaptive = failure_degradation(mesh, (6, 4), [8], trials=4,
+                                       recompile=True, seed=1)
+        assert adaptive[0].mean_reachability > \
+            static[0].mean_reachability
+
+    def test_recompile_reaches_connected_survivors(self, mesh):
+        """With few failures the surviving lattice stays connected and the
+        recompiled broadcast must reach every live node."""
+        points = failure_degradation(mesh, (6, 4), [3], trials=5,
+                                     recompile=True, seed=3)
+        assert points[0].min_reachability >= 0.97

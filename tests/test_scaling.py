@@ -1,0 +1,67 @@
+"""Tests for the scaling-study analysis module."""
+
+import pytest
+
+from repro.analysis.scaling import (ScalingPoint, central_source,
+                                    scaling_curve, shape_for)
+
+
+class TestShapes:
+    def test_2d_aspect_ratio(self):
+        assert shape_for("2D-4", 512) == (32, 16)
+        assert shape_for("2D-8", 128) == (16, 8)
+        assert shape_for("2D-3", 2048) == (64, 32)
+
+    def test_3d_cubic(self):
+        assert shape_for("3D-6", 512) == (8, 8, 8)
+        assert shape_for("3D-6", 64) == (4, 4, 4)
+
+    def test_central_source(self):
+        assert central_source((32, 16)) == (16, 8)
+        assert central_source((8, 8, 8)) == (4, 4, 4)
+        assert central_source((1, 1)) == (1, 1)
+
+
+class TestCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return scaling_curve("2D-4", sizes=[128, 512])
+
+    def test_points_structure(self, curve):
+        assert len(curve) == 2
+        assert all(isinstance(p, ScalingPoint) for p in curve)
+        assert curve[0].num_nodes == 128
+        assert curve[1].num_nodes == 512
+
+    def test_reachability_everywhere(self, curve):
+        assert all(p.reachability == 1.0 for p in curve)
+
+    def test_paper_point_reproduced(self, curve):
+        p512 = curve[1]
+        assert p512.tx == 208           # Table 3 best case
+        assert p512.ideal_tx == 170     # Table 2
+
+    def test_overhead_shrinks(self, curve):
+        assert curve[1].tx_overhead < curve[0].tx_overhead
+
+    def test_delay_tracks_eccentricity(self, curve):
+        for p in curve:
+            assert p.ideal_delay <= p.delay_slots <= p.ideal_delay + 3
+
+    def test_rows_render(self, curve):
+        row = curve[0].as_row()
+        assert row["shape"] == "16x8"
+        assert row["tx/ideal"] == pytest.approx(
+            curve[0].tx / curve[0].ideal_tx, abs=1e-3)
+
+    def test_custom_protocol(self):
+        from repro.core.baselines import GreedyETRProtocol
+        pts = scaling_curve("2D-4", sizes=[128],
+                            protocol=GreedyETRProtocol())
+        assert pts[0].reachability == 1.0
+        assert pts[0].tx >= 42
+
+    def test_3d_curve(self):
+        pts = scaling_curve("3D-6", sizes=[64])
+        assert pts[0].shape == (4, 4, 4)
+        assert pts[0].reachability == 1.0

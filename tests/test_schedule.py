@@ -1,0 +1,118 @@
+"""Unit tests for BroadcastSchedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import BroadcastSchedule
+
+events = st.lists(
+    st.tuples(st.integers(1, 40), st.integers(0, 99)), max_size=60)
+
+
+class TestBasics:
+    def test_empty(self):
+        s = BroadcastSchedule()
+        assert s.num_transmissions == 0
+        assert s.max_slot == 0
+        assert s.transmitters(3) == set()
+        assert list(s) == []
+
+    def test_add_and_query(self):
+        s = BroadcastSchedule()
+        s.add(2, 5)
+        s.add(2, 7)
+        s.add(4, 5)
+        assert s.transmitters(2) == {5, 7}
+        assert s.slots_of(5) == [2, 4]
+        assert s.first_slot_of(5) == 2
+        assert s.first_slot_of(99) == -1
+        assert s.num_transmissions == 3
+        assert s.max_slot == 4
+        assert s.transmitting_nodes() == {5, 7}
+
+    def test_add_idempotent(self):
+        s = BroadcastSchedule()
+        s.add(1, 1)
+        s.add(1, 1)
+        assert s.num_transmissions == 1
+
+    def test_slot_validation(self):
+        s = BroadcastSchedule()
+        with pytest.raises(ValueError):
+            s.add(0, 1)
+        with pytest.raises(ValueError):
+            s.add(1, -1)
+
+    def test_remove(self):
+        s = BroadcastSchedule.from_events([(1, 1), (1, 2)])
+        s.remove(1, 1)
+        assert s.transmitters(1) == {2}
+        s.remove(1, 2)
+        assert s.max_slot == 0
+        with pytest.raises(KeyError):
+            s.remove(1, 2)
+
+    def test_iteration_deterministic(self):
+        s = BroadcastSchedule.from_events([(3, 9), (1, 4), (3, 2), (1, 1)])
+        assert list(s) == [(1, 1), (1, 4), (3, 2), (3, 9)]
+
+    def test_equality(self):
+        a = BroadcastSchedule.from_events([(1, 2), (3, 4)])
+        b = BroadcastSchedule.from_events([(3, 4), (1, 2)])
+        assert a == b
+        b.add(5, 5)
+        assert a != b
+
+    def test_copy_is_deep(self):
+        a = BroadcastSchedule.from_events([(1, 2)])
+        b = a.copy()
+        b.add(1, 3)
+        assert a.transmitters(1) == {2}
+
+    def test_merge(self):
+        a = BroadcastSchedule.from_events([(1, 1)])
+        b = BroadcastSchedule.from_events([(1, 2), (2, 1)])
+        c = a.merge(b)
+        assert c.num_transmissions == 3
+        assert a.num_transmissions == 1  # merge does not mutate
+
+    def test_transmitter_mask(self):
+        s = BroadcastSchedule.from_events([(2, 0), (2, 3)])
+        mask = s.transmitter_mask(2, 5)
+        assert mask.tolist() == [True, False, False, True, False]
+        assert s.transmitter_mask(9, 5).sum() == 0
+
+    def test_to_arrays(self):
+        s = BroadcastSchedule.from_events([(2, 7), (1, 3)])
+        slots, nodes = s.to_arrays()
+        assert slots.tolist() == [1, 2]
+        assert nodes.tolist() == [3, 7]
+
+    def test_to_arrays_empty(self):
+        slots, nodes = BroadcastSchedule().to_arrays()
+        assert len(slots) == 0 and len(nodes) == 0
+
+
+class TestProperties:
+    @given(events)
+    def test_from_events_roundtrip(self, evs):
+        s = BroadcastSchedule.from_events(evs)
+        assert set(s) == set(evs)
+        assert len(s) == len(set(evs))
+
+    @given(events, events)
+    def test_merge_is_union(self, a, b):
+        sa = BroadcastSchedule.from_events(a)
+        sb = BroadcastSchedule.from_events(b)
+        merged = sa.merge(sb)
+        assert set(merged) == set(a) | set(b)
+
+    @given(events)
+    def test_active_slots_sorted_nonempty(self, evs):
+        s = BroadcastSchedule.from_events(evs)
+        slots = s.active_slots()
+        assert slots == sorted(slots)
+        for t in slots:
+            assert s.transmitters(t)

@@ -1,0 +1,78 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.dom.minidom as minidom
+
+import pytest
+
+from repro.core import protocol_for
+from repro.topology import Mesh2D4, Mesh2D6, Mesh3D6
+from repro.viz import broadcast_svg, save_broadcast_svg
+from repro.viz.svg import (COLOR_IDLE, COLOR_RELAY, COLOR_RETRANSMIT,
+                           COLOR_SOURCE, _classify)
+
+
+@pytest.fixture(scope="module")
+def compiled_2d():
+    mesh = Mesh2D4(10, 6)
+    return mesh, protocol_for("2D-4").compile(mesh, (5, 3))
+
+
+class TestBroadcastSvg:
+    def test_valid_xml(self, compiled_2d):
+        mesh, compiled = compiled_2d
+        svg = broadcast_svg(mesh, compiled)
+        doc = minidom.parseString(svg)
+        assert doc.documentElement.tagName == "svg"
+
+    def test_one_circle_per_node(self, compiled_2d):
+        mesh, compiled = compiled_2d
+        svg = broadcast_svg(mesh, compiled)
+        assert svg.count("<circle") == mesh.num_nodes
+
+    def test_source_colored(self, compiled_2d):
+        mesh, compiled = compiled_2d
+        svg = broadcast_svg(mesh, compiled)
+        assert COLOR_SOURCE in svg
+
+    def test_labels_toggle(self, compiled_2d):
+        mesh, compiled = compiled_2d
+        plain = broadcast_svg(mesh, compiled)
+        labelled = broadcast_svg(mesh, compiled, label_first_rx=True)
+        assert "<text" not in plain
+        assert labelled.count("<text") >= mesh.num_nodes - 1
+
+    def test_3d_needs_plane(self):
+        mesh = Mesh3D6(4, 4, 3)
+        compiled = protocol_for("3D-6").compile(mesh, (2, 2, 2))
+        with pytest.raises(ValueError):
+            broadcast_svg(mesh, compiled)
+        svg = broadcast_svg(mesh, compiled, plane_z=2)
+        assert svg.count("<circle") == 16
+
+    def test_hex_lattice_renders(self):
+        mesh = Mesh2D6(8, 6)
+        from repro.core.baselines import GreedyETRProtocol
+        compiled = GreedyETRProtocol().compile(mesh, (4, 3))
+        svg = broadcast_svg(mesh, compiled)
+        minidom.parseString(svg)
+        assert svg.count("<circle") == 48
+
+    def test_classification(self, compiled_2d):
+        mesh, compiled = compiled_2d
+        colors = _classify(mesh, compiled)
+        assert colors[compiled.source] == COLOR_SOURCE
+        tx_counts = compiled.trace.tx_count_per_node()
+        for idx in range(mesh.num_nodes):
+            if idx == compiled.source:
+                continue
+            if tx_counts[idx] >= 2:
+                assert colors[idx] == COLOR_RETRANSMIT
+            elif tx_counts[idx] == 0:
+                assert colors[idx] == COLOR_IDLE
+
+    def test_save(self, tmp_path, compiled_2d):
+        mesh, compiled = compiled_2d
+        out = save_broadcast_svg(str(tmp_path / "fig.svg"), mesh, compiled)
+        content = (tmp_path / "fig.svg").read_text()
+        assert content.startswith("<svg")
+        assert out.endswith("fig.svg")

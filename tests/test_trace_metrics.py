@@ -1,0 +1,112 @@
+"""Unit tests for trace accounting and paper metrics."""
+
+import numpy as np
+import pytest
+
+from repro.radio import PAPER_RADIO_MODEL, FirstOrderRadioModel
+from repro.sim import compute_metrics, run_reactive
+from repro.sim.trace import BroadcastTrace
+from repro.topology import Mesh2D4
+
+
+def make_trace():
+    """Hand-built trace on a 1x4 line: 0 -> 1 -> 2 -> 3 with one dup."""
+    t = BroadcastTrace(num_nodes=4, source=0,
+                       first_rx=np.array([0, 1, 2, 3]))
+    t.tx_events = [(1, 0), (2, 1), (3, 2)]
+    t.rx_events = [(1, 1, 0), (2, 2, 1), (3, 3, 2), (3, 1, 2)]
+    t.collision_events = [(2, 0)]
+    return t
+
+
+class TestTraceCounts:
+    def test_headline_counts(self):
+        t = make_trace()
+        assert t.num_tx == 3
+        assert t.num_rx == 4
+        assert t.num_first_rx == 3
+        assert t.num_duplicate_rx == 1
+        assert t.num_collisions == 1
+        assert t.delay_slots == 3
+        assert t.last_activity_slot == 3
+        assert t.reachability == 1.0
+        assert t.all_reached
+
+    def test_unreached(self):
+        t = BroadcastTrace(num_nodes=3, source=0,
+                           first_rx=np.array([0, 2, -1]))
+        assert not t.all_reached
+        assert t.reachability == pytest.approx(2 / 3)
+        assert t.delay_slots == -1
+        assert t.unreached_nodes().tolist() == [2]
+
+    def test_delivery_tree(self):
+        t = make_trace()
+        tree = t.delivery_tree()
+        assert tree == {1: 0, 2: 1, 3: 2}
+
+    def test_delivery_tree_prefers_first_reception(self):
+        t = BroadcastTrace(num_nodes=3, source=0,
+                           first_rx=np.array([0, 1, 1]))
+        t.rx_events = [(1, 1, 0), (1, 2, 0), (2, 2, 1)]
+        assert t.delivery_tree() == {1: 0, 2: 0}
+
+    def test_per_node_counts(self):
+        t = make_trace()
+        assert t.tx_count_per_node().tolist() == [1, 1, 1, 0]
+        assert t.rx_count_per_node().tolist() == [0, 2, 1, 1]
+
+    def test_retransmitting_nodes(self):
+        t = make_trace()
+        t.tx_events.append((4, 1))
+        assert t.retransmitting_nodes() == [1]
+
+    def test_as_schedule(self):
+        t = make_trace()
+        sched = t.as_schedule()
+        assert set(sched) == {(1, 0), (2, 1), (3, 2)}
+
+
+class TestComputeMetrics:
+    def test_against_manual_energy(self):
+        mesh = Mesh2D4(6, 1)
+        relay = np.ones(6, dtype=bool)
+        trace = run_reactive(mesh, 0, relay)
+        m = compute_metrics(trace, mesh)
+        e_tx = PAPER_RADIO_MODEL.tx_energy(512, mesh.tx_range())
+        e_rx = PAPER_RADIO_MODEL.rx_energy(512)
+        assert m.energy_j == pytest.approx(
+            trace.num_tx * e_tx + trace.num_rx * e_rx)
+        assert m.tx == trace.num_tx
+        assert m.rx == trace.num_rx
+        assert m.reached_all
+
+    def test_collided_energy_flag_increases_energy(self):
+        mesh = Mesh2D4(5, 1)
+        relay = np.zeros(5, dtype=bool)
+        # force a collision at node 2's position via two forced tx
+        trace = run_reactive(mesh, 2, relay, forced_tx={2: [1, 3]})
+        base = compute_metrics(trace, mesh)
+        loud = compute_metrics(trace, mesh, count_collided_rx_energy=True)
+        assert trace.num_collisions > 0
+        assert loud.energy_j > base.energy_j
+        assert loud.energy_j == pytest.approx(
+            base.energy_j
+            + trace.num_collisions * PAPER_RADIO_MODEL.rx_energy(512))
+
+    def test_custom_model_and_bits(self):
+        mesh = Mesh2D4(4, 1)
+        relay = np.ones(4, dtype=bool)
+        trace = run_reactive(mesh, 0, relay)
+        model = FirstOrderRadioModel(e_elec=1e-6, e_amp=0.0)
+        m = compute_metrics(trace, mesh, model=model, packet_bits=10)
+        assert m.energy_j == pytest.approx(
+            (trace.num_tx + trace.num_rx) * 1e-5)
+
+    def test_as_row(self):
+        mesh = Mesh2D4(4, 1)
+        trace = run_reactive(mesh, 0, np.ones(4, dtype=bool))
+        row = compute_metrics(trace, mesh).as_row()
+        assert row["topology"] == "2D-4"
+        assert row["tx"] == trace.num_tx
+        assert 0 <= row["reachability"] <= 1
