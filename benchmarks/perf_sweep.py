@@ -1,0 +1,155 @@
+"""Sweep-throughput benchmark: serial / cold-cache / warm-cache / parallel.
+
+Times a full source sweep of one topology four ways and writes the
+results to ``BENCH_sweep.json`` (repo root by default):
+
+* ``serial``   — plain in-process sweep, no cache.  This is the number the
+  vectorised engine is judged on against the seed implementation.
+* ``cold``     — serial sweep through a *fresh* on-disk
+  :class:`~repro.core.cache.ScheduleCache` (pays compilation + persist).
+* ``warm``     — the same sweep again with the in-memory tier dropped, so
+  every source is served from the disk cache (replay only, no fixpoint).
+* ``parallel`` — ``workers=N`` process-pool sweep, no cache.
+
+The parallel sweep's metrics are asserted bit-for-bit equal to the serial
+sweep's before anything is written — a benchmark that silently diverged
+from the serial semantics would be measuring the wrong thing.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/perf_sweep.py
+    PYTHONPATH=src python benchmarks/perf_sweep.py \
+        --topology 2D-4 --shape 32 16 --workers 4 --out BENCH_sweep.json
+
+``benchmarks/test_perf_sweep.py`` smoke-tests this module on a small grid
+in tier-2 runs and validates the committed artefact's schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.sweep import sweep_sources
+from repro.core.cache import ScheduleCache
+from repro.core.registry import protocol_for
+from repro.topology.builder import make_topology
+
+SCHEMA = "repro-wsn/bench-sweep/v1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def _timed_sweep(topology, **kwargs):
+    t0 = time.perf_counter()
+    result = sweep_sources(topology, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def run_benchmark(topology_label: str = "2D-4",
+                  shape: Sequence[int] = (32, 16),
+                  workers: int = 2,
+                  cache_dir: Optional[str] = None,
+                  repeats: int = 1) -> dict:
+    """Time the four sweep modes; return the BENCH_sweep.json payload.
+
+    *repeats* > 1 re-times each mode and keeps the fastest run (warm-up
+    noise suppression); the equality check runs on the first pass.
+    """
+    topology = make_topology(topology_label, shape=tuple(shape))
+    protocol = protocol_for(topology)
+    num_sources = topology.num_nodes
+
+    own_tmp = cache_dir is None
+    if own_tmp:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-sched-cache-")
+        cache_dir = tmp.name
+
+    try:
+        entries = {}
+        serial_metrics = None
+        for label in ("serial", "cold", "warm", "parallel"):
+            best = None
+            for rep in range(max(1, repeats)):
+                if label == "serial":
+                    result, secs = _timed_sweep(topology, protocol=protocol)
+                elif label == "cold":
+                    # Fresh disk dir every repeat: always pays compilation.
+                    cold_dir = Path(cache_dir) / f"cold-{rep}"
+                    result, secs = _timed_sweep(
+                        topology, protocol=protocol,
+                        cache=ScheduleCache(cold_dir))
+                elif label == "warm":
+                    warm_dir = Path(cache_dir) / "warm"
+                    if rep == 0:
+                        sweep_sources(topology, protocol=protocol,
+                                      cache=ScheduleCache(warm_dir))
+                    # Fresh instance: empty memory tier, every source is a
+                    # disk hit (replay only, no compile fixpoint).
+                    result, secs = _timed_sweep(
+                        topology, protocol=protocol,
+                        cache=ScheduleCache(warm_dir))
+                else:
+                    result, secs = _timed_sweep(
+                        topology, protocol=protocol, workers=workers)
+                if best is None or secs < best[1]:
+                    best = (result, secs)
+            result, secs = best
+            if label == "serial":
+                serial_metrics = result.metrics
+            else:
+                assert result.metrics == serial_metrics, (
+                    f"{label} sweep diverged from the serial sweep")
+            entries[label] = {
+                "seconds": round(secs, 4),
+                "sources_per_second": round(num_sources / secs, 1),
+            }
+    finally:
+        if own_tmp:
+            tmp.cleanup()
+
+    return {
+        "schema": SCHEMA,
+        "topology": topology_label,
+        "shape": list(shape),
+        "sources": num_sources,
+        "workers": workers,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "entries": entries,
+        "parallel_matches_serial": True,  # asserted above
+        "warm_speedup_vs_cold": round(
+            entries["cold"]["seconds"] / entries["warm"]["seconds"], 2),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--topology", default="2D-4")
+    parser.add_argument("--shape", type=int, nargs="+", default=[32, 16])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        topology_label=args.topology, shape=args.shape,
+        workers=args.workers, repeats=args.repeats)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for label, entry in payload["entries"].items():
+        print(f"{label:>9}: {entry['seconds']:8.3f}s "
+              f"({entry['sources_per_second']:9.1f} sources/s)")
+    print(f"warm speedup vs cold: {payload['warm_speedup_vs_cold']}x")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

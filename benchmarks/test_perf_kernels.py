@@ -8,6 +8,8 @@ import numpy as np
 import pytest
 
 from repro.radio import PAPER_RADIO_MODEL, resolve_slot
+
+pytestmark = pytest.mark.perf
 from repro.sim import replay, run_reactive
 from repro.core import protocol_for
 from repro.topology import Mesh2D8, Mesh3D6, make_topology

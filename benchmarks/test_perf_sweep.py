@@ -1,0 +1,56 @@
+"""Smoke + perf coverage of the sweep-throughput benchmark.
+
+The smoke test is deliberately *not* perf-marked: it runs the benchmark
+end-to-end on a small grid in every tier-2 pass, which exercises the
+parallel==serial equality assertion, the schedule-cache round trip and the
+JSON artefact schema.  The full-size timing run is perf-marked.
+"""
+
+import json
+
+import pytest
+
+from perf_sweep import SCHEMA, run_benchmark
+
+
+def _validate_payload(payload: dict) -> None:
+    assert payload["schema"] == SCHEMA
+    assert payload["parallel_matches_serial"] is True
+    assert set(payload["entries"]) == {"serial", "cold", "warm", "parallel"}
+    for entry in payload["entries"].values():
+        assert entry["seconds"] > 0
+        assert entry["sources_per_second"] > 0
+    assert payload["sources"] > 0
+    assert payload["workers"] >= 1
+
+
+def test_perf_sweep_smoke(tmp_path):
+    payload = run_benchmark(
+        topology_label="2D-4", shape=(8, 6), workers=2,
+        cache_dir=str(tmp_path), repeats=1)
+    _validate_payload(payload)
+    assert payload["topology"] == "2D-4"
+    assert payload["sources"] == 48
+    # The artefact must survive a JSON round trip unchanged.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_perf_sweep_cli_writes_artifact(tmp_path, capsys):
+    from perf_sweep import main
+    out = tmp_path / "bench.json"
+    rc = main(["--topology", "2D-4", "--shape", "6", "4",
+               "--workers", "2", "--repeats", "1", "--out", str(out)])
+    assert rc == 0
+    _validate_payload(json.loads(out.read_text()))
+    assert "parallel" in capsys.readouterr().out
+
+
+@pytest.mark.perf
+def test_perf_sweep_full_size(tmp_path):
+    """Paper-size sweep: the vectorised serial path must stay well clear
+    of the 3x-over-seed acceptance bar (seed serial: ~2.06 s)."""
+    payload = run_benchmark(
+        topology_label="2D-4", shape=(32, 16), workers=2,
+        cache_dir=str(tmp_path), repeats=1)
+    _validate_payload(payload)
+    assert payload["entries"]["serial"]["seconds"] < 2.06 / 3

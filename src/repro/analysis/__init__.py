@@ -6,18 +6,20 @@ from .compare import (PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5,
 from .lifetime import (LifetimeResult, per_node_round_energy,
                        simulate_lifetime)
 from .sensitivity import (SensitivityReport, sensitivity,
-                          sensitivity_table)
+                          sensitivity_sweeps, sensitivity_table)
 from .scaling import ScalingPoint, scaling_curve, shape_for
 from .robustness import (RobustnessPoint, failure_degradation,
                           harden_plan, loss_degradation)
 from .report import (format_number, render_kv, render_paper_comparison,
                      render_table)
-from .sweep import SweepResult, strided_sources, sweep_sources
+from .sweep import (SweepResult, corner_sources, strided_sources,
+                    sweep_sources)
 
 __all__ = [
     "SweepResult",
     "sweep_sources",
     "strided_sources",
+    "corner_sources",
     "SweepCache",
     "table2_ideal",
     "table3_best",
@@ -35,6 +37,7 @@ __all__ = [
     "SensitivityReport",
     "sensitivity",
     "sensitivity_table",
+    "sensitivity_sweeps",
     "ScalingPoint",
     "scaling_curve",
     "shape_for",

@@ -8,8 +8,9 @@ truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..core.cache import ScheduleCache
 from ..core.ideal import ideal_case, ideal_max_delay
 from ..core.registry import protocol_for
 from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
@@ -69,15 +70,25 @@ class SweepCache:
     def compute(cls, stride: int = 1,
                 model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
                 packet_bits: int = PAPER_PACKET_BITS,
-                labels: Sequence[str] = TOPOLOGY_ORDER) -> "SweepCache":
+                labels: Sequence[str] = TOPOLOGY_ORDER,
+                workers: Optional[int] = None,
+                cache: Optional[ScheduleCache] = None) -> "SweepCache":
         """Sweep all four paper topologies (stride > 1 subsamples sources
-        for quick runs; corners are always included)."""
+        for quick runs; all grid corners are always included).
+
+        Tables 3, 4 and 5 each read from the result, so one sweep per
+        topology serves all three.  *workers* fans each sweep out over
+        processes; *cache* (a :class:`~repro.core.cache.ScheduleCache`)
+        reuses compilations across calls and — with ``path=`` — across
+        runs and worker processes.
+        """
         sweeps = {}
         for label in labels:
             topo = paper_topologies()[label]
             sources = None if stride == 1 else strided_sources(topo, stride)
             sweeps[label] = sweep_sources(
-                topo, protocol_for(label), sources, model, packet_bits)
+                topo, protocol_for(label), sources, model, packet_bits,
+                workers=workers, cache=cache)
         return cls(sweeps=sweeps)
 
 

@@ -82,29 +82,47 @@ def scaling_curve(
     protocol: Optional[BroadcastProtocol] = None,
     model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
     packet_bits: int = PAPER_PACKET_BITS,
+    workers: Optional[int] = None,
 ) -> List[ScalingPoint]:
-    """Broadcast cost vs network size for topology *label*."""
+    """Broadcast cost vs network size for topology *label*.
+
+    *workers* >= 2 compiles the sizes in parallel processes; each size is
+    independent and the result order always matches *sizes*, so the curve
+    is identical to the serial one.
+    """
     if sizes is None:
         sizes = DEFAULT_SIZES_3D if label == "3D-6" else DEFAULT_SIZES_2D
-    points = []
-    for target in sizes:
-        shape = shape_for(label, target)
-        topo = make_topology(label, shape=shape)
-        proto = protocol if protocol is not None else protocol_for(label)
-        src = central_source(shape)
-        compiled = proto.compile(topo, src)
-        m = compute_metrics(compiled.trace, topo, model, packet_bits)
-        ideal = ideal_case(topo, model, packet_bits)
-        points.append(ScalingPoint(
-            topology=label,
-            num_nodes=topo.num_nodes,
-            shape=shape,
-            tx=m.tx,
-            rx=m.rx,
-            energy_j=m.energy_j,
-            delay_slots=m.delay_slots,
-            ideal_tx=ideal.tx,
-            ideal_delay=topo.eccentricity(src),
-            reachability=m.reachability,
-        ))
-    return points
+    jobs = [(label, target, protocol, model, packet_bits)
+            for target in sizes]
+    if workers is not None and workers > 1 and len(jobs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_scaling_point, jobs))
+    return [_scaling_point(job) for job in jobs]
+
+
+def _scaling_point(job) -> ScalingPoint:
+    """Measure one (topology label, target size) point.
+
+    Module-level so parallel ``scaling_curve`` can pickle it.
+    """
+    label, target, protocol, model, packet_bits = job
+    shape = shape_for(label, target)
+    topo = make_topology(label, shape=shape)
+    proto = protocol if protocol is not None else protocol_for(label)
+    src = central_source(shape)
+    compiled = proto.compile(topo, src)
+    m = compute_metrics(compiled.trace, topo, model, packet_bits)
+    ideal = ideal_case(topo, model, packet_bits)
+    return ScalingPoint(
+        topology=label,
+        num_nodes=topo.num_nodes,
+        shape=shape,
+        tx=m.tx,
+        rx=m.rx,
+        energy_j=m.energy_j,
+        delay_slots=m.delay_slots,
+        ideal_tx=ideal.tx,
+        ideal_delay=topo.eccentricity(src),
+        reachability=m.reachability,
+    )

@@ -10,12 +10,15 @@ source position by default — and take the extremes.
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.base import BroadcastProtocol
+from ..core.cache import ScheduleCache
 from ..core.registry import protocol_for
 from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
                             FirstOrderRadioModel)
@@ -74,6 +77,8 @@ def sweep_sources(
     model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
     packet_bits: int = PAPER_PACKET_BITS,
     progress: Optional[Callable[[int, int], None]] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ScheduleCache] = None,
 ) -> SweepResult:
     """Compile and simulate a broadcast from each source position.
 
@@ -84,7 +89,22 @@ def sweep_sources(
     sources:
         1-based source coordinates; defaults to *every* node.
     progress:
-        Optional ``(done, total)`` callback for long sweeps.
+        Optional ``(done, total)`` callback for long sweeps.  In parallel
+        mode it fires once per completed chunk (with cumulative counts)
+        rather than per source.
+    workers:
+        ``None`` or ``<= 1`` runs serially in-process.  ``>= 2`` fans the
+        sources out over that many worker processes in contiguous chunks.
+        Compilation is deterministic per source, and results are
+        reassembled in submission order, so the metrics list — and every
+        statistic derived from it — is bit-for-bit identical to the serial
+        sweep regardless of worker count or scheduling.
+    cache:
+        Optional :class:`~repro.core.cache.ScheduleCache`.  Serial sweeps
+        use both tiers; parallel workers share only the *disk* tier (the
+        in-memory tier is per-process), so pass a cache with ``path=`` for
+        cross-run reuse.  The parent's in-memory tier is not populated by
+        parallel workers.
     """
     if protocol is None:
         protocol = protocol_for(topology)
@@ -92,8 +112,24 @@ def sweep_sources(
         sources = [topology.coord(i) for i in range(topology.num_nodes)]
     result = SweepResult(topology=topology.name)
     total = len(sources)
+    if workers is not None and workers > 1 and total > 1:
+        chunks = _chunk(list(sources), workers)
+        cache_path = None if cache is None else cache.path
+        jobs = [(topology, protocol, chunk, model, packet_bits,
+                 None if cache_path is None else str(cache_path))
+                for chunk in chunks]
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # executor.map preserves job order -> deterministic output.
+            for chunk, chunk_metrics in zip(
+                    chunks, pool.map(_sweep_chunk, jobs)):
+                result.metrics.extend(chunk_metrics)
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, total)
+        return result
     for done, src in enumerate(sources, start=1):
-        compiled = protocol.compile(topology, src)
+        compiled = protocol.compile(topology, src, cache=cache)
         result.metrics.append(
             compute_metrics(compiled.trace, topology, model, packet_bits))
         if progress is not None:
@@ -101,17 +137,57 @@ def sweep_sources(
     return result
 
 
+def _chunk(items: List, workers: int) -> List[List]:
+    """Contiguous chunks, ~4 per worker, preserving order."""
+    size = max(1, -(-len(items) // (workers * 4)))
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _sweep_chunk(job) -> List[BroadcastMetrics]:
+    """Worker-process entry point: compile one chunk of sources.
+
+    Module-level (not a closure) so it pickles under every start method.
+    """
+    topology, protocol, chunk, model, packet_bits, cache_path = job
+    cache = None if cache_path is None else ScheduleCache(cache_path)
+    out = []
+    for src in chunk:
+        compiled = protocol.compile(topology, src, cache=cache)
+        out.append(
+            compute_metrics(compiled.trace, topology, model, packet_bits))
+    return out
+
+
+def corner_sources(topology: Topology) -> List:
+    """All extreme-corner coordinates of the grid, in lexicographic order.
+
+    Four corners for the 2D meshes, eight for 3D-6.  The delay/power
+    extremes of Tables 4-5 live at corners, so subsampled sweeps must
+    include every one of them — not only the first/last flattened node.
+    """
+    last = topology.coord(topology.num_nodes - 1)
+    corners = []
+    for coord in itertools.product(*((1, hi) for hi in last)):
+        # Degenerate 1-wide dimensions make product() repeat coordinates.
+        if topology.contains(coord) and coord not in corners:
+            corners.append(coord)
+    return corners
+
+
 def strided_sources(topology: Topology, stride: int) -> List:
     """Every ``stride``-th node coordinate — a cheap sweep grid that still
-    includes the four extreme corners (the delay/power extremes live
-    there)."""
+    includes *all* extreme corners (the delay/power extremes live there).
+
+    The previous implementation appended only the first and last flattened
+    node, silently omitting the two (2D) or six (3D) remaining corners.
+    """
     if stride < 1:
         raise ValueError("stride must be >= 1")
     coords = [topology.coord(i)
               for i in range(0, topology.num_nodes, stride)]
-    first = topology.coord(0)
-    last = topology.coord(topology.num_nodes - 1)
-    for corner in (first, last):
-        if corner not in coords:
+    seen = set(coords)
+    for corner in corner_sources(topology):
+        if corner not in seen:
             coords.append(corner)
+            seen.add(corner)
     return coords

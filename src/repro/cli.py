@@ -30,6 +30,14 @@ def _topology_from_args(args) -> object:
     return make_topology(args.label, shape=shape)
 
 
+def _schedule_cache_from_args(args):
+    path = getattr(args, "cache", None)
+    if path is None:
+        return None
+    from .core import ScheduleCache
+    return ScheduleCache(path)
+
+
 def cmd_topology(args) -> int:
     topo = _topology_from_args(args)
     report = analyze(topo)
@@ -53,7 +61,9 @@ def cmd_table(args) -> int:
             title="Table 2: ideal case (512 nodes)"))
         return 0
     if n in (3, 4, 5):
-        cache = analysis.SweepCache.compute(stride=args.stride)
+        cache = analysis.SweepCache.compute(
+            stride=args.stride, workers=args.workers,
+            cache=_schedule_cache_from_args(args))
         if n == 3:
             rows = analysis.table3_best(cache)
             title = "Table 3: our protocols, best case"
@@ -148,7 +158,8 @@ def cmd_robustness(args) -> int:
 
 def cmd_scaling(args) -> int:
     from .analysis.scaling import scaling_curve
-    points = scaling_curve(args.label, sizes=args.sizes or None)
+    points = scaling_curve(args.label, sizes=args.sizes or None,
+                           workers=args.workers)
     print(analysis.render_table(
         [p.as_row() for p in points],
         ["topology", "nodes", "shape", "tx", "ideal_tx", "tx/ideal",
@@ -176,7 +187,9 @@ def cmd_sweep(args) -> int:
     topo = _topology_from_args(args)
     sources = (None if args.stride == 1
                else analysis.strided_sources(topo, args.stride))
-    sweep = analysis.sweep_sources(topo, sources=sources)
+    sweep = analysis.sweep_sources(
+        topo, sources=sources, workers=args.workers,
+        cache=_schedule_cache_from_args(args))
     best = sweep.best_by_energy()
     worst = sweep.worst_by_energy()
     print(analysis.render_kv([
@@ -229,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int)
     p.add_argument("--stride", type=int, default=8,
                    help="source subsampling for tables 3-5 (1 = exhaustive)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel sweep processes (results identical to "
+                        "serial)")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="schedule-cache directory shared across runs")
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("figure", help="reproduce a paper figure (5-9)")
@@ -254,6 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="broadcast cost vs network size (extension)")
     p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
     p.add_argument("--sizes", type=int, nargs="+", default=None)
+    p.add_argument("--workers", type=int, default=None,
+                   help="compile the sizes in parallel processes")
     p.set_defaults(func=cmd_scaling)
 
     p = sub.add_parser("broadcast", help="compile and show one broadcast")
@@ -267,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
     p.add_argument("--shape", type=int, nargs="+", default=None)
     p.add_argument("--stride", type=int, default=8)
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel sweep processes (results identical to "
+                        "serial)")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="schedule-cache directory shared across runs")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("selfcheck", help="validate topologies and protocols")

@@ -13,6 +13,7 @@ Public surface:
 
 from .alltoall import AllToAllResult, all_to_all
 from .base import BroadcastProtocol, CompiledBroadcast, RelayPlan
+from .cache import ScheduleCache, schedule_cache_key
 from .compiler import CompilationError, compile_broadcast
 from .etr import (OPTIMAL_ETR, diagonal_vs_axis_etr, optimal_etr,
                   optimal_etr_fraction, trace_etrs, transmission_etr)
@@ -34,6 +35,8 @@ __all__ = [
     "RelayPlan",
     "CompilationError",
     "compile_broadcast",
+    "ScheduleCache",
+    "schedule_cache_key",
     "Mesh2D3Protocol",
     "Mesh2D4Protocol",
     "Mesh2D8Protocol",

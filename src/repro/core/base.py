@@ -19,13 +19,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..sim.schedule import BroadcastSchedule
 from ..sim.trace import BroadcastTrace
 from ..topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import ScheduleCache
 
 
 @dataclass
@@ -127,13 +130,21 @@ class BroadcastProtocol(abc.ABC):
         return topology.name == self.name
 
     def compile(self, topology: Topology, source, *,
-                completion: bool = True, repair: bool = True
+                completion: bool = True, repair: bool = True,
+                cache: "Optional[ScheduleCache]" = None
                 ) -> CompiledBroadcast:
         """Compile, simulate and audit a broadcast from *source*.
 
         See :func:`repro.core.compiler.compile_broadcast` for the phase
-        semantics and the *completion* / *repair* switches.
+        semantics and the *completion* / *repair* switches.  Passing a
+        :class:`~repro.core.cache.ScheduleCache` as *cache* reuses a
+        previous compilation of the same ``(topology, source, options)``
+        when one exists, and stores the result otherwise.
         """
+        if cache is not None:
+            return cache.get_or_compile(
+                self, topology, source,
+                completion=completion, repair=repair)
         from .compiler import compile_broadcast
         if not self.supports(topology):
             raise ValueError(

@@ -1,0 +1,214 @@
+"""Compiled-schedule cache (in-memory + optional on-disk).
+
+Compilation is deterministic — the same ``(topology, source, protocol,
+options)`` always produces the same schedule — so sweeps that revisit the
+same sources (Tables 3, 4 and 5 all derive from one full source sweep per
+topology) can reuse one compilation instead of redoing the rule ->
+completion -> repair fixpoint each time.
+
+The cache key is a SHA-256 over the topology *fingerprint* (a digest of
+its CSR adjacency — see :attr:`repro.topology.base.Topology.fingerprint`),
+the 0-based source index, the protocol name, and the compile options.
+Keying on the adjacency digest rather than the topology label means two
+differently-built but identical graphs share entries, while any structural
+change (shape, spacing, wrap-around...) invalidates them.
+
+Two tiers:
+
+* **in-memory** — per-:class:`ScheduleCache` dict holding the full
+  :class:`~repro.core.base.CompiledBroadcast` objects; hits are free.
+* **on-disk** (optional ``path=``) — one JSON file per entry under the
+  cache directory, written atomically (temp file + ``os.replace``).  Disk
+  entries store only the *schedule* plus compile metadata; on a hit the
+  trace is reconstructed by replaying the schedule through the simulation
+  engine, which for a valid compiled schedule reproduces the authoritative
+  trace exactly (replay executes the same transmitter sets in the same
+  slots under the same deterministic collision model).
+
+Worker processes of a parallel sweep can therefore share one disk cache:
+whichever worker compiles a source first persists it, and later runs (the
+"warm" path of ``benchmarks/perf_sweep.py``) skip compilation entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.engine import replay
+from ..sim.schedule import BroadcastSchedule
+from ..topology.base import Topology
+from .base import BroadcastProtocol, CompiledBroadcast
+
+#: Bumped whenever the on-disk entry layout changes; stale-version files
+#: are ignored (treated as misses) rather than mis-parsed.
+DISK_FORMAT_VERSION = 1
+
+
+def schedule_cache_key(topology: Topology, protocol_name: str,
+                       source_index: int, *,
+                       completion: bool = True,
+                       repair: bool = True) -> str:
+    """Deterministic cache key for one compilation."""
+    h = hashlib.sha256()
+    h.update(topology.fingerprint.encode("ascii"))
+    h.update(f"|{protocol_name}|{source_index}"
+             f"|c{int(completion)}|r{int(repair)}".encode("ascii"))
+    return h.hexdigest()
+
+
+class ScheduleCache:
+    """Two-tier cache of compiled broadcast schedules.
+
+    Parameters
+    ----------
+    path:
+        Optional directory for the persistent tier.  Created on first
+        write; entries are one JSON file per key.
+
+    Attributes
+    ----------
+    hits / misses:
+        Counters over this instance's :meth:`get_or_compile` calls
+        (memory and disk hits both count as hits).
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path: Optional[Path] = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists() \
+                and not self.path.is_dir():
+            raise ValueError(
+                f"schedule cache path {self.path} exists and is not a "
+                f"directory")
+        self._mem: Dict[str, CompiledBroadcast] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- public API -------------------------------------------------------
+
+    def get_or_compile(self, protocol: BroadcastProtocol,
+                       topology: Topology, source, *,
+                       completion: bool = True,
+                       repair: bool = True) -> CompiledBroadcast:
+        """Return the cached compilation, or compile and cache it."""
+        source_index = topology.index(source)
+        key = schedule_cache_key(
+            topology, protocol.name, source_index,
+            completion=completion, repair=repair)
+
+        cached = self._mem.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+
+        if self.path is not None:
+            cached = self._load_disk(key, protocol, topology, source)
+            if cached is not None:
+                self._mem[key] = cached
+                self.hits += 1
+                return cached
+
+        self.misses += 1
+        # Plain compile (no cache=) — get_or_compile is the only caching
+        # layer, so the delegation cannot recurse.
+        compiled = protocol.compile(
+            topology, source, completion=completion, repair=repair)
+        self._mem[key] = compiled
+        if self.path is not None:
+            self._store_disk(key, topology, protocol.name, source_index,
+                             completion, repair, compiled)
+        return compiled
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries survive)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    # -- disk tier --------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / f"{key}.json"
+
+    def _store_disk(self, key: str, topology: Topology, protocol_name: str,
+                    source_index: int, completion: bool, repair: bool,
+                    compiled: CompiledBroadcast) -> None:
+        payload = {
+            "version": DISK_FORMAT_VERSION,
+            "key": key,
+            "topology": topology.name,
+            "fingerprint": topology.fingerprint,
+            "protocol": protocol_name,
+            "source_index": source_index,
+            "completion": completion,
+            "repair": repair,
+            "rounds": compiled.rounds,
+            "completions": [list(e) for e in compiled.completions],
+            "repairs": [list(e) for e in compiled.repairs],
+            "schedule": {
+                str(slot): sorted(compiled.schedule.transmitters(slot))
+                for slot in compiled.schedule.active_slots()
+            },
+        }
+        self.path.mkdir(parents=True, exist_ok=True)
+        target = self._entry_path(key)
+        # Atomic publish: concurrent writers (parallel sweep workers) race
+        # benignly — both write identical content, os.replace is atomic.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path), prefix=f".{key[:16]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load_disk(self, key: str, protocol: BroadcastProtocol,
+                   topology: Topology, source) -> Optional[CompiledBroadcast]:
+        target = self._entry_path(key)
+        try:
+            with open(target, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (payload.get("version") != DISK_FORMAT_VERSION
+                or payload.get("key") != key
+                or payload.get("fingerprint") != topology.fingerprint):
+            return None
+
+        schedule = BroadcastSchedule()
+        for slot_str, nodes in payload["schedule"].items():
+            slot = int(slot_str)
+            for v in nodes:
+                schedule.add(slot, int(v))
+        source_index = int(payload["source_index"])
+        # Replaying the stored schedule reproduces the authoritative trace:
+        # identical transmitter sets per slot under the deterministic
+        # collision model yield identical events and first receptions.
+        trace = replay(topology, schedule, source_index)
+        plan = protocol.relay_plan(topology, source)
+        return CompiledBroadcast(
+            topology_name=payload["topology"],
+            source=source_index,
+            schedule=schedule,
+            trace=trace,
+            plan=plan,
+            completions=[_pair(e) for e in payload["completions"]],
+            repairs=[_pair(e) for e in payload["repairs"]],
+            rounds=int(payload["rounds"]),
+        )
+
+
+def _pair(entry: List[int]) -> Tuple[int, int]:
+    node, slot = entry
+    return (int(node), int(slot))

@@ -29,7 +29,7 @@ degenerate cases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -68,9 +68,9 @@ def compile_broadcast(
     completion/repair phases route the wave around them (fault-injection
     extension; the paper assumes a pristine network).
     """
-    n = topology.num_nodes
-    nbr_sets: List[Set[int]] = [
-        set(int(u) for u in topology.neighbor_indices(v)) for v in range(n)]
+    # Memoised on the topology: rebuilding the per-node neighbour sets was
+    # the single biggest fixed cost of a compile call in source sweeps.
+    nbr_sets = topology.neighbor_sets
 
     forced: Dict[int, Set[int]] = {}
     completions: List[Tuple[int, int]] = []
@@ -145,24 +145,31 @@ def _prune_dropped(trace: BroadcastTrace, forced: Dict[int, Set[int]],
                    completions: List[Tuple[int, int]],
                    repairs: List[Tuple[int, int]]) -> None:
     """Remove forced transmissions that could not execute (node uninformed
-    at its slot) so later rounds can re-place them."""
+    at its slot) so later rounds can re-place them.
+
+    Membership runs against a set of the dropped ``(node, slot)`` pairs —
+    a single rebuild filters every occurrence at once, where the previous
+    per-entry ``list.remove`` was an O(n) scan per drop *and* silently
+    left duplicate entries behind.
+    """
+    if not trace.dropped_forced:
+        return
+    dropped = {(node, slot) for slot, node in trace.dropped_forced}
     for slot, node in trace.dropped_forced:
         nodes = forced.get(slot)
         if nodes and node in nodes:
             nodes.discard(node)
             if not nodes:
                 del forced[slot]
-        if (node, slot) in completions:
-            completions.remove((node, slot))
-        if (node, slot) in repairs:
-            repairs.remove((node, slot))
+    completions[:] = [entry for entry in completions if entry not in dropped]
+    repairs[:] = [entry for entry in repairs if entry not in dropped]
 
 
 def _plan_fixes(
     topology: Topology,
     trace: BroadcastTrace,
     forced: Dict[int, Set[int]],
-    nbr_sets: List[Set[int]],
+    nbr_sets: Sequence[frozenset],
     unreached: np.ndarray,
     plan: RelayPlan,
     *,

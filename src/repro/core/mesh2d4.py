@@ -61,22 +61,22 @@ class Mesh2D4Protocol(BroadcastProtocol):
         m, n = topology.m, topology.n
 
         plan = RelayPlan.empty(topology.num_nodes)
+        # Row-major (y, x) view of the flat mask: whole-row / whole-column
+        # rules become slice assignments instead of per-node index() calls.
+        mask2d = plan.relay_mask.reshape(n, m)
 
         # X-axis: the whole source row relays.
-        for x in range(1, m + 1):
-            plan.relay_mask[topology.index((x, j))] = True
+        mask2d[j - 1, :] = True
 
         # Y-axis relay columns every 3, with the border rule.
         cols = relay_columns(m, i)
-        for x in cols:
-            for y in range(1, n + 1):
-                plan.relay_mask[topology.index((x, y))] = True
+        mask2d[:, [x - 1 for x in cols]] = True
 
         # Designated retransmitters on the X axis.
-        repeats: Dict[int, Tuple[int, ...]] = {}
         retrans = retransmitter_columns(m, i)
-        for x in retrans:
-            repeats[topology.index((x, j))] = (1,)
+        row_base = (j - 1) * m
+        repeats: Dict[int, Tuple[int, ...]] = {
+            row_base + (x - 1): (1,) for x in retrans}
         plan.repeat_offsets = repeats
         plan.notes = {
             "source": (i, j),

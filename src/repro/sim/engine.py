@@ -16,15 +16,23 @@ Two execution modes:
 
 Both produce a full :class:`~repro.sim.trace.BroadcastTrace` under the
 collision model of :mod:`repro.radio.channel`.
+
+This is the *vectorised* production path: every slot is resolved by the
+batched :class:`~repro.radio.channel.SlotKernel` (one CSR gather + two
+bincounts, with sender attribution computed for all receivers in the same
+pass), events accumulate into preallocated, geometrically grown numpy
+buffers rather than per-event list appends, and the reactive scheduler
+tracks the maximum scheduled slot instead of rescanning the pending map
+every slot.  The unoptimised oracle lives in :mod:`repro.sim.reference`;
+the differential test-suite proves the two produce identical traces.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
-from ..radio.channel import resolve_slot, unique_transmitter
 from ..radio.impairments import LossProcess
 from ..topology.base import Topology
 from .schedule import BroadcastSchedule
@@ -40,6 +48,41 @@ def _normalize_forced(forced_tx: Optional[Mapping[int, Iterable[int]]]
                 raise ValueError(f"forced slots are 1-based, got {slot}")
             out[int(slot)] = {int(v) for v in nodes}
     return out
+
+
+class _EventLog:
+    """Preallocated, geometrically grown (slot, ...) event buffer.
+
+    Events land in int64 numpy rows during the simulation; the python
+    tuple lists of :class:`BroadcastTrace` are materialised once at the
+    end (``tolist`` converts at C speed), so the hot loop never performs
+    per-event list appends.
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, columns: int, capacity: int = 128) -> None:
+        self._buf = np.empty((capacity, columns), dtype=np.int64)
+        self._len = 0
+
+    def extend(self, slot: int, *columns: np.ndarray) -> None:
+        k = len(columns[0])
+        if k == 0:
+            return
+        need = self._len + k
+        if need > self._buf.shape[0]:
+            grown = np.empty((max(2 * self._buf.shape[0], need),
+                              self._buf.shape[1]), dtype=np.int64)
+            grown[:self._len] = self._buf[:self._len]
+            self._buf = grown
+        rows = self._buf[self._len:need]
+        rows[:, 0] = slot
+        for j, col in enumerate(columns, start=1):
+            rows[:, j] = col
+        self._len = need
+
+    def tuples(self) -> List[tuple]:
+        return list(map(tuple, self._buf[:self._len].tolist()))
 
 
 def run_reactive(
@@ -109,47 +152,69 @@ def run_reactive(
         if (extra_delay < 0).any():
             raise ValueError("extra_delay must be non-negative")
     repeats = dict(repeat_offsets or {})
+    for offs in repeats.values():
+        for off in offs:
+            if off < 1:
+                raise ValueError(f"repeat offsets must be >= 1, got {off}")
     forced = _normalize_forced(forced_tx)
     if max_slots is None:
         # cover the natural wave plus any far-future forced transmissions
         max_slots = max(4 * n + 16, max(forced, default=0) + 2)
 
-    adjacency = topology.adjacency
+    kernel = topology.slot_kernel
     first_rx = np.full(n, -1, dtype=np.int64)
     first_rx[source] = 0
-    trace = BroadcastTrace(num_nodes=n, source=source, first_rx=first_rx)
+    tx_log = _EventLog(2)
+    rx_log = _EventLog(3)
+    coll_log = _EventLog(2)
+    dropped_forced: List[Tuple[int, int]] = []
 
+    alive_mask = None if dead_mask is None else ~dead_mask
     pending: Dict[int, Set[int]] = {}
+    # Every scheduled slot is strictly in the future of the slot that
+    # created it, so tracking the maximum scheduled slot replaces the
+    # O(slots) "any future work?" rescan of the pending/forced maps.
+    horizon = max(forced, default=0)
+
+    repeats_get = repeats.get
+    pending_setdefault = pending.setdefault
 
     def schedule_node(v: int, base_slot: int) -> None:
         """Schedule v's transmission(s) starting at *base_slot*."""
-        pending.setdefault(base_slot, set()).add(v)
-        for off in repeats.get(v, ()):
-            if off < 1:
-                raise ValueError(f"repeat offsets must be >= 1, got {off}")
-            pending.setdefault(base_slot + off, set()).add(v)
+        nonlocal horizon
+        pending_setdefault(base_slot, set()).add(v)
+        last = base_slot
+        for off in repeats_get(v, ()):
+            s = base_slot + off
+            pending_setdefault(s, set()).add(v)
+            if s > last:
+                last = s
+        if last > horizon:
+            horizon = last
 
     schedule_node(source, 1 + int(extra_delay[source]))
 
     t = 0
-    while t < max_slots:
-        future = [s for s in pending if s > t] + [s for s in forced if s > t]
-        if not future:
-            break
+    while t < max_slots and t < horizon:
         t += 1
         tx_set = pending.pop(t, set())
-        for v in forced.pop(t, set()):
+        for v in sorted(forced.pop(t, ())):
             if 0 <= first_rx[v] < t:
                 tx_set.add(v)
             else:
-                trace.dropped_forced.append((t, int(v)))
+                dropped_forced.append((t, int(v)))
         if dead_mask is not None:
             tx_set = {v for v in tx_set if not dead_mask[v]}
         if not tx_set:
             continue
-        _execute_slot(adjacency, t, tx_set, trace, relay_mask, extra_delay,
-                      schedule_node, dead_mask=dead_mask, loss=loss)
-    return trace
+        _execute_slot(kernel, t, tx_set, first_rx,
+                      tx_log, rx_log, coll_log,
+                      relay_mask, extra_delay, schedule_node,
+                      alive_mask=alive_mask, loss=loss)
+    return BroadcastTrace(
+        num_nodes=n, source=source, first_rx=first_rx,
+        tx_events=tx_log.tuples(), rx_events=rx_log.tuples(),
+        collision_events=coll_log.tuples(), dropped_forced=dropped_forced)
 
 
 def replay(topology: Topology, schedule: BroadcastSchedule,
@@ -171,10 +236,13 @@ def replay(topology: Topology, schedule: BroadcastSchedule,
         dead_mask = np.asarray(dead_mask, dtype=bool)
         if dead_mask.shape != (n,):
             raise ValueError(f"dead_mask must have shape ({n},)")
-    adjacency = topology.adjacency
+    kernel = topology.slot_kernel
     first_rx = np.full(n, -1, dtype=np.int64)
     first_rx[source] = 0
-    trace = BroadcastTrace(num_nodes=n, source=source, first_rx=first_rx)
+    tx_log = _EventLog(2)
+    rx_log = _EventLog(3)
+    coll_log = _EventLog(2)
+    alive_mask = None if dead_mask is None else ~dead_mask
     faulty = dead_mask is not None or loss is not None
     for t in schedule.active_slots():
         tx_set = schedule.transmitters(t)
@@ -186,42 +254,43 @@ def replay(topology: Topology, schedule: BroadcastSchedule,
                       if v == source or 0 <= first_rx[v] < t}
         if not tx_set:
             continue
-        _execute_slot(adjacency, t, tx_set, trace,
+        _execute_slot(kernel, t, tx_set, first_rx,
+                      tx_log, rx_log, coll_log,
                       relay_mask=None, extra_delay=None, schedule_node=None,
-                      dead_mask=dead_mask, loss=loss)
-    return trace
+                      alive_mask=alive_mask, loss=loss)
+    return BroadcastTrace(
+        num_nodes=n, source=source, first_rx=first_rx,
+        tx_events=tx_log.tuples(), rx_events=rx_log.tuples(),
+        collision_events=coll_log.tuples())
 
 
-def _execute_slot(adjacency, t: int, tx_set: Set[int],
-                  trace: BroadcastTrace,
+def _execute_slot(kernel, t: int, tx_set: Set[int],
+                  first_rx: np.ndarray,
+                  tx_log: _EventLog, rx_log: _EventLog, coll_log: _EventLog,
                   relay_mask: Optional[np.ndarray],
                   extra_delay: Optional[np.ndarray],
                   schedule_node,
-                  dead_mask: Optional[np.ndarray] = None,
+                  alive_mask: Optional[np.ndarray] = None,
                   loss: Optional["LossProcess"] = None) -> None:
-    """Resolve one slot, update the trace, and (reactive mode) schedule the
+    """Resolve one slot, log its events, and (reactive mode) schedule the
     transmissions of newly informed relays."""
-    n = trace.num_nodes
-    mask = np.zeros(n, dtype=bool)
-    mask[list(tx_set)] = True
-    outcome = resolve_slot(adjacency, mask)
-    received = outcome.received
-    if dead_mask is not None:
-        received = received & ~dead_mask
+    tx_nodes = np.fromiter(tx_set, count=len(tx_set), dtype=np.int64)
+    tx_nodes.sort()
+    _, received, collided, senders = kernel.resolve(tx_nodes)
+    if alive_mask is not None:
+        received &= alive_mask
+        collided &= alive_mask
     if loss is not None:
         received = loss.apply(t, received)
 
-    for v in sorted(tx_set):
-        trace.tx_events.append((t, int(v)))
-    for v in np.nonzero(outcome.collided)[0]:
-        if dead_mask is None or not dead_mask[v]:
-            trace.collision_events.append((t, int(v)))
+    tx_log.extend(t, tx_nodes)
+    coll_log.extend(t, collided.nonzero()[0])
 
-    received_nodes = np.nonzero(received)[0]
-    for v in received_nodes:
-        sender = unique_transmitter(adjacency, mask, int(v))
-        trace.rx_events.append((t, int(v), sender))
-        if trace.first_rx[v] < 0:
-            trace.first_rx[v] = t
-            if relay_mask is not None and relay_mask[v]:
+    rx_nodes = received.nonzero()[0]
+    rx_log.extend(t, rx_nodes, senders[rx_nodes])
+    new_nodes = rx_nodes[first_rx[rx_nodes] < 0]
+    if len(new_nodes):
+        first_rx[new_nodes] = t
+        if relay_mask is not None:
+            for v in new_nodes[relay_mask[new_nodes]]:
                 schedule_node(int(v), t + 1 + int(extra_delay[v]))

@@ -114,8 +114,19 @@ class BroadcastTrace:
 
     def as_schedule(self) -> BroadcastSchedule:
         """The transmissions of this trace as a static schedule."""
-        return BroadcastSchedule.from_events(
-            (slot, node) for slot, node in self.tx_events)
+        # Engine-produced events are already validated (slot >= 1,
+        # node >= 0), so group them straight into the slot map rather than
+        # paying a checked add() per event — compile loops call this once
+        # per fix round.
+        sched = BroadcastSchedule()
+        slot_map = sched._slots
+        for slot, node in self.tx_events:
+            nodes = slot_map.get(slot)
+            if nodes is None:
+                slot_map[slot] = {node}
+            else:
+                nodes.add(node)
+        return sched
 
     def delivery_tree(self) -> Dict[int, int]:
         """Map ``receiver -> transmitter`` of each node's *first* reception.
@@ -135,17 +146,19 @@ class BroadcastTrace:
 
     def tx_count_per_node(self) -> np.ndarray:
         """Number of transmissions performed by every node."""
-        counts = np.zeros(self.num_nodes, dtype=np.int64)
-        for _, node in self.tx_events:
-            counts[node] += 1
-        return counts
+        if not self.tx_events:
+            return np.zeros(self.num_nodes, dtype=np.int64)
+        nodes = np.fromiter((v for _, v in self.tx_events),
+                            count=len(self.tx_events), dtype=np.int64)
+        return np.bincount(nodes, minlength=self.num_nodes)
 
     def rx_count_per_node(self) -> np.ndarray:
         """Number of successful receptions per node (incl. duplicates)."""
-        counts = np.zeros(self.num_nodes, dtype=np.int64)
-        for _, receiver, _ in self.rx_events:
-            counts[receiver] += 1
-        return counts
+        if not self.rx_events:
+            return np.zeros(self.num_nodes, dtype=np.int64)
+        nodes = np.fromiter((r for _, r, _ in self.rx_events),
+                            count=len(self.rx_events), dtype=np.int64)
+        return np.bincount(nodes, minlength=self.num_nodes)
 
     def retransmitting_nodes(self) -> List[int]:
         """Nodes that transmitted more than once (the paper's gray nodes)."""

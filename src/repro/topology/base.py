@@ -17,6 +17,7 @@ machinery is shared and cached here.
 from __future__ import annotations
 
 import abc
+import hashlib
 from functools import cached_property
 from typing import Iterator, List
 
@@ -107,6 +108,48 @@ class Topology(abc.ABC):
     def adjacency(self) -> sparse.csr_matrix:
         """Symmetric boolean CSR adjacency matrix (cached)."""
         return _graph.build_adjacency(self)
+
+    @cached_property
+    def neighbor_sets(self) -> List[frozenset]:
+        """Per-node neighbour sets (frozen, cached).
+
+        The schedule compiler's working representation; building it from
+        the CSR arrays costs a full pass over the graph, so it is computed
+        once per topology instead of once per ``compile_broadcast`` call.
+        """
+        adj = self.adjacency
+        indptr, indices = adj.indptr, adj.indices
+        return [frozenset(indices[indptr[v]:indptr[v + 1]].tolist())
+                for v in range(self.num_nodes)]
+
+    @cached_property
+    def slot_kernel(self):
+        """Batched per-slot collision kernel bound to this adjacency.
+
+        See :class:`repro.radio.channel.SlotKernel`; shared by every
+        simulation over this topology so the CSR arrays are extracted once.
+        """
+        from ..radio.channel import SlotKernel
+        return SlotKernel(self.adjacency)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable hex digest of the graph (class, name, spacing, edges).
+
+        Two topology objects with equal fingerprints are interchangeable
+        for simulation purposes; the compiled-schedule cache uses this as
+        its topology key component so cached schedules survive across
+        processes and sessions.
+        """
+        h = hashlib.sha256()
+        h.update(type(self).__name__.encode())
+        h.update(self.name.encode())
+        h.update(np.int64(self.num_nodes).tobytes())
+        h.update(np.float64(self.spacing).tobytes())
+        adj = self.adjacency
+        h.update(np.asarray(adj.indptr, dtype=np.int64).tobytes())
+        h.update(np.asarray(adj.indices, dtype=np.int64).tobytes())
+        return h.hexdigest()
 
     @cached_property
     def degrees(self) -> np.ndarray:

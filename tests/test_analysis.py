@@ -119,3 +119,76 @@ class TestTables:
         assert delays["3D-6"] == min(delays.values())
         assert delays["2D-8"] < delays["2D-4"]
         assert delays["2D-8"] < delays["2D-3"]
+
+
+class TestCornerSources:
+    def test_2d_has_four(self):
+        from repro.analysis import corner_sources
+        assert corner_sources(Mesh2D4(8, 6)) == [
+            (1, 1), (1, 6), (8, 1), (8, 6)]
+
+    def test_3d_has_eight(self):
+        from repro.analysis import corner_sources
+        topo = make_topology("3D-6", (4, 4, 3))
+        corners = corner_sources(topo)
+        assert len(corners) == 8
+        assert (1, 1, 1) in corners and (4, 4, 3) in corners
+
+    def test_strided_includes_all_corners(self):
+        from repro.analysis import corner_sources
+        mesh = Mesh2D4(8, 6)
+        coords = strided_sources(mesh, 7)
+        for corner in corner_sources(mesh):
+            assert corner in coords
+        assert len(coords) == len(set(coords))
+
+
+class TestParallelSweep:
+    def test_workers_bit_identical(self):
+        from repro.analysis import sweep_sources
+        mesh = Mesh2D4(6, 5)
+        serial = sweep_sources(mesh)
+        for workers in (2, 3):
+            par = sweep_sources(mesh, workers=workers)
+            assert par.metrics == serial.metrics
+
+    def test_workers_one_is_serial(self):
+        from repro.analysis import sweep_sources
+        mesh = Mesh2D4(4, 4)
+        assert (sweep_sources(mesh, workers=1).metrics
+                == sweep_sources(mesh).metrics)
+
+    def test_progress_reports_total(self):
+        from repro.analysis import sweep_sources
+        mesh = Mesh2D4(4, 4)
+        calls = []
+        sweep_sources(mesh, workers=2,
+                      progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (16, 16)
+        assert [d for d, _ in calls] == sorted(d for d, _ in calls)
+
+
+class TestScheduleCacheSweep:
+    def test_cache_reuse_identical_metrics(self, tmp_path):
+        from repro.analysis import sweep_sources
+        from repro.core import ScheduleCache
+        mesh = Mesh2D4(6, 5)
+        plain = sweep_sources(mesh)
+        cache = ScheduleCache(tmp_path / "sched")
+        cold = sweep_sources(mesh, cache=cache)
+        assert cache.misses == mesh.num_nodes and cache.hits == 0
+        warm = sweep_sources(mesh, cache=cache)
+        assert cache.hits == mesh.num_nodes
+        disk_only = sweep_sources(mesh, cache=ScheduleCache(tmp_path / "sched"))
+        assert plain.metrics == cold.metrics == warm.metrics
+        assert plain.metrics == disk_only.metrics
+
+    def test_parallel_with_shared_disk_cache(self, tmp_path):
+        from repro.analysis import sweep_sources
+        from repro.core import ScheduleCache
+        mesh = Mesh2D4(5, 4)
+        cache = ScheduleCache(tmp_path / "sched")
+        par = sweep_sources(mesh, workers=2, cache=cache)
+        assert par.metrics == sweep_sources(mesh).metrics
+        # workers persisted their compilations for later runs
+        assert len(list((tmp_path / "sched").glob("*.json"))) > 0

@@ -1,0 +1,27 @@
+"""The committed BENCH_sweep.json artefact must stay well-formed.
+
+``benchmarks/perf_sweep.py`` regenerates the artefact; this tier-1 check
+only validates its structure (cheap, no timing), so a hand-edited or
+truncated file is caught before it misleads anyone reading the numbers.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+@pytest.mark.skipif(not ARTIFACT.exists(),
+                    reason="BENCH_sweep.json not generated")
+def test_bench_sweep_artifact_well_formed():
+    payload = json.loads(ARTIFACT.read_text())
+    assert payload["schema"] == "repro-wsn/bench-sweep/v1"
+    assert payload["parallel_matches_serial"] is True
+    assert set(payload["entries"]) == {"serial", "cold", "warm", "parallel"}
+    for label, entry in payload["entries"].items():
+        assert entry["seconds"] > 0, label
+        assert entry["sources_per_second"] > 0, label
+    assert payload["sources"] == payload["shape"][0] * payload["shape"][1]
+    assert isinstance(payload["workers"], int) and payload["workers"] >= 1

@@ -117,3 +117,46 @@ class TestInvariants:
             if node == result.source:
                 continue
             assert 0 <= result.trace.first_rx[node] < slot
+
+
+class TestPruneDropped:
+    """Regression: _prune_dropped must remove *every* occurrence of a
+    dropped (node, slot) entry, not just the first (list.remove did)."""
+
+    def _trace_with_drops(self, drops):
+        from repro.sim.trace import BroadcastTrace
+        return BroadcastTrace(
+            num_nodes=4, source=0,
+            first_rx=np.array([0, -1, -1, -1]),
+            dropped_forced=list(drops))
+
+    def test_duplicates_fully_removed(self):
+        from repro.core.compiler import _prune_dropped
+        trace = self._trace_with_drops([(5, 2)])          # (slot, node)
+        forced = {5: {2}, 7: {3}}
+        completions = [(2, 5), (3, 7), (2, 5)]            # (node, slot) dup
+        repairs = [(2, 5), (2, 5)]
+        _prune_dropped(trace, forced, completions, repairs)
+        assert completions == [(3, 7)]
+        assert repairs == []
+        assert forced == {7: {3}}
+
+    def test_noop_without_drops(self):
+        from repro.core.compiler import _prune_dropped
+        trace = self._trace_with_drops([])
+        forced = {3: {1}}
+        completions = [(1, 3)]
+        repairs = []
+        _prune_dropped(trace, forced, completions, repairs)
+        assert forced == {3: {1}} and completions == [(1, 3)]
+
+    def test_slot_entry_survives_other_nodes(self):
+        from repro.core.compiler import _prune_dropped
+        trace = self._trace_with_drops([(4, 1)])
+        forced = {4: {1, 2}}
+        completions = [(1, 4)]
+        repairs = [(2, 4)]
+        _prune_dropped(trace, forced, completions, repairs)
+        assert forced == {4: {2}}
+        assert completions == []
+        assert repairs == [(2, 4)]

@@ -11,7 +11,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import BroadcastSchedule, ReferenceSimulator, replay
+from repro.sim import (BroadcastSchedule, ReferenceSimulator, replay,
+                       run_reactive)
 from repro.topology import Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6
 from repro.core import protocol_for
 
@@ -115,3 +116,128 @@ class TestCompiledSchedules:
         assert_traces_equal(
             replay(mesh, compiled.schedule, src_idx),
             ReferenceSimulator(mesh).replay(compiled.schedule, src_idx))
+
+
+@st.composite
+def reactive_scenario(draw, num_nodes):
+    """Random reactive-wave inputs: relay mask, delays, repeats, forced
+    transmissions, dead nodes and an optional loss process."""
+    source = draw(st.integers(0, num_nodes - 1))
+    relay_mask = np.array(
+        [draw(st.booleans()) for _ in range(num_nodes)], dtype=bool)
+    if draw(st.booleans()):
+        extra_delay = np.array(
+            [draw(st.integers(0, 2)) for _ in range(num_nodes)],
+            dtype=np.int64)
+    else:
+        extra_delay = None
+    repeats = {}
+    for v in draw(st.lists(st.integers(0, num_nodes - 1),
+                           max_size=4, unique=True)):
+        repeats[v] = tuple(sorted(draw(st.lists(
+            st.integers(1, 3), min_size=1, max_size=2, unique=True))))
+    forced = {}
+    for slot in draw(st.lists(st.integers(1, 10), max_size=3, unique=True)):
+        forced[slot] = draw(st.lists(
+            st.integers(0, num_nodes - 1), min_size=1, max_size=3,
+            unique=True))
+    dead = None
+    if draw(st.booleans()):
+        dead = np.zeros(num_nodes, dtype=bool)
+        for v in draw(st.lists(st.integers(0, num_nodes - 1),
+                               max_size=3, unique=True)):
+            if v != source:
+                dead[v] = True
+    loss = None
+    kind = draw(st.sampled_from(["none", "bernoulli", "burst"]))
+    if kind == "bernoulli":
+        from repro.radio.impairments import BernoulliLoss
+        loss = BernoulliLoss(draw(st.sampled_from([0.1, 0.3])),
+                             seed=draw(st.integers(0, 5)))
+    elif kind == "burst":
+        from repro.radio.impairments import BurstLoss
+        loss = BurstLoss(draw(st.sampled_from([0.2, 0.5])),
+                         seed=draw(st.integers(0, 5)))
+    return dict(source=source, relay_mask=relay_mask,
+                extra_delay=extra_delay, repeat_offsets=repeats,
+                forced_tx=forced, dead_mask=dead, loss=loss)
+
+
+def assert_reactive_equal(a, b):
+    assert_traces_equal(a, b)
+    assert a.dropped_forced == b.dropped_forced
+
+
+class TestReactiveDifferential:
+    """run_reactive (vectorised) vs the pure-python reference wave."""
+
+    @pytest.mark.parametrize("cls,shape", [
+        (Mesh2D4, (5, 4)),
+        (Mesh2D8, (4, 4)),
+        (Mesh2D3, (5, 4)),
+        (Mesh3D6, (3, 3, 3)),
+    ])
+    def test_random_scenarios(self, cls, shape):
+        mesh = cls(*shape)
+        ref = ReferenceSimulator(mesh)
+
+        @given(data=st.data())
+        @settings(max_examples=25, deadline=None)
+        def check(data):
+            kw = data.draw(reactive_scenario(mesh.num_nodes))
+            source = kw.pop("source")
+            assert_reactive_equal(
+                run_reactive(mesh, source, **kw),
+                ref.run_reactive(source, **kw))
+
+        check()
+
+    def test_protocol_waves(self):
+        """The actual paper relay plans must match the reference too."""
+        for cls, label, src in [(Mesh2D4, "2D-4", (4, 3)),
+                                (Mesh2D8, "2D-8", (4, 3)),
+                                (Mesh2D3, "2D-3", (4, 3))]:
+            mesh = cls(8, 6)
+            plan = protocol_for(label).relay_plan(mesh, src)
+            src_idx = mesh.index(src)
+            assert_reactive_equal(
+                run_reactive(mesh, src_idx, plan.relay_mask,
+                             extra_delay=plan.extra_delay,
+                             repeat_offsets=plan.repeat_offsets),
+                ReferenceSimulator(mesh).run_reactive(
+                    src_idx, plan.relay_mask,
+                    extra_delay=plan.extra_delay,
+                    repeat_offsets=plan.repeat_offsets))
+
+    def test_dropped_forced_recorded_identically(self):
+        mesh = Mesh2D4(5, 4)
+        src = mesh.index((3, 2))
+        relay = np.zeros(mesh.num_nodes, dtype=bool)
+        # Forced tx by a node that is never informed -> dropped.
+        forced = {2: [mesh.index((1, 4)), mesh.index((5, 4))], 5: [src]}
+        eng = run_reactive(mesh, src, relay, forced_tx=forced)
+        ref = ReferenceSimulator(mesh).run_reactive(
+            src, relay, forced_tx=forced)
+        assert eng.dropped_forced and eng.dropped_forced == ref.dropped_forced
+
+
+class TestFaultyReplayDifferential:
+    """Replay with dead nodes / loss must match the reference too."""
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_dead_and_loss(self, data):
+        from repro.radio.impairments import BernoulliLoss
+        mesh = Mesh2D4(5, 4)
+        sched = data.draw(random_schedule(mesh.num_nodes))
+        src = data.draw(st.integers(0, mesh.num_nodes - 1))
+        dead = np.zeros(mesh.num_nodes, dtype=bool)
+        for v in data.draw(st.lists(st.integers(0, mesh.num_nodes - 1),
+                                    max_size=3, unique=True)):
+            dead[v] = True
+        loss = (BernoulliLoss(0.2, seed=data.draw(st.integers(0, 3)))
+                if data.draw(st.booleans()) else None)
+        assert_traces_equal(
+            replay(mesh, sched, src, dead_mask=dead, loss=loss),
+            ReferenceSimulator(mesh).replay(
+                sched, src, dead_mask=dead, loss=loss))

@@ -1,0 +1,97 @@
+"""Unit tests of the compiled-schedule cache (memory + disk tiers)."""
+
+import json
+
+import pytest
+
+from repro.core import ScheduleCache, protocol_for, schedule_cache_key
+from repro.topology import Mesh2D4
+
+
+@pytest.fixture
+def mesh():
+    return Mesh2D4(8, 6)
+
+
+@pytest.fixture
+def proto():
+    return protocol_for("2D-4")
+
+
+class TestKey:
+    def test_deterministic(self, mesh):
+        a = schedule_cache_key(mesh, "2D-4", 7)
+        b = schedule_cache_key(Mesh2D4(8, 6), "2D-4", 7)
+        assert a == b and len(a) == 64
+
+    def test_varies_by_everything(self, mesh):
+        base = schedule_cache_key(mesh, "2D-4", 7)
+        assert base != schedule_cache_key(mesh, "2D-4", 8)
+        assert base != schedule_cache_key(mesh, "flood", 7)
+        assert base != schedule_cache_key(Mesh2D4(6, 8), "2D-4", 7)
+        assert base != schedule_cache_key(mesh, "2D-4", 7, completion=False)
+        assert base != schedule_cache_key(mesh, "2D-4", 7, repair=False)
+
+
+class TestMemoryTier:
+    def test_hit_returns_same_object(self, mesh, proto):
+        cache = ScheduleCache()
+        a = proto.compile(mesh, (3, 3), cache=cache)
+        b = proto.compile(mesh, (3, 3), cache=cache)
+        assert a is b
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_options_are_separate_entries(self, mesh, proto):
+        cache = ScheduleCache()
+        proto.compile(mesh, (3, 3), cache=cache)
+        proto.compile(mesh, (3, 3), cache=cache,
+                      completion=False, repair=False)
+        assert cache.misses == 2 and len(cache) == 2
+
+
+class TestDiskTier:
+    def test_round_trip_reproduces_trace(self, mesh, proto, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        a = proto.compile(mesh, (1, 1), cache=cache)
+        cache.clear_memory()
+        b = proto.compile(mesh, (1, 1), cache=cache)
+        assert cache.hits == 1
+        assert b.trace.tx_events == a.trace.tx_events
+        assert b.trace.rx_events == a.trace.rx_events
+        assert b.trace.collision_events == a.trace.collision_events
+        assert (b.trace.first_rx == a.trace.first_rx).all()
+        assert b.completions == a.completions
+        assert b.repairs == a.repairs
+        assert b.rounds == a.rounds
+        assert b.schedule._slots == a.schedule._slots
+
+    def test_corrupt_entry_is_a_miss(self, mesh, proto, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        proto.compile(mesh, (2, 2), cache=cache)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{ not json")
+        cache.clear_memory()
+        proto.compile(mesh, (2, 2), cache=cache)
+        assert cache.misses == 2
+
+    def test_stale_version_ignored(self, mesh, proto, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        proto.compile(mesh, (2, 2), cache=cache)
+        entry = next(tmp_path.glob("*.json"))
+        payload = json.loads(entry.read_text())
+        payload["version"] = 999
+        entry.write_text(json.dumps(payload))
+        cache.clear_memory()
+        proto.compile(mesh, (2, 2), cache=cache)
+        assert cache.misses == 2
+
+    def test_fingerprint_mismatch_ignored(self, proto, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        proto.compile(Mesh2D4(8, 6), (2, 2), cache=cache)
+        entry = next(tmp_path.glob("*.json"))
+        payload = json.loads(entry.read_text())
+        payload["fingerprint"] = "0" * 64
+        entry.write_text(json.dumps(payload))
+        cache.clear_memory()
+        proto.compile(Mesh2D4(8, 6), (2, 2), cache=cache)
+        assert cache.misses == 2

@@ -108,3 +108,30 @@ class TestRandomDisk:
             RandomDiskTopology(5, -1, 5, 1.0)
         with pytest.raises(ValueError):
             RandomDiskTopology(5, 5, 5, 0.0)
+
+
+class TestTopologyMemoisation:
+    def test_neighbor_sets_match_adjacency(self):
+        from repro.topology import Mesh2D4
+        mesh = Mesh2D4(5, 4)
+        sets = mesh.neighbor_sets
+        adj = mesh.adjacency
+        for v in range(mesh.num_nodes):
+            expected = frozenset(
+                int(u) for u in adj.indices[adj.indptr[v]:adj.indptr[v + 1]])
+            assert sets[v] == expected
+        # cached_property: the same object comes back.
+        assert mesh.neighbor_sets is sets
+
+    def test_slot_kernel_cached(self):
+        from repro.topology import Mesh2D4
+        mesh = Mesh2D4(4, 4)
+        assert mesh.slot_kernel is mesh.slot_kernel
+
+    def test_fingerprint_stable_and_discriminating(self):
+        from repro.topology import Mesh2D4, Mesh2D8
+        a1, a2 = Mesh2D4(6, 4), Mesh2D4(6, 4)
+        assert a1.fingerprint == a2.fingerprint          # same structure
+        assert a1.fingerprint != Mesh2D4(4, 6).fingerprint   # shape
+        assert a1.fingerprint != Mesh2D8(6, 4).fingerprint   # degree rule
+        assert len(a1.fingerprint) == 64                 # sha256 hex
