@@ -1,0 +1,58 @@
+"""Smoke + perf coverage of the robustness-sweep benchmark.
+
+The smoke test is deliberately *not* perf-marked: it runs the benchmark
+end-to-end on a small grid in every tier-2 pass, which exercises the
+batched == serial equality assertion and the JSON artefact schema.  The
+full-size timing run (the ISSUE's >= 3x acceptance bar) is perf-marked.
+"""
+
+import json
+
+import pytest
+
+from perf_robustness import SCHEMA, run_benchmark
+
+
+def _validate_payload(payload: dict) -> None:
+    assert payload["schema"] == SCHEMA
+    assert payload["batched_matches_serial"] is True
+    assert set(payload["entries"]) == {"serial", "batched", "parallel"}
+    for entry in payload["entries"].values():
+        assert entry["seconds"] > 0
+        assert entry["simulations_per_second"] > 0
+    assert payload["simulations"] == \
+        len(payload["loss_rates"]) * payload["trials"]
+    assert payload["workers"] >= 1
+    assert payload["batched_speedup_vs_serial"] > 0
+
+
+def test_perf_robustness_smoke():
+    payload = run_benchmark(
+        topology_label="2D-4", shape=(8, 6),
+        loss_rates=(0.0, 0.1, 0.2), trials=4, workers=2, repeats=1)
+    _validate_payload(payload)
+    assert payload["topology"] == "2D-4"
+    # The artefact must survive a JSON round trip unchanged.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_perf_robustness_cli_writes_artifact(tmp_path, capsys):
+    from perf_robustness import main
+    out = tmp_path / "bench.json"
+    rc = main(["--topology", "2D-4", "--shape", "6", "4",
+               "--loss-rates", "0", "0.1", "--trials", "2",
+               "--workers", "2", "--repeats", "1", "--out", str(out)])
+    assert rc == 0
+    _validate_payload(json.loads(out.read_text()))
+    assert "batched speedup" in capsys.readouterr().out
+
+
+@pytest.mark.perf
+def test_perf_robustness_full_size():
+    """ISSUE acceptance bar: on the paper-size 2D-4 grid, 8 loss rates x
+    32 trials, the batched engine must beat the serial trial loop >= 3x."""
+    payload = run_benchmark(
+        topology_label="2D-4", shape=(32, 16), trials=32,
+        workers=2, repeats=1)
+    _validate_payload(payload)
+    assert payload["batched_speedup_vs_serial"] >= 3.0

@@ -5,7 +5,7 @@ from .compare import (PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5,
                       table4_worst, table5_delay)
 from .lifetime import (LifetimeResult, per_node_round_energy,
                        simulate_lifetime)
-from .sensitivity import (SensitivityReport, sensitivity,
+from .sensitivity import (SensitivityReport, loss_sensitivity, sensitivity,
                           sensitivity_sweeps, sensitivity_table)
 from .scaling import ScalingPoint, scaling_curve, shape_for
 from .robustness import (RobustnessPoint, failure_degradation,
@@ -38,6 +38,7 @@ __all__ = [
     "sensitivity",
     "sensitivity_table",
     "sensitivity_sweeps",
+    "loss_sensitivity",
     "ScalingPoint",
     "scaling_curve",
     "shape_for",

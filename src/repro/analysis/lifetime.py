@@ -19,15 +19,19 @@ burden; a fixed source exhausts its own row/column relays first.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 import numpy as np
 
 from ..core.base import BroadcastProtocol
+from ..core.cache import ScheduleCache
 from ..core.registry import protocol_for
 from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
                             FirstOrderRadioModel)
+from ..radio.impairments import BernoulliBatchLoss, trial_seeds
+from ..sim.engine import replay_batch
 from ..topology.base import Topology
 
 
@@ -63,16 +67,48 @@ class LifetimeResult:
 def per_node_round_energy(topology: Topology, source,
                           protocol: Optional[BroadcastProtocol] = None,
                           model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
-                          packet_bits: int = PAPER_PACKET_BITS) -> np.ndarray:
-    """Energy each node spends in one broadcast from *source* (joules)."""
+                          packet_bits: int = PAPER_PACKET_BITS,
+                          cache: Optional[ScheduleCache] = None,
+                          loss_rate: Optional[float] = None,
+                          loss_trials: int = 16,
+                          seed: int = 0) -> np.ndarray:
+    """Energy each node spends in one broadcast from *source* (joules).
+
+    With *loss_rate* set, the compiled schedule is replayed under that
+    Bernoulli channel for *loss_trials* batched Monte-Carlo trials
+    (:func:`~repro.sim.engine.replay_batch`) and the *expected* per-node
+    cost is returned: lossy rounds are cheaper in Tx (uninformed nodes
+    cannot forward) but buy correspondingly less coverage.  *cache* is
+    the schedule cache used for the compilation.
+    """
     if protocol is None:
         protocol = protocol_for(topology)
-    compiled = protocol.compile(topology, source)
-    tx_counts = compiled.trace.tx_count_per_node().astype(np.float64)
-    rx_counts = compiled.trace.rx_count_per_node().astype(np.float64)
+    compiled = protocol.compile(topology, source, cache=cache)
+    if loss_rate is None:
+        tx_counts = compiled.trace.tx_count_per_node().astype(np.float64)
+        rx_counts = compiled.trace.rx_count_per_node().astype(np.float64)
+    else:
+        seeds = trial_seeds(seed, loss_rate, loss_trials)
+        s = replay_batch(topology, compiled.schedule,
+                         topology.index(source),
+                         loss=BernoulliBatchLoss(loss_rate, seeds),
+                         summary=True)
+        tx_counts = s.tx_count.mean(axis=0)
+        rx_counts = s.rx_count.mean(axis=0)
     e_tx = model.tx_energy(packet_bits, topology.tx_range())
     e_rx = model.rx_energy(packet_bits)
     return tx_counts * e_tx + rx_counts * e_rx
+
+
+def _round_energy_job(job) -> np.ndarray:
+    """Worker-process entry point: cost vector of one distinct source."""
+    (topology, src, protocol, model, packet_bits, cache_path,
+     loss_rate, loss_trials, seed) = job
+    cache = None if cache_path is None else ScheduleCache(cache_path)
+    return per_node_round_energy(topology, src, protocol, model,
+                                 packet_bits, cache=cache,
+                                 loss_rate=loss_rate,
+                                 loss_trials=loss_trials, seed=seed)
 
 
 def simulate_lifetime(
@@ -83,23 +119,48 @@ def simulate_lifetime(
     model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
     packet_bits: int = PAPER_PACKET_BITS,
     max_rounds: int = 100_000,
+    workers: Optional[int] = None,
+    cache: Optional[ScheduleCache] = None,
+    loss_rate: Optional[float] = None,
+    loss_trials: int = 16,
+    seed: int = 0,
 ) -> LifetimeResult:
     """Run broadcast rounds until the first node dies or *max_rounds*.
 
     *sources* is cycled; per-source round costs are compiled once and
     cached, so long lifetimes cost one compile per distinct source.
+    ``workers`` compiles the distinct sources in parallel processes
+    (sharing the disk tier of *cache*, like
+    :func:`~repro.analysis.sweep.sweep_sources`); *loss_rate* switches
+    the per-round cost to the batched Monte-Carlo expectation under a
+    Bernoulli channel (see :func:`per_node_round_energy`).
     """
     if battery_j <= 0:
         raise ValueError("battery_j must be positive")
     source_list: List = list(sources)
     if not source_list:
         raise ValueError("need at least one source")
-    costs = {}
+    distinct: List = []
+    seen = set()
     for src in source_list:
         key = tuple(src)
-        if key not in costs:
-            costs[key] = per_node_round_energy(
-                topology, src, protocol, model, packet_bits)
+        if key not in seen:
+            seen.add(key)
+            distinct.append(src)
+    costs = {}
+    if workers is not None and workers > 1 and len(distinct) > 1:
+        cache_path = None if cache is None else str(cache.path)
+        jobs = [(topology, src, protocol, model, packet_bits, cache_path,
+                 loss_rate, loss_trials, seed) for src in distinct]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for src, cost in zip(distinct, pool.map(_round_energy_job,
+                                                    jobs)):
+                costs[tuple(src)] = cost
+    else:
+        for src in distinct:
+            costs[tuple(src)] = per_node_round_energy(
+                topology, src, protocol, model, packet_bits, cache=cache,
+                loss_rate=loss_rate, loss_trials=loss_trials, seed=seed)
 
     residual = np.full(topology.num_nodes, battery_j, dtype=np.float64)
     spent = np.zeros(topology.num_nodes, dtype=np.float64)

@@ -14,21 +14,39 @@ The paper compiles schedules for a perfect channel.  This module measures
 
 These are extensions beyond the paper (clearly labelled as such in
 EXPERIMENTS.md), built on the same engine and audit machinery.
+
+Monte-Carlo execution is **trial-batched** by default: all trials of one
+sweep point advance together through
+:func:`~repro.sim.engine.run_reactive_batch` /
+:func:`~repro.sim.engine.replay_batch` in ``summary`` mode, with the
+per-trial Bernoulli channels realised by the vectorised counter-based RNG
+(:class:`~repro.radio.impairments.BernoulliBatchLoss`).  ``engine=
+"serial"`` runs the same per-trial seeds through the one-trial engine and
+produces *identical* points — that equivalence is asserted by the test
+suite and by ``benchmarks/perf_robustness.py`` before it publishes
+timings.  Sweep points fan out over processes via ``workers=`` exactly
+like :func:`~repro.analysis.sweep.sweep_sources`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.base import BroadcastProtocol, RelayPlan
+from ..core.cache import ScheduleCache
 from ..core.compiler import compile_broadcast
 from ..core.registry import protocol_for
-from ..radio.impairments import BernoulliLoss, random_dead_mask
-from ..sim.engine import replay, run_reactive
+from ..radio.impairments import (BernoulliBatchLoss, CounterBernoulliLoss,
+                                 random_dead_mask, trial_seeds)
+from ..sim.engine import (replay, replay_batch, run_reactive,
+                          run_reactive_batch)
 from ..topology.base import Topology
+
+_ENGINES = ("batch", "serial")
 
 
 @dataclass(frozen=True)
@@ -75,6 +93,87 @@ def harden_plan(plan: RelayPlan, repeats: int) -> RelayPlan:
     return hardened
 
 
+def _check_engine(engine: str) -> None:
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of "
+                         f"{_ENGINES}")
+
+
+def _point(parameter: float, reaches: np.ndarray,
+           txs: np.ndarray) -> RobustnessPoint:
+    return RobustnessPoint(
+        parameter=float(parameter), trials=len(reaches),
+        mean_reachability=float(np.mean(reaches)),
+        min_reachability=float(np.min(reaches)),
+        mean_tx=float(np.mean(txs)))
+
+
+def _chunk(items: List, workers: int) -> List[List]:
+    """Contiguous chunks, ~2 per worker, preserving order."""
+    size = max(1, -(-len(items) // (workers * 2)))
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _fan_out(points_fn, parameters: Sequence, workers: Optional[int],
+             job_builder, worker_fn) -> List[RobustnessPoint]:
+    """Run *points_fn* over *parameters*, optionally across processes.
+
+    Results are reassembled in submission order, so the parallel curve is
+    identical to the serial one regardless of worker count.
+    """
+    params = list(parameters)
+    if workers is not None and workers > 1 and len(params) > 1:
+        chunks = _chunk(params, workers)
+        points: List[RobustnessPoint] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk_points in pool.map(
+                    worker_fn, [job_builder(chunk) for chunk in chunks]):
+                points.extend(chunk_points)
+        return points
+    return [points_fn(p) for p in params]
+
+
+# ---------------------------------------------------------------------------
+# Loss degradation
+# ---------------------------------------------------------------------------
+
+def _loss_point(topology: Topology, src: int, plan: RelayPlan,
+                p: float, trials: int, seed: int,
+                engine: str) -> RobustnessPoint:
+    """One loss-rate point: *trials* Bernoulli channels, batched or not.
+
+    The per-trial seeds mix the loss rate into the stream
+    (:func:`~repro.radio.impairments.trial_seeds`), so every point of the
+    curve draws independent randomness.
+    """
+    seeds = trial_seeds(seed, p, trials)
+    if engine == "batch":
+        s = run_reactive_batch(
+            topology, src, plan.relay_mask,
+            extra_delay=plan.extra_delay,
+            repeat_offsets=plan.repeat_offsets,
+            loss=BernoulliBatchLoss(p, seeds), summary=True)
+        return _point(p, s.reachability, s.num_tx)
+    reaches = np.empty(trials)
+    txs = np.empty(trials)
+    for b in range(trials):
+        trace = run_reactive(
+            topology, src, plan.relay_mask,
+            extra_delay=plan.extra_delay,
+            repeat_offsets=plan.repeat_offsets,
+            loss=CounterBernoulliLoss(p, int(seeds[b])))
+        reaches[b] = trace.reachability
+        txs[b] = trace.num_tx
+    return _point(p, reaches, txs)
+
+
+def _loss_chunk(job) -> List[RobustnessPoint]:
+    """Worker-process entry point for parallel loss sweeps."""
+    topology, src, plan, rates, trials, seed, engine = job
+    return [_loss_point(topology, src, plan, p, trials, seed, engine)
+            for p in rates]
+
+
 def loss_degradation(
     topology: Topology,
     source,
@@ -83,6 +182,8 @@ def loss_degradation(
     protocol: Optional[BroadcastProtocol] = None,
     harden: int = 0,
     seed: int = 0,
+    workers: Optional[int] = None,
+    engine: str = "batch",
 ) -> List[RobustnessPoint]:
     """Reachability of the (optionally hardened) protocol under Bernoulli
     loss, per loss rate.
@@ -90,30 +191,82 @@ def loss_degradation(
     The wave is re-run reactively under each lossy channel (relays fire
     on their *actual* first reception), which is how a real deployment
     would behave; no recompilation knowledge of the losses is assumed.
+
+    All trials of one loss rate run as one batch through
+    :func:`~repro.sim.engine.run_reactive_batch` (``engine="batch"``,
+    the default); ``engine="serial"`` runs the identical per-trial seeds
+    through the one-trial engine and yields the same points.  ``workers``
+    fans the loss rates out over processes, order-preserving.
     """
+    _check_engine(engine)
     if protocol is None:
         protocol = protocol_for(topology)
     plan = harden_plan(protocol.relay_plan(topology, source), harden)
     src = topology.index(source)
-    points = []
-    for p in loss_rates:
-        reaches = []
-        txs = []
-        for trial in range(trials):
-            loss = BernoulliLoss(p, seed=seed * 1000 + trial)
-            trace = run_reactive(
-                topology, src, plan.relay_mask,
-                extra_delay=plan.extra_delay,
-                repeat_offsets=plan.repeat_offsets,
-                loss=loss)
-            reaches.append(trace.reachability)
-            txs.append(trace.num_tx)
-        points.append(RobustnessPoint(
-            parameter=float(p), trials=trials,
-            mean_reachability=float(np.mean(reaches)),
-            min_reachability=float(np.min(reaches)),
-            mean_tx=float(np.mean(txs))))
-    return points
+
+    def job_builder(chunk):
+        return (topology, src, plan, chunk, trials, seed, engine)
+
+    return _fan_out(
+        lambda p: _loss_point(topology, src, plan, p, trials, seed, engine),
+        loss_rates, workers, job_builder, _loss_chunk)
+
+
+# ---------------------------------------------------------------------------
+# Failure degradation
+# ---------------------------------------------------------------------------
+
+def _failure_dead_masks(topology: Topology, k: int, trials: int,
+                        seed: int, src: int) -> np.ndarray:
+    """(trials, n) stack of per-trial failure masks for one sweep point,
+    seeded with the failure count mixed in (decorrelated across points)."""
+    seeds = trial_seeds(seed, float(k), trials)
+    return np.stack([
+        random_dead_mask(topology, k, seed=int(s), protect=[src])
+        for s in seeds])
+
+
+def _failure_point(topology: Topology, source, src: int,
+                   baseline_schedule, plan: Optional[RelayPlan],
+                   k: int, trials: int, seed: int, recompile: bool,
+                   engine: str) -> RobustnessPoint:
+    dead_masks = _failure_dead_masks(topology, k, trials, seed, src)
+    live = ~dead_masks
+    if recompile:
+        # Per-trial compilation cannot batch (each trial compiles a
+        # different schedule), but the invariant relay plan is computed
+        # once by the caller rather than once per trial.
+        reaches = np.empty(trials)
+        txs = np.empty(trials)
+        for b in range(trials):
+            compiled = compile_broadcast(topology, src, plan,
+                                         dead_mask=dead_masks[b])
+            reached = (compiled.trace.first_rx >= 0) & live[b]
+            reaches[b] = float(reached.sum()) / float(live[b].sum())
+            txs[b] = compiled.trace.num_tx
+        return _point(k, reaches, txs)
+    if engine == "batch":
+        s = replay_batch(topology, baseline_schedule, src,
+                         dead_masks=dead_masks, summary=True)
+        return _point(k, s.live_reachability(dead_masks), s.num_tx)
+    reaches = np.empty(trials)
+    txs = np.empty(trials)
+    for b in range(trials):
+        trace = replay(topology, baseline_schedule, src,
+                       dead_mask=dead_masks[b])
+        reached = (trace.first_rx >= 0) & live[b]
+        reaches[b] = float(reached.sum()) / float(live[b].sum())
+        txs[b] = trace.num_tx
+    return _point(k, reaches, txs)
+
+
+def _failure_chunk(job) -> List[RobustnessPoint]:
+    """Worker-process entry point for parallel failure sweeps."""
+    (topology, source, src, schedule, plan, counts, trials, seed,
+     recompile, engine) = job
+    return [_failure_point(topology, source, src, schedule, plan, k,
+                           trials, seed, recompile, engine)
+            for k in counts]
 
 
 def failure_degradation(
@@ -124,6 +277,9 @@ def failure_degradation(
     protocol: Optional[BroadcastProtocol] = None,
     recompile: bool = False,
     seed: int = 0,
+    workers: Optional[int] = None,
+    cache: Optional[ScheduleCache] = None,
+    engine: str = "batch",
 ) -> List[RobustnessPoint]:
     """Live-node reachability after k random node deaths.
 
@@ -131,34 +287,31 @@ def failure_degradation(
     the corpses (failures unknown to the protocol);  ``recompile=True``
     recompiles with the failures known, letting completion/repair route
     around them.  Reachability is measured over surviving nodes only.
+
+    The static branch replays all trials of one failure count as a batch
+    (:func:`~repro.sim.engine.replay_batch`); the recompile branch
+    compiles per trial (each trial yields a different schedule) but the
+    invariant relay plan is computed once.  ``workers`` fans the failure
+    counts out over processes; *cache* is the schedule cache used for the
+    baseline compilation.
     """
+    _check_engine(engine)
     if protocol is None:
         protocol = protocol_for(topology)
     src = topology.index(source)
-    baseline = protocol.compile(topology, source)
-    points = []
-    for k in failure_counts:
-        reaches = []
-        txs = []
-        for trial in range(trials):
-            dead = random_dead_mask(topology, k,
-                                    seed=seed * 1000 + 31 * trial,
-                                    protect=[src])
-            if recompile:
-                plan = protocol.relay_plan(topology, source)
-                compiled = compile_broadcast(topology, src, plan,
-                                             dead_mask=dead)
-                trace = compiled.trace
-            else:
-                trace = replay(topology, baseline.schedule, src,
-                               dead_mask=dead)
-            live = ~dead
-            reached = (trace.first_rx >= 0) & live
-            reaches.append(float(reached.sum()) / float(live.sum()))
-            txs.append(trace.num_tx)
-        points.append(RobustnessPoint(
-            parameter=float(k), trials=trials,
-            mean_reachability=float(np.mean(reaches)),
-            min_reachability=float(np.min(reaches)),
-            mean_tx=float(np.mean(txs))))
-    return points
+    if recompile:
+        plan = protocol.relay_plan(topology, source)
+        baseline_schedule = None
+    else:
+        plan = None
+        baseline_schedule = protocol.compile(topology, source,
+                                             cache=cache).schedule
+
+    def job_builder(chunk):
+        return (topology, source, src, baseline_schedule, plan, chunk,
+                trials, seed, recompile, engine)
+
+    return _fan_out(
+        lambda k: _failure_point(topology, source, src, baseline_schedule,
+                                 plan, k, trials, seed, recompile, engine),
+        failure_counts, workers, job_builder, _failure_chunk)

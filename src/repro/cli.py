@@ -128,23 +128,30 @@ def cmd_figure(args) -> int:
     return 0
 
 
-def cmd_robustness(args) -> int:
-    topo = _topology_from_args(args)
-    source = tuple(args.source) if args.source else tuple(
+def _default_center_source(topo):
+    return tuple(
         max(1, s // 2) for s in (
             (topo.m, topo.n, topo.l) if topo.dims == 3
             else (topo.m, topo.n)))
+
+
+def cmd_robustness(args) -> int:
+    topo = _topology_from_args(args)
+    source = (tuple(args.source) if args.source
+              else _default_center_source(topo))
     rows = []
     for p in analysis.loss_degradation(
             topo, source, args.loss_rates, trials=args.trials,
-            harden=args.harden):
+            harden=args.harden, seed=args.seed, workers=args.workers,
+            engine=args.engine):
         rows.append({"impairment": f"loss p={p.parameter}",
                      "mean reach": round(p.mean_reachability, 3),
                      "min reach": round(p.min_reachability, 3),
                      "mean tx": round(p.mean_tx, 1)})
     for p in analysis.failure_degradation(
             topo, source, args.failures, trials=args.trials,
-            recompile=args.recompile):
+            recompile=args.recompile, seed=args.seed, workers=args.workers,
+            cache=_schedule_cache_from_args(args), engine=args.engine):
         mode = "recompiled" if args.recompile else "static"
         rows.append({"impairment": f"{int(p.parameter)} dead ({mode})",
                      "mean reach": round(p.mean_reachability, 3),
@@ -153,6 +160,33 @@ def cmd_robustness(args) -> int:
     print(analysis.render_table(
         rows, ["impairment", "mean reach", "min reach", "mean tx"],
         title=f"robustness of {topo.name} broadcast from {source}"))
+    return 0
+
+
+def cmd_lifetime(args) -> int:
+    topo = _topology_from_args(args)
+    sources = ([tuple(args.source)] if args.source
+               else [_default_center_source(topo)])
+    if args.rotate:
+        sources = sources + [tuple(c)
+                             for c in analysis.corner_sources(topo)]
+    res = analysis.simulate_lifetime(
+        topo, sources, battery_j=args.battery,
+        max_rounds=args.max_rounds, workers=args.workers,
+        cache=_schedule_cache_from_args(args),
+        loss_rate=args.loss, loss_trials=args.trials, seed=args.seed)
+    channel = ("perfect" if args.loss is None
+               else f"Bernoulli p={args.loss} ({args.trials} trials)")
+    print(analysis.render_kv([
+        ("topology", topo.name),
+        ("sources (cycled)", len(sources)),
+        ("channel", channel),
+        ("rounds completed", res.rounds_completed),
+        ("survived budget", res.survived_all_rounds),
+        ("first death", res.first_death_node or "-"),
+        ("energy imbalance", round(res.energy_imbalance(), 2)),
+        ("mean residual J", f"{float(res.residual_energy_j.mean()):.3e}"),
+    ], title=f"lifetime: {topo.name} battery={args.battery} J"))
     return 0
 
 
@@ -266,7 +300,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--harden", type=int, default=0)
     p.add_argument("--recompile", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["batch", "serial"],
+                   default="batch",
+                   help="trial execution: batched Monte-Carlo (default) or "
+                        "the equivalent serial per-trial loop")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan sweep points out over processes (results "
+                        "identical to serial)")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="schedule-cache directory shared across runs")
     p.set_defaults(func=cmd_robustness)
+
+    p = sub.add_parser("lifetime",
+                       help="repeated-broadcast lifetime (extension)")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.add_argument("--source", type=int, nargs="+", default=None)
+    p.add_argument("--rotate", action="store_true",
+                   help="also cycle broadcasts through the corner sources "
+                        "(LEACH-style load spreading)")
+    p.add_argument("--battery", type=float, default=2e-3,
+                   help="per-node energy budget in joules")
+    p.add_argument("--max-rounds", type=int, default=100_000)
+    p.add_argument("--loss", type=float, default=None,
+                   help="Bernoulli loss rate: per-round cost becomes the "
+                        "batched Monte-Carlo expectation")
+    p.add_argument("--trials", type=int, default=16,
+                   help="Monte-Carlo trials per source when --loss is set")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="compile distinct sources in parallel processes")
+    p.add_argument("--cache", metavar="DIR", default=None,
+                   help="schedule-cache directory shared across runs")
+    p.set_defaults(func=cmd_lifetime)
 
     p = sub.add_parser("scaling",
                        help="broadcast cost vs network size (extension)")

@@ -1,9 +1,12 @@
 """Radio substrate: energy model, packets, channel collision semantics."""
 
-from .channel import SlotOutcome, resolve_slot, unique_transmitter
-from .impairments import (BernoulliLoss, BurstLoss, LossProcess,
-                          PerfectChannel, dead_mask_from_coords,
-                          random_dead_mask)
+from .channel import SlotKernel, SlotOutcome, resolve_slot, unique_transmitter
+from .impairments import (BatchLoss, BernoulliBatchLoss, BernoulliLoss,
+                          BurstBatchLoss, BurstLoss, CounterBernoulliLoss,
+                          CounterBurstLoss, LossProcess, PerTrialBatchLoss,
+                          PerfectChannel, counter_uniforms,
+                          dead_mask_from_coords, random_dead_mask,
+                          trial_seeds)
 from .energy import (E_AMP_J_PER_BIT_M2, E_ELEC_J_PER_BIT, PAPER_PACKET_BITS,
                      PAPER_RADIO_MODEL, PAPER_SPACING_M, FirstOrderRadioModel,
                      TwoRayRadioModel)
@@ -22,6 +25,15 @@ __all__ = [
     "PerfectChannel",
     "BernoulliLoss",
     "BurstLoss",
+    "CounterBernoulliLoss",
+    "CounterBurstLoss",
+    "BatchLoss",
+    "BernoulliBatchLoss",
+    "BurstBatchLoss",
+    "PerTrialBatchLoss",
+    "counter_uniforms",
+    "trial_seeds",
+    "SlotKernel",
     "dead_mask_from_coords",
     "random_dead_mask",
     "E_AMP_J_PER_BIT_M2",

@@ -94,8 +94,9 @@ class SlotKernel:
         self.num_nodes = int(adjacency.shape[0])
         self._indptr = adjacency.indptr.astype(np.int64)
         self._indices = adjacency.indices.astype(np.int64)
-        # Scratch buffer reused across resolve() calls (see below).
+        # Scratch buffers reused across resolve()/resolve_batch() calls.
         self._senders = np.empty(self.num_nodes, dtype=np.int64)
+        self._batch_senders = None
 
     def resolve(self, tx_nodes: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -141,6 +142,55 @@ class SlotKernel:
         # Half-duplex: transmitters hear nothing.
         received[tx_nodes] = False
         collided[tx_nodes] = False
+        return heard, received, collided, senders
+
+    def resolve_batch(self, tx_nodes: np.ndarray, tx_trials: np.ndarray,
+                      trials: int
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+        """Resolve one slot for *trials* independent trials at once.
+
+        ``(tx_trials[i], tx_nodes[i])`` are the (trial, node) transmission
+        pairs of the slot across the whole batch.  The physics is the same
+        as :meth:`resolve` applied per trial, but all trials share a
+        single CSR row gather and a single flattened 2-D ``bincount``: a
+        neighbour hit of trial *b* lands in bin ``b * n + neighbour``, so
+        the reshaped ``(B, n)`` counts keep every trial's airspace
+        independent.
+
+        Returns ``(heard, received, collided, senders)``, each of shape
+        ``(trials, num_nodes)``.  As with :meth:`resolve`, ``senders`` is
+        only meaningful where ``received`` is True and is a scratch buffer
+        reused by the next ``resolve_batch`` call of the same batch size.
+        """
+        tx_nodes = np.asarray(tx_nodes, dtype=np.int64)
+        tx_trials = np.asarray(tx_trials, dtype=np.int64)
+        n = self.num_nodes
+        senders = self._batch_senders
+        if senders is None or senders.shape[0] != trials:
+            senders = np.empty((trials, n), dtype=np.int64)
+            self._batch_senders = senders
+        starts = self._indptr[tx_nodes]
+        counts = self._indptr[tx_nodes + 1] - starts
+        total = int(counts.sum())
+        if total:
+            out_starts = counts.cumsum() - counts
+            pos = (np.arange(total, dtype=np.int64)
+                   - out_starts.repeat(counts)
+                   + starts.repeat(counts))
+            nbrs = self._indices[pos]
+            rows = tx_trials.repeat(counts)
+            heard = np.bincount(rows * n + nbrs,
+                                minlength=trials * n).reshape(trials, n)
+            # heard == 1 cells have exactly one writer: the unique sender.
+            senders[rows, nbrs] = tx_nodes.repeat(counts)
+        else:
+            heard = np.zeros((trials, n), dtype=np.int64)
+        received = heard == 1
+        collided = heard >= 2
+        # Half-duplex: transmitters hear nothing in their own trial.
+        received[tx_trials, tx_nodes] = False
+        collided[tx_trials, tx_nodes] = False
         return heard, received, collided, senders
 
 

@@ -10,12 +10,26 @@ own experiments.
 Loss processes are deterministic given their seed **per slot**, not per
 call: the same slot always draws the same erasures, so a reactive run and
 a replay of its schedule see identical channels.
+
+Two RNG families coexist:
+
+* the original :class:`BernoulliLoss` / :class:`BurstLoss` draw from a
+  fresh PCG64 generator seeded by ``(seed, slot)`` — one generator
+  construction per slot, inherently serial per trial;
+* the *counter-based* :class:`CounterBernoulliLoss` /
+  :class:`CounterBurstLoss` hash ``(seed, slot, node)`` triples straight
+  to uniforms (splitmix64 finalizer), so the draws of **B independent
+  trials** are one broadcasted ``(B, n)`` array operation.  The batched
+  Monte-Carlo engine (:func:`repro.sim.engine.run_reactive_batch`) uses
+  the matching :class:`BernoulliBatchLoss` whose row *b* is bit-identical
+  to ``CounterBernoulliLoss(p, seeds[b])`` — the serial-equivalence
+  guarantee the differential tests pin down.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
@@ -84,6 +98,220 @@ class BurstLoss(LossProcess):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<BurstLoss p={self.p} seed={self.seed}>"
+
+
+# ---------------------------------------------------------------------------
+# Counter-based RNG: hash (seed, slot, counter) -> uniform, fully vectorised
+# ---------------------------------------------------------------------------
+
+_U64 = np.uint64
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_MIX1 = _U64(0xBF58476D1CE4E5B9)
+_MIX2 = _U64(0x94D049BB133111EB)
+_INV_2_53 = 1.0 / (1 << 53)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a bijective avalanche mix on uint64."""
+    x = x + _GOLDEN
+    x = (x ^ (x >> _U64(30))) * _MIX1
+    x = (x ^ (x >> _U64(27))) * _MIX2
+    return x ^ (x >> _U64(31))
+
+
+def _as_u64(value: int) -> np.uint64:
+    return _U64(int(value) & _MASK64)
+
+
+def counter_uniforms(seeds, slot: int, count: int) -> np.ndarray:
+    """Uniforms in [0, 1) for every ``(seed, slot, index)`` triple.
+
+    *seeds* is a scalar or a 1-D array of B trial seeds; the result has
+    shape ``(count,)`` for a scalar seed and ``(B, count)`` otherwise.
+    Each value depends only on its own triple (a stateless counter RNG),
+    so computing a single row or the whole B-row grid yields bit-identical
+    numbers — the property that makes batched trials exactly reproduce
+    serial ones.
+    """
+    seeds_arr = np.atleast_1d(np.asarray(seeds))
+    if seeds_arr.dtype != np.uint64:
+        seeds_arr = (seeds_arr.astype(object) & _MASK64).astype(np.uint64)
+    key = _splitmix64(_splitmix64(seeds_arr) ^ _as_u64(slot))
+    idx = np.arange(count, dtype=np.uint64)
+    bits = _splitmix64(key[:, None] ^ idx[None, :])
+    u = (bits >> _U64(11)).astype(np.float64) * _INV_2_53
+    return u[0] if np.isscalar(seeds) or np.ndim(seeds) == 0 else u
+
+
+def trial_seeds(seed: int, parameter: float, trials: int) -> np.ndarray:
+    """Decorrelated per-trial seeds for one point of a parameter sweep.
+
+    Mixes the sweep *parameter* (loss rate, failure count, ...) into the
+    stream so that different parameters draw genuinely different
+    randomness.  The previous ``seed * 1000 + trial`` scheme ignored the
+    parameter entirely: every loss rate of a degradation curve reused the
+    identical erasure pattern, correlating the whole curve.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    param_bits = np.float64(parameter).view(np.uint64)
+    base = _splitmix64(np.array([_as_u64(seed)])) ^ param_bits
+    return _splitmix64(_splitmix64(base) ^ np.arange(trials, dtype=np.uint64))
+
+
+class CounterBernoulliLoss(LossProcess):
+    """Bernoulli erasures drawn from the counter-based RNG.
+
+    Semantically identical to :class:`BernoulliLoss` (i.i.d. erasure with
+    probability p, deterministic per ``(seed, slot)``), but each decode's
+    fate is a pure function of ``(seed, slot, node)`` — no generator
+    state — so B trials' draws vectorise into one ``(B, n)`` pass
+    (:class:`BernoulliBatchLoss`).
+    """
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+
+    def apply(self, slot: int, received: np.ndarray) -> np.ndarray:
+        if self.p == 0.0:
+            return received
+        u = counter_uniforms(self.seed, slot, received.shape[0])
+        return received & (u >= self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CounterBernoulliLoss p={self.p} seed={self.seed}>"
+
+
+class CounterBurstLoss(LossProcess):
+    """Whole-slot blackouts drawn from the counter-based RNG."""
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"burst probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seed = int(seed)
+
+    def apply(self, slot: int, received: np.ndarray) -> np.ndarray:
+        if self.p == 0.0:
+            return received
+        u = counter_uniforms(self.seed, slot, 1)
+        if u[0] < self.p:
+            return np.zeros_like(received)
+        return received
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CounterBurstLoss p={self.p} seed={self.seed}>"
+
+
+# ---------------------------------------------------------------------------
+# Batch losses: B independent trials' channels in one array operation
+# ---------------------------------------------------------------------------
+
+class BatchLoss(abc.ABC):
+    """Per-slot erasure process over a ``(B, n)`` batch of trials.
+
+    Contract: row *b* of :meth:`apply_batch` must equal what
+    :meth:`trial_loss` (b)'s serial ``apply`` would do to that row — the
+    serial-equivalence invariant the differential suite enforces.
+    """
+
+    trials: int
+
+    @abc.abstractmethod
+    def apply_batch(self, slot: int, received: np.ndarray) -> np.ndarray:
+        """Return the subset of *received* ``(B, n)`` surviving *slot*."""
+
+    @abc.abstractmethod
+    def trial_loss(self, trial: int) -> LossProcess:
+        """The serial :class:`LossProcess` equivalent of one trial's row."""
+
+
+class BernoulliBatchLoss(BatchLoss):
+    """B independent Bernoulli channels, one vectorised draw per slot.
+
+    Row *b* is bit-identical to ``CounterBernoulliLoss(p, seeds[b])``.
+    """
+
+    def __init__(self, p: float, seeds: Sequence[int]) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seeds = np.asarray(
+            [int(s) & _MASK64 for s in np.asarray(seeds).tolist()],
+            dtype=np.uint64)
+        if self.seeds.ndim != 1 or len(self.seeds) == 0:
+            raise ValueError("seeds must be a non-empty 1-D sequence")
+        self.trials = len(self.seeds)
+
+    def apply_batch(self, slot: int, received: np.ndarray) -> np.ndarray:
+        if self.p == 0.0:
+            return received
+        u = counter_uniforms(self.seeds, slot, received.shape[1])
+        return received & (u >= self.p)
+
+    def trial_loss(self, trial: int) -> LossProcess:
+        return CounterBernoulliLoss(self.p, int(self.seeds[trial]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BernoulliBatchLoss p={self.p} trials={self.trials}>"
+
+
+class BurstBatchLoss(BatchLoss):
+    """B independent whole-slot blackout channels, one draw per slot."""
+
+    def __init__(self, p: float, seeds: Sequence[int]) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"burst probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.seeds = np.asarray(
+            [int(s) & _MASK64 for s in np.asarray(seeds).tolist()],
+            dtype=np.uint64)
+        if self.seeds.ndim != 1 or len(self.seeds) == 0:
+            raise ValueError("seeds must be a non-empty 1-D sequence")
+        self.trials = len(self.seeds)
+
+    def apply_batch(self, slot: int, received: np.ndarray) -> np.ndarray:
+        if self.p == 0.0:
+            return received
+        u = counter_uniforms(self.seeds, slot, 1)
+        return received & (u >= self.p)
+
+    def trial_loss(self, trial: int) -> LossProcess:
+        return CounterBurstLoss(self.p, int(self.seeds[trial]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BurstBatchLoss p={self.p} trials={self.trials}>"
+
+
+class PerTrialBatchLoss(BatchLoss):
+    """Adapter batching arbitrary serial :class:`LossProcess` objects.
+
+    Applies each trial's own process to its row — a python loop over B,
+    so no vectorisation win, but it lets the batch engine reproduce runs
+    that used the legacy PCG64 losses (or mixed loss kinds) exactly.
+    """
+
+    def __init__(self, losses: Sequence[LossProcess]) -> None:
+        self.losses: List[LossProcess] = list(losses)
+        if not self.losses:
+            raise ValueError("need at least one trial loss")
+        self.trials = len(self.losses)
+
+    def apply_batch(self, slot: int, received: np.ndarray) -> np.ndarray:
+        out = np.empty_like(received)
+        for b, loss in enumerate(self.losses):
+            out[b] = loss.apply(slot, received[b])
+        return out
+
+    def trial_loss(self, trial: int) -> LossProcess:
+        return self.losses[trial]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PerTrialBatchLoss trials={self.trials}>"
 
 
 def dead_mask_from_coords(topology, coords: Iterable) -> np.ndarray:

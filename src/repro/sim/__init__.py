@@ -1,9 +1,10 @@
 """Slot-synchronous broadcast simulator."""
 
-from .engine import replay, run_reactive
+from .engine import replay, replay_batch, run_reactive, run_reactive_batch
 from .metrics import BroadcastMetrics, compute_metrics
 from .reference import ReferenceSimulator
 from .schedule import BroadcastSchedule
+from .summary import TraceSummary
 from .trace import BroadcastTrace
 
 __all__ = [
@@ -11,7 +12,10 @@ __all__ = [
     "BroadcastTrace",
     "BroadcastMetrics",
     "ReferenceSimulator",
+    "TraceSummary",
     "compute_metrics",
     "replay",
+    "replay_batch",
     "run_reactive",
+    "run_reactive_batch",
 ]

@@ -14,6 +14,18 @@ Two execution modes:
   Used to audit compiled schedules: the replayed trace must achieve 100 %
   reachability and respect causality (see :mod:`repro.core.validate`).
 
+Both modes also exist *trial-batched* — :func:`run_reactive_batch` and
+:func:`replay_batch` advance B independent Monte-Carlo trials (same plan,
+per-trial loss/failure realisations) together, resolving each slot for
+the whole batch in one CSR gather + 2-D bincount
+(:meth:`~repro.radio.channel.SlotKernel.resolve_batch`) and tracking
+per-trial frontiers under a shared max-slot horizon.  Every batched trial
+is trace-for-trace identical to a serial run with the same per-trial
+seed; the differential suite pins that down.  Aggregate consumers pass
+``summary=True`` to get a :class:`~repro.sim.summary.TraceSummary`
+(first_rx / tx / rx counts / collisions only) and skip per-event tuple
+materialisation entirely.
+
 Both produce a full :class:`~repro.sim.trace.BroadcastTrace` under the
 collision model of :mod:`repro.radio.channel`.
 
@@ -29,13 +41,15 @@ the differential test-suite proves the two produce identical traces.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (Dict, Iterable, List, Mapping, Optional, Set, Tuple,
+                    Union)
 
 import numpy as np
 
-from ..radio.impairments import LossProcess
+from ..radio.impairments import BatchLoss, LossProcess
 from ..topology.base import Topology
 from .schedule import BroadcastSchedule
+from .summary import TraceSummary
 from .trace import BroadcastTrace
 
 
@@ -262,6 +276,319 @@ def replay(topology: Topology, schedule: BroadcastSchedule,
         num_nodes=n, source=source, first_rx=first_rx,
         tx_events=tx_log.tuples(), rx_events=rx_log.tuples(),
         collision_events=coll_log.tuples())
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _resolve_trials(trials: Optional[int],
+                    dead_masks: Optional[np.ndarray],
+                    loss: Optional[BatchLoss],
+                    num_nodes: int) -> Tuple[int, Optional[np.ndarray]]:
+    """Infer/validate the batch size B and normalise *dead_masks*."""
+    if dead_masks is not None:
+        dead_masks = np.asarray(dead_masks, dtype=bool)
+        if dead_masks.ndim != 2 or dead_masks.shape[1] != num_nodes:
+            raise ValueError(
+                f"dead_masks must have shape (trials, {num_nodes})")
+    candidates = []
+    if trials is not None:
+        candidates.append(int(trials))
+    if loss is not None:
+        candidates.append(int(loss.trials))
+    if dead_masks is not None:
+        candidates.append(int(dead_masks.shape[0]))
+    if not candidates:
+        raise ValueError(
+            "cannot infer the batch size: pass trials=, a BatchLoss, or "
+            "a (trials, n) dead_masks array")
+    b = candidates[0]
+    if any(c != b for c in candidates[1:]):
+        raise ValueError(
+            f"inconsistent batch sizes: trials={trials}, "
+            f"loss={'-' if loss is None else loss.trials}, "
+            f"dead_masks={'-' if dead_masks is None else dead_masks.shape}")
+    if b < 1:
+        raise ValueError("need at least one trial")
+    return b, dead_masks
+
+
+class _BatchState:
+    """Shared accumulation state of one batched simulation.
+
+    Owns the (B, n) per-trial arrays and either the per-event logs (full
+    trace mode) or the count matrices (summary mode), so the reactive and
+    replay drivers share one slot-commit implementation.
+    """
+
+    def __init__(self, num_nodes: int, source: int, trials: int,
+                 summary: bool) -> None:
+        self.n = num_nodes
+        self.source = source
+        self.trials = trials
+        self.summary = summary
+        self.first_rx = np.full((trials, num_nodes), -1, dtype=np.int64)
+        self.first_rx[:, source] = 0
+        self.dropped_forced: List[List[Tuple[int, int]]] = [
+            [] for _ in range(trials)]
+        if summary:
+            self.tx_count = np.zeros((trials, num_nodes), dtype=np.int64)
+            self.rx_count = np.zeros((trials, num_nodes), dtype=np.int64)
+            self.collisions = np.zeros(trials, dtype=np.int64)
+        else:
+            self.tx_log = _EventLog(3)    # slot, trial, node
+            self.rx_log = _EventLog(4)    # slot, trial, receiver, sender
+            self.coll_log = _EventLog(3)  # slot, trial, node
+
+    def commit_slot(self, t: int, tr: np.ndarray, nd: np.ndarray,
+                    received: np.ndarray, collided: np.ndarray,
+                    senders: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Log one resolved slot; returns the newly informed (trial, node)
+        pairs (row-major, i.e. sorted by trial then node)."""
+        rt, rn = received.nonzero()
+        if self.summary:
+            # (tr, nd) and (rt, rn) pairs are unique within a slot, so
+            # plain fancy-index increments suffice (no np.add.at).
+            self.tx_count[tr, nd] += 1
+            self.rx_count[rt, rn] += 1
+            self.collisions += collided.sum(axis=1)
+        else:
+            self.tx_log.extend(t, tr, nd)
+            ct, cn = collided.nonzero()
+            self.coll_log.extend(t, ct, cn)
+            self.rx_log.extend(t, rt, rn, senders[rt, rn])
+        new = self.first_rx[rt, rn] < 0
+        nt, nn = rt[new], rn[new]
+        self.first_rx[nt, nn] = t
+        return nt, nn
+
+    def finish(self) -> Union[TraceSummary, List[BroadcastTrace]]:
+        if self.summary:
+            return TraceSummary(
+                num_nodes=self.n, source=self.source, trials=self.trials,
+                first_rx=self.first_rx, tx_count=self.tx_count,
+                rx_count=self.rx_count, collisions=self.collisions,
+                dropped_forced=self.dropped_forced)
+        traces = []
+        tx_buf = self.tx_log._buf[:self.tx_log._len]
+        rx_buf = self.rx_log._buf[:self.rx_log._len]
+        coll_buf = self.coll_log._buf[:self.coll_log._len]
+        for b in range(self.trials):
+            # Rows were appended slot-by-slot with intra-slot (trial,
+            # node) ordering, so a per-trial extraction preserves exactly
+            # the serial engine's chronological, node-sorted event order.
+            tx = tx_buf[tx_buf[:, 1] == b][:, (0, 2)]
+            rx = rx_buf[rx_buf[:, 1] == b][:, (0, 2, 3)]
+            coll = coll_buf[coll_buf[:, 1] == b][:, (0, 2)]
+            traces.append(BroadcastTrace(
+                num_nodes=self.n, source=self.source,
+                first_rx=self.first_rx[b].copy(),
+                tx_events=list(map(tuple, tx.tolist())),
+                rx_events=list(map(tuple, rx.tolist())),
+                collision_events=list(map(tuple, coll.tolist())),
+                dropped_forced=self.dropped_forced[b]))
+        return traces
+
+
+def run_reactive_batch(
+    topology: Topology,
+    source: int,
+    relay_mask: np.ndarray,
+    *,
+    extra_delay: Optional[np.ndarray] = None,
+    repeat_offsets: Optional[Mapping[int, Tuple[int, ...]]] = None,
+    forced_tx: Optional[Mapping[int, Iterable[int]]] = None,
+    max_slots: Optional[int] = None,
+    dead_masks: Optional[np.ndarray] = None,
+    loss: Optional[BatchLoss] = None,
+    trials: Optional[int] = None,
+    summary: bool = False,
+) -> Union[TraceSummary, List[BroadcastTrace]]:
+    """Run B independent reactive relay waves batched slot-by-slot.
+
+    Every trial executes the same relay plan (*relay_mask*,
+    *extra_delay*, *repeat_offsets*, *forced_tx*) but its own channel
+    realisation: row *b* of *dead_masks* and trial *b* of the
+    :class:`~repro.radio.impairments.BatchLoss`.  Trial *b*'s outcome is
+    trace-for-trace identical to::
+
+        run_reactive(topology, source, relay_mask, ...,
+                     dead_mask=dead_masks[b], loss=loss.trial_loss(b))
+
+    The batch size is inferred from *trials*, *loss* or *dead_masks*
+    (which must agree).  With ``summary=False`` the result is a list of B
+    :class:`~repro.sim.trace.BroadcastTrace`; with ``summary=True`` a
+    :class:`~repro.sim.summary.TraceSummary` holding only the aggregate
+    arrays (no per-event tuples are materialised).
+    """
+    n = topology.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    batch, dead_masks = _resolve_trials(trials, dead_masks, loss, n)
+    if dead_masks is not None and dead_masks[:, source].any():
+        raise ValueError("the source node cannot be dead")
+    relay_mask = np.asarray(relay_mask, dtype=bool)
+    if relay_mask.shape != (n,):
+        raise ValueError(f"relay_mask must have shape ({n},)")
+    if extra_delay is None:
+        extra_delay = np.zeros(n, dtype=np.int64)
+    else:
+        extra_delay = np.asarray(extra_delay, dtype=np.int64)
+        if extra_delay.shape != (n,):
+            raise ValueError(f"extra_delay must have shape ({n},)")
+        if (extra_delay < 0).any():
+            raise ValueError("extra_delay must be non-negative")
+    repeats = dict(repeat_offsets or {})
+    # Repeats regrouped by offset: scheduling a batch of newly informed
+    # relays is then one boolean gather per distinct offset instead of a
+    # per-node python loop.
+    offset_nodes: Dict[int, np.ndarray] = {}
+    for v, offs in repeats.items():
+        for off in offs:
+            if off < 1:
+                raise ValueError(f"repeat offsets must be >= 1, got {off}")
+            offset_nodes.setdefault(int(off),
+                                    np.zeros(n, dtype=bool))[int(v)] = True
+    forced = _normalize_forced(forced_tx)
+    if max_slots is None:
+        max_slots = max(4 * n + 16, max(forced, default=0) + 2)
+
+    kernel = topology.slot_kernel
+    state = _BatchState(n, source, batch, summary)
+    alive_masks = None if dead_masks is None else ~dead_masks
+
+    pending: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
+    horizon = max(forced, default=0)
+
+    def schedule_pairs(tr: np.ndarray, nd: np.ndarray,
+                       base: np.ndarray) -> None:
+        """Schedule (trial, node) pairs firing at per-pair *base* slots,
+        plus each node's repeat transmissions."""
+        nonlocal horizon
+        last = int(base.max())
+        for s in np.unique(base):
+            sel = base == s
+            pending.setdefault(int(s), []).append((tr[sel], nd[sel]))
+        for off, mask in offset_nodes.items():
+            has = mask[nd]
+            if has.any():
+                rep_base = base[has] + off
+                rep_tr, rep_nd = tr[has], nd[has]
+                for s in np.unique(rep_base):
+                    sel = rep_base == s
+                    pending.setdefault(int(s), []).append(
+                        (rep_tr[sel], rep_nd[sel]))
+                last = max(last, int(rep_base.max()))
+        if last > horizon:
+            horizon = last
+
+    all_trials = np.arange(batch, dtype=np.int64)
+    schedule_pairs(all_trials,
+                   np.full(batch, source, dtype=np.int64),
+                   np.full(batch, 1 + int(extra_delay[source]),
+                           dtype=np.int64))
+
+    t = 0
+    while t < max_slots and t < horizon:
+        t += 1
+        entries = pending.pop(t, None)
+        if entries:
+            tr = np.concatenate([e[0] for e in entries])
+            nd = np.concatenate([e[1] for e in entries])
+        else:
+            tr, nd = _EMPTY, _EMPTY
+        forced_now = forced.pop(t, None)
+        if forced_now:
+            fv = np.fromiter(sorted(forced_now), count=len(forced_now),
+                             dtype=np.int64)
+            frx = state.first_rx[:, fv]
+            ok = (frx >= 0) & (frx < t)
+            ok_t, ok_j = ok.nonzero()
+            tr = np.concatenate([tr, ok_t])
+            nd = np.concatenate([nd, fv[ok_j]])
+            for b, j in zip(*(~ok).nonzero()):
+                state.dropped_forced[b].append((t, int(fv[j])))
+        if len(nd) == 0:
+            continue
+        # A node can be both pending and forced in the same slot; the
+        # serial engine's per-slot *set* collapses that, so dedup here.
+        # np.unique also yields the (trial, node)-sorted order the event
+        # logs rely on.
+        key = np.unique(tr * n + nd)
+        tr, nd = key // n, key % n
+        if dead_masks is not None:
+            keep = ~dead_masks[tr, nd]
+            tr, nd = tr[keep], nd[keep]
+        if len(nd) == 0:
+            continue
+        _, received, collided, senders = kernel.resolve_batch(nd, tr, batch)
+        if alive_masks is not None:
+            received &= alive_masks
+            collided &= alive_masks
+        if loss is not None:
+            received = loss.apply_batch(t, received)
+        nt, nn = state.commit_slot(t, tr, nd, received, collided, senders)
+        if len(nn):
+            rel = relay_mask[nn]
+            if rel.any():
+                rel_t, rel_n = nt[rel], nn[rel]
+                schedule_pairs(rel_t, rel_n,
+                               t + 1 + extra_delay[rel_n])
+    return state.finish()
+
+
+def replay_batch(
+    topology: Topology,
+    schedule: BroadcastSchedule,
+    source: int,
+    dead_masks: Optional[np.ndarray] = None,
+    loss: Optional[BatchLoss] = None,
+    trials: Optional[int] = None,
+    summary: bool = False,
+) -> Union[TraceSummary, List[BroadcastTrace]]:
+    """Execute a fixed schedule for B fault realisations batched together.
+
+    Trial *b* is trace-for-trace identical to
+    ``replay(topology, schedule, source, dead_mask=dead_masks[b],
+    loss=loss.trial_loss(b))``; see :func:`run_reactive_batch` for the
+    batch-size and output conventions.
+    """
+    n = topology.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range")
+    batch, dead_masks = _resolve_trials(trials, dead_masks, loss, n)
+    kernel = topology.slot_kernel
+    state = _BatchState(n, source, batch, summary)
+    alive_masks = None if dead_masks is None else ~dead_masks
+    faulty = dead_masks is not None or loss is not None
+    all_trials = np.arange(batch, dtype=np.int64)
+    for t in schedule.active_slots():
+        base = np.fromiter(sorted(schedule.transmitters(t)),
+                           dtype=np.int64)
+        if len(base) == 0:
+            continue
+        if faulty:
+            frx = state.first_rx[:, base]
+            # a node that never received cannot forward
+            ok = (base == source)[None, :] | ((frx >= 0) & (frx < t))
+            if dead_masks is not None:
+                ok &= alive_masks[:, base]
+            tr, j = ok.nonzero()
+            nd = base[j]
+            if len(nd) == 0:
+                continue
+        else:
+            tr = all_trials.repeat(len(base))
+            nd = np.tile(base, batch)
+        _, received, collided, senders = kernel.resolve_batch(nd, tr, batch)
+        if alive_masks is not None:
+            received &= alive_masks
+            collided &= alive_masks
+        if loss is not None:
+            received = loss.apply_batch(t, received)
+        state.commit_slot(t, tr, nd, received, collided, senders)
+    return state.finish()
 
 
 def _execute_slot(kernel, t: int, tx_set: Set[int],

@@ -1,0 +1,97 @@
+"""Aggregate trial summaries: broadcast statistics without event logs.
+
+A :class:`TraceSummary` is the lightweight output mode of the batched
+Monte-Carlo engine (:func:`repro.sim.engine.run_reactive_batch` /
+:func:`repro.sim.engine.replay_batch`).  Aggregate consumers — the
+loss/failure degradation curves, lifetime estimation, sensitivity grids —
+only ever reduce a trace to per-trial scalars (reachability, ``T_x``,
+collision counts) or per-node counts (energy accounting), so
+materialising the full per-event tuple lists of a
+:class:`~repro.sim.trace.BroadcastTrace` for every trial is pure
+overhead.  The summary keeps exactly the arrays those consumers read,
+laid out trial-major so statistics are single numpy reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TraceSummary:
+    """Per-trial aggregates of a batch of B simulated broadcasts.
+
+    Attributes
+    ----------
+    num_nodes:
+        Network size ``n``.
+    source:
+        0-based source index (shared by every trial).
+    trials:
+        Batch size ``B``.
+    first_rx:
+        ``(B, n)`` slot of first successful reception per trial and node;
+        0 for the source, -1 for nodes never reached.
+    tx_count:
+        ``(B, n)`` transmissions performed per trial and node.
+    rx_count:
+        ``(B, n)`` successful receptions per trial and node (incl. dups).
+    collisions:
+        ``(B,)`` number of (node, slot) collision occurrences per trial.
+    dropped_forced:
+        Per-trial lists of ``(slot, node)`` forced transmissions that
+        could not fire (diagnostic; empty for valid compiled schedules).
+    """
+
+    num_nodes: int
+    source: int
+    trials: int
+    first_rx: np.ndarray
+    tx_count: np.ndarray
+    rx_count: np.ndarray
+    collisions: np.ndarray
+    dropped_forced: List[List[Tuple[int, int]]] = field(default_factory=list)
+
+    # -- per-trial headline statistics ------------------------------------
+
+    @property
+    def num_tx(self) -> np.ndarray:
+        """``(B,)`` total transmissions per trial (the paper's ``T_x``)."""
+        return self.tx_count.sum(axis=1)
+
+    @property
+    def num_rx(self) -> np.ndarray:
+        """``(B,)`` total successful receptions per trial (``R_x``)."""
+        return self.rx_count.sum(axis=1)
+
+    @property
+    def reachability(self) -> np.ndarray:
+        """``(B,)`` fraction of nodes informed per trial (source incl.)."""
+        return (self.first_rx >= 0).sum(axis=1) / float(self.num_nodes)
+
+    def live_reachability(self, dead_masks: np.ndarray) -> np.ndarray:
+        """``(B,)`` fraction of *surviving* nodes informed per trial."""
+        live = ~np.asarray(dead_masks, dtype=bool)
+        reached = (self.first_rx >= 0) & live
+        return reached.sum(axis=1) / live.sum(axis=1)
+
+    @property
+    def delay_slots(self) -> np.ndarray:
+        """``(B,)`` slot of last first-reception; -1 if incomplete."""
+        delays = self.first_rx.max(axis=1)
+        delays[(self.first_rx < 0).any(axis=1)] = -1
+        return delays
+
+    @property
+    def all_reached(self) -> np.ndarray:
+        """``(B,)`` True where the trial achieved 100 % reachability."""
+        return (self.first_rx >= 0).all(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        reach = self.reachability
+        return (f"<TraceSummary trials={self.trials} "
+                f"mean_reach={float(reach.mean()):.3f} "
+                f"mean_tx={float(self.num_tx.mean()):.1f}>")

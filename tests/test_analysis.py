@@ -192,3 +192,34 @@ class TestScheduleCacheSweep:
         assert par.metrics == sweep_sources(mesh).metrics
         # workers persisted their compilations for later runs
         assert len(list((tmp_path / "sched").glob("*.json"))) > 0
+
+
+class TestLossSensitivity:
+    def test_report_shape(self):
+        from repro.analysis import loss_sensitivity
+        mesh = Mesh2D4(8, 6)
+        rep = loss_sensitivity(mesh, loss_rate=0.1, trials=4, stride=4)
+        assert rep.metric == "reach@p=0.1"
+        assert 0.0 < rep.minimum <= rep.maximum <= 1.0
+        assert rep.minimum <= rep.mean <= rep.maximum
+
+    def test_zero_loss_no_spread(self):
+        from repro.analysis import loss_sensitivity
+        mesh = Mesh2D4(8, 6)
+        rep = loss_sensitivity(mesh, loss_rate=0.0, trials=2, stride=4)
+        assert rep.minimum == rep.maximum == 1.0
+        assert rep.relative_spread == 0.0
+
+    def test_workers_match_serial(self):
+        from repro.analysis import loss_sensitivity
+        mesh = Mesh2D4(8, 6)
+        serial = loss_sensitivity(mesh, loss_rate=0.15, trials=4, stride=4)
+        parallel = loss_sensitivity(mesh, loss_rate=0.15, trials=4,
+                                    stride=4, workers=2)
+        assert parallel == serial
+
+    def test_empty_sources_rejected(self):
+        from repro.analysis import loss_sensitivity
+        mesh = Mesh2D4(8, 6)
+        with pytest.raises(ValueError):
+            loss_sensitivity(mesh, sources=[])

@@ -1,0 +1,279 @@
+"""Differential testing: batched trial engine vs the serial engine.
+
+The batch engine's contract is exact serial equivalence: trial *b* of
+``run_reactive_batch`` / ``replay_batch`` must be trace-for-trace
+identical to a one-trial ``run_reactive`` / ``replay`` run with that
+trial's dead mask and loss process.  This suite enforces the contract
+with hypothesis-generated scenarios on all four paper topologies —
+per-trial dead masks, every loss kind (counter-based Bernoulli/burst,
+legacy PCG64 adapters), repeats, extra delays, forced transmissions —
+plus hardened paper plans and summary/full-trace consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import harden_plan
+from repro.core import protocol_for
+from repro.radio.impairments import (BernoulliBatchLoss, BernoulliLoss,
+                                     BurstBatchLoss, BurstLoss,
+                                     PerTrialBatchLoss, trial_seeds)
+from repro.sim import (BroadcastSchedule, replay, replay_batch, run_reactive,
+                       run_reactive_batch)
+from repro.topology import Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6
+
+MESHES = [
+    (Mesh2D4, (5, 4)),
+    (Mesh2D8, (4, 4)),
+    (Mesh2D3, (5, 4)),
+    (Mesh3D6, (3, 3, 3)),
+]
+
+
+def assert_trial_equal(batch_trace, serial_trace):
+    assert batch_trace.tx_events == serial_trace.tx_events
+    assert batch_trace.rx_events == serial_trace.rx_events
+    assert batch_trace.collision_events == serial_trace.collision_events
+    assert (batch_trace.first_rx == serial_trace.first_rx).all()
+    assert batch_trace.dropped_forced == serial_trace.dropped_forced
+
+
+def serial_kwargs(b, dead_masks, loss):
+    return dict(
+        dead_mask=None if dead_masks is None else dead_masks[b],
+        loss=None if loss is None else loss.trial_loss(b))
+
+
+@st.composite
+def batch_scenario(draw, num_nodes):
+    """Random batched-wave inputs: a shared relay plan plus per-trial
+    channel realisations (dead masks and a batch loss process)."""
+    trials = draw(st.integers(1, 4))
+    source = draw(st.integers(0, num_nodes - 1))
+    relay_mask = np.array(
+        [draw(st.booleans()) for _ in range(num_nodes)], dtype=bool)
+    if draw(st.booleans()):
+        extra_delay = np.array(
+            [draw(st.integers(0, 2)) for _ in range(num_nodes)],
+            dtype=np.int64)
+    else:
+        extra_delay = None
+    repeats = {}
+    for v in draw(st.lists(st.integers(0, num_nodes - 1),
+                           max_size=4, unique=True)):
+        repeats[v] = tuple(sorted(draw(st.lists(
+            st.integers(1, 3), min_size=1, max_size=2, unique=True))))
+    forced = {}
+    for slot in draw(st.lists(st.integers(1, 10), max_size=3, unique=True)):
+        forced[slot] = draw(st.lists(
+            st.integers(0, num_nodes - 1), min_size=1, max_size=3,
+            unique=True))
+    dead_masks = None
+    if draw(st.booleans()):
+        dead_masks = np.zeros((trials, num_nodes), dtype=bool)
+        for b in range(trials):
+            for v in draw(st.lists(st.integers(0, num_nodes - 1),
+                                   max_size=3, unique=True)):
+                if v != source:
+                    dead_masks[b, v] = True
+    kind = draw(st.sampled_from(
+        ["none", "bernoulli", "burst", "per_trial"]))
+    seed = draw(st.integers(0, 5))
+    seeds = trial_seeds(seed, 0.25, trials)
+    if kind == "bernoulli":
+        loss = BernoulliBatchLoss(draw(st.sampled_from([0.1, 0.3])), seeds)
+    elif kind == "burst":
+        loss = BurstBatchLoss(draw(st.sampled_from([0.2, 0.5])), seeds)
+    elif kind == "per_trial":
+        # Legacy PCG64 processes, one per trial (exercises the adapter).
+        p = draw(st.sampled_from([0.1, 0.3]))
+        loss = PerTrialBatchLoss(
+            [BernoulliLoss(p, seed=seed + b) if b % 2 == 0
+             else BurstLoss(p, seed=seed + b) for b in range(trials)])
+    else:
+        loss = None
+    return dict(source=source, trials=trials, relay_mask=relay_mask,
+                extra_delay=extra_delay, repeat_offsets=repeats,
+                forced_tx=forced, dead_masks=dead_masks, loss=loss)
+
+
+class TestReactiveBatchDifferential:
+    """run_reactive_batch trial b == run_reactive with trial b's channel."""
+
+    @pytest.mark.parametrize("cls,shape", MESHES)
+    def test_random_scenarios(self, cls, shape):
+        mesh = cls(*shape)
+
+        @given(data=st.data())
+        @settings(max_examples=20, deadline=None)
+        def check(data):
+            kw = data.draw(batch_scenario(mesh.num_nodes))
+            source = kw.pop("source")
+            dead_masks, loss = kw["dead_masks"], kw["loss"]
+            traces = run_reactive_batch(mesh, source, kw["relay_mask"],
+                                        extra_delay=kw["extra_delay"],
+                                        repeat_offsets=kw["repeat_offsets"],
+                                        forced_tx=kw["forced_tx"],
+                                        dead_masks=dead_masks, loss=loss,
+                                        trials=kw["trials"])
+            assert len(traces) == kw["trials"]
+            for b, batch_trace in enumerate(traces):
+                assert_trial_equal(
+                    batch_trace,
+                    run_reactive(mesh, source, kw["relay_mask"],
+                                 extra_delay=kw["extra_delay"],
+                                 repeat_offsets=kw["repeat_offsets"],
+                                 forced_tx=kw["forced_tx"],
+                                 **serial_kwargs(b, dead_masks, loss)))
+
+        check()
+
+    @pytest.mark.parametrize("cls,label,shape,src", [
+        (Mesh2D4, "2D-4", (8, 6), (4, 3)),
+        (Mesh2D8, "2D-8", (8, 6), (4, 3)),
+        (Mesh2D3, "2D-3", (8, 6), (4, 3)),
+        (Mesh3D6, "3D-6", (4, 4, 3), (2, 2, 2)),
+    ])
+    def test_hardened_paper_plans(self, cls, label, shape, src):
+        """Hardened real relay plans under loss + dead masks, all four
+        topologies: the exact configuration the robustness sweeps run."""
+        mesh = cls(*shape)
+        plan = harden_plan(protocol_for(label).relay_plan(mesh, src), 2)
+        src_idx = mesh.index(src)
+        trials = 4
+        rng = np.random.default_rng(7)
+        dead_masks = np.zeros((trials, mesh.num_nodes), dtype=bool)
+        for b in range(trials):
+            victims = rng.choice(mesh.num_nodes, size=3, replace=False)
+            dead_masks[b, victims] = True
+        dead_masks[:, src_idx] = False
+        loss = BernoulliBatchLoss(0.15, trial_seeds(11, 0.15, trials))
+        traces = run_reactive_batch(mesh, src_idx, plan.relay_mask,
+                                    extra_delay=plan.extra_delay,
+                                    repeat_offsets=plan.repeat_offsets,
+                                    dead_masks=dead_masks, loss=loss)
+        for b, batch_trace in enumerate(traces):
+            assert_trial_equal(
+                batch_trace,
+                run_reactive(mesh, src_idx, plan.relay_mask,
+                             extra_delay=plan.extra_delay,
+                             repeat_offsets=plan.repeat_offsets,
+                             dead_mask=dead_masks[b],
+                             loss=loss.trial_loss(b)))
+
+
+@st.composite
+def random_schedule(draw, num_nodes):
+    n_events = draw(st.integers(0, 40))
+    events = [
+        (draw(st.integers(1, 12)), draw(st.integers(0, num_nodes - 1)))
+        for _ in range(n_events)
+    ]
+    return BroadcastSchedule.from_events(events)
+
+
+class TestReplayBatchDifferential:
+    """replay_batch trial b == replay with trial b's channel."""
+
+    @pytest.mark.parametrize("cls,shape", MESHES)
+    def test_random_schedules(self, cls, shape):
+        mesh = cls(*shape)
+
+        @given(data=st.data())
+        @settings(max_examples=15, deadline=None)
+        def check(data):
+            sched = data.draw(random_schedule(mesh.num_nodes))
+            src = data.draw(st.integers(0, mesh.num_nodes - 1))
+            trials = data.draw(st.integers(1, 4))
+            dead_masks = None
+            if data.draw(st.booleans()):
+                dead_masks = np.zeros((trials, mesh.num_nodes), dtype=bool)
+                for b in range(trials):
+                    for v in data.draw(st.lists(
+                            st.integers(0, mesh.num_nodes - 1),
+                            max_size=3, unique=True)):
+                        dead_masks[b, v] = True
+            loss = None
+            if data.draw(st.booleans()):
+                loss = BernoulliBatchLoss(
+                    0.2, trial_seeds(data.draw(st.integers(0, 3)),
+                                     0.2, trials))
+            traces = replay_batch(mesh, sched, src, dead_masks=dead_masks,
+                                  loss=loss, trials=trials)
+            for b, batch_trace in enumerate(traces):
+                assert_trial_equal(
+                    batch_trace,
+                    replay(mesh, sched, src,
+                           **serial_kwargs(b, dead_masks, loss)))
+
+        check()
+
+    def test_perfect_channel_replay(self):
+        """No faults: every trial must equal the single perfect replay."""
+        mesh = Mesh2D4(8, 6)
+        compiled = protocol_for("2D-4").compile(mesh, (4, 3))
+        src = mesh.index((4, 3))
+        serial = replay(mesh, compiled.schedule, src)
+        for batch_trace in replay_batch(mesh, compiled.schedule, src,
+                                        trials=3):
+            assert_trial_equal(batch_trace, serial)
+
+
+class TestSummaryConsistency:
+    """TraceSummary must agree with the full traces of the same batch."""
+
+    @pytest.mark.parametrize("cls,shape", MESHES)
+    def test_summary_matches_traces(self, cls, shape):
+        mesh = cls(*shape)
+        label = mesh.name
+        src = tuple(1 for _ in shape)
+        plan = protocol_for(label).relay_plan(mesh, src)
+        src_idx = mesh.index(src)
+        trials = 5
+        loss = BernoulliBatchLoss(0.2, trial_seeds(3, 0.2, trials))
+        common = dict(extra_delay=plan.extra_delay,
+                      repeat_offsets=plan.repeat_offsets,
+                      forced_tx={2: [src_idx, (src_idx + 5) % mesh.num_nodes]},
+                      loss=loss)
+        traces = run_reactive_batch(mesh, src_idx, plan.relay_mask, **common)
+        s = run_reactive_batch(mesh, src_idx, plan.relay_mask, summary=True,
+                               **common)
+        assert s.trials == trials
+        assert (s.first_rx == np.stack([t.first_rx for t in traces])).all()
+        assert (s.num_tx == np.array([t.num_tx for t in traces])).all()
+        assert (s.num_rx == np.array([t.num_rx for t in traces])).all()
+        assert (s.collisions == np.array(
+            [len(t.collision_events) for t in traces])).all()
+        assert np.allclose(s.reachability,
+                           [t.reachability for t in traces])
+        assert (s.delay_slots == np.array(
+            [t.delay_slots for t in traces])).all()
+        assert s.dropped_forced == [t.dropped_forced for t in traces]
+        for b, trace in enumerate(traces):
+            assert (s.tx_count[b] == trace.tx_count_per_node()).all()
+            assert (s.rx_count[b] == trace.rx_count_per_node()).all()
+
+
+class TestBatchValidation:
+    def test_batch_size_inference_conflict(self):
+        mesh = Mesh2D4(4, 4)
+        relay = np.ones(mesh.num_nodes, dtype=bool)
+        loss = BernoulliBatchLoss(0.1, trial_seeds(0, 0.1, 3))
+        with pytest.raises(ValueError, match="inconsistent batch sizes"):
+            run_reactive_batch(mesh, 0, relay, loss=loss, trials=4)
+
+    def test_batch_size_required(self):
+        mesh = Mesh2D4(4, 4)
+        relay = np.ones(mesh.num_nodes, dtype=bool)
+        with pytest.raises(ValueError, match="cannot infer"):
+            run_reactive_batch(mesh, 0, relay)
+
+    def test_dead_source_rejected(self):
+        mesh = Mesh2D4(4, 4)
+        relay = np.ones(mesh.num_nodes, dtype=bool)
+        dead = np.zeros((2, mesh.num_nodes), dtype=bool)
+        dead[1, 0] = True
+        with pytest.raises(ValueError, match="source"):
+            run_reactive_batch(mesh, 0, relay, dead_masks=dead)

@@ -1,8 +1,9 @@
-"""The committed BENCH_sweep.json artefact must stay well-formed.
+"""The committed benchmark artefacts must stay well-formed.
 
-``benchmarks/perf_sweep.py`` regenerates the artefact; this tier-1 check
-only validates its structure (cheap, no timing), so a hand-edited or
-truncated file is caught before it misleads anyone reading the numbers.
+``benchmarks/perf_sweep.py`` / ``benchmarks/perf_robustness.py``
+regenerate the artefacts; these tier-1 checks only validate their
+structure (cheap, no timing), so a hand-edited or truncated file is
+caught before it misleads anyone reading the numbers.
 """
 
 import json
@@ -10,13 +11,15 @@ from pathlib import Path
 
 import pytest
 
-ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+_ROOT = Path(__file__).resolve().parent.parent
+SWEEP_ARTIFACT = _ROOT / "BENCH_sweep.json"
+ROBUSTNESS_ARTIFACT = _ROOT / "BENCH_robustness.json"
 
 
-@pytest.mark.skipif(not ARTIFACT.exists(),
+@pytest.mark.skipif(not SWEEP_ARTIFACT.exists(),
                     reason="BENCH_sweep.json not generated")
 def test_bench_sweep_artifact_well_formed():
-    payload = json.loads(ARTIFACT.read_text())
+    payload = json.loads(SWEEP_ARTIFACT.read_text())
     assert payload["schema"] == "repro-wsn/bench-sweep/v1"
     assert payload["parallel_matches_serial"] is True
     assert set(payload["entries"]) == {"serial", "cold", "warm", "parallel"}
@@ -25,3 +28,21 @@ def test_bench_sweep_artifact_well_formed():
         assert entry["sources_per_second"] > 0, label
     assert payload["sources"] == payload["shape"][0] * payload["shape"][1]
     assert isinstance(payload["workers"], int) and payload["workers"] >= 1
+
+
+@pytest.mark.skipif(not ROBUSTNESS_ARTIFACT.exists(),
+                    reason="BENCH_robustness.json not generated")
+def test_bench_robustness_artifact_well_formed():
+    payload = json.loads(ROBUSTNESS_ARTIFACT.read_text())
+    assert payload["schema"] == "repro-wsn/bench-robustness/v1"
+    assert payload["batched_matches_serial"] is True
+    assert set(payload["entries"]) == {"serial", "batched", "parallel"}
+    for label, entry in payload["entries"].items():
+        assert entry["seconds"] > 0, label
+        assert entry["simulations_per_second"] > 0, label
+    assert payload["simulations"] == \
+        len(payload["loss_rates"]) * payload["trials"]
+    # the ISSUE's acceptance floor for the committed artefact
+    assert len(payload["loss_rates"]) >= 8
+    assert payload["trials"] >= 32
+    assert payload["batched_speedup_vs_serial"] >= 3.0

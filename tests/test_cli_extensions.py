@@ -55,6 +55,47 @@ class TestRobustnessCommand:
                      "--trials", "1"]) == 0
         assert "3D-6" in capsys.readouterr().out
 
+    def test_engines_print_identical_tables(self, capsys):
+        args = ["robustness", "2D-4", "--shape", "10", "6",
+                "--loss-rates", "0.1", "0.2", "--failures", "3",
+                "--trials", "3", "--seed", "5"]
+        assert main(args + ["--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(args + ["--engine", "serial"]) == 0
+        assert capsys.readouterr().out == batch_out
+
+    def test_workers_and_cache_flags(self, tmp_path, capsys):
+        assert main(["robustness", "2D-4", "--shape", "10", "6",
+                     "--loss-rates", "0", "0.1", "--failures", "0", "3",
+                     "--trials", "2", "--workers", "2",
+                     "--cache", str(tmp_path / "sched")]) == 0
+        assert "loss p=0.1" in capsys.readouterr().out
+        assert (tmp_path / "sched").is_dir()
+
+
+class TestLifetimeCommand:
+    def test_default_run(self, capsys):
+        assert main(["lifetime", "2D-4", "--shape", "8", "6",
+                     "--battery", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds completed" in out
+        assert "energy imbalance" in out
+
+    def test_rotate_and_loss(self, capsys):
+        assert main(["lifetime", "2D-4", "--shape", "8", "6", "--rotate",
+                     "--loss", "0.1", "--trials", "4",
+                     "--battery", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "sources (cycled) : 5" in out
+        assert "Bernoulli p=0.1" in out
+
+    def test_explicit_source_with_workers(self, tmp_path, capsys):
+        assert main(["lifetime", "2D-4", "--shape", "8", "6",
+                     "--source", "2", "2", "--battery", "0.002",
+                     "--workers", "2",
+                     "--cache", str(tmp_path / "sched")]) == 0
+        assert "2D-4" in capsys.readouterr().out
+
 
 class TestScalingCommand:
     def test_scaling(self, capsys):

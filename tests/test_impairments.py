@@ -5,8 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.radio import (BernoulliLoss, BurstLoss, PerfectChannel,
-                         dead_mask_from_coords, random_dead_mask)
+from repro.radio import (BernoulliBatchLoss, BernoulliLoss, BurstBatchLoss,
+                         BurstLoss, CounterBernoulliLoss, CounterBurstLoss,
+                         PerTrialBatchLoss, PerfectChannel, counter_uniforms,
+                         dead_mask_from_coords, random_dead_mask,
+                         trial_seeds)
 from repro.sim import replay, run_reactive
 from repro.topology import Mesh2D4
 
@@ -60,6 +63,128 @@ class TestLossProcesses:
     def test_loss_never_creates_receptions(self):
         rx = np.zeros(10, dtype=bool)
         assert not BernoulliLoss(0.5, seed=0).apply(1, rx).any()
+
+
+class TestCounterRNG:
+    def test_scalar_seed_shape(self):
+        u = counter_uniforms(5, 3, 16)
+        assert u.shape == (16,)
+        assert ((0.0 <= u) & (u < 1.0)).all()
+
+    def test_vector_seed_shape(self):
+        seeds = np.arange(4, dtype=np.uint64)
+        u = counter_uniforms(seeds, 3, 16)
+        assert u.shape == (4, 16)
+
+    def test_grid_rows_equal_scalar_draws(self):
+        """The serial-equivalence root: drawing the (B, n) grid at once is
+        bit-identical to drawing each seed's row independently."""
+        seeds = trial_seeds(9, 0.1, 6)
+        grid = counter_uniforms(seeds, 7, 25)
+        for b, s in enumerate(seeds):
+            assert (grid[b] == counter_uniforms(int(s), 7, 25)).all()
+
+    def test_deterministic_and_slot_dependent(self):
+        assert (counter_uniforms(1, 4, 50) == counter_uniforms(1, 4, 50)).all()
+        assert (counter_uniforms(1, 4, 50) != counter_uniforms(1, 5, 50)).any()
+        assert (counter_uniforms(1, 4, 50) != counter_uniforms(2, 4, 50)).any()
+
+    def test_rate_roughly_uniform(self):
+        u = counter_uniforms(3, 1, 8000)
+        assert 0.45 < u.mean() < 0.55
+
+    def test_trial_seeds_distinct(self):
+        seeds = trial_seeds(0, 0.1, 64)
+        assert len(set(seeds.tolist())) == 64
+
+    def test_trial_seeds_mix_parameter(self):
+        """Different sweep parameters must yield disjoint seed streams —
+        the correlated-stream bug this replaces keyed on trial alone."""
+        a = trial_seeds(0, 0.1, 32).tolist()
+        b = trial_seeds(0, 0.2, 32).tolist()
+        assert not set(a) & set(b)
+
+    def test_trial_seeds_mix_seed(self):
+        a = trial_seeds(0, 0.1, 32).tolist()
+        b = trial_seeds(1, 0.1, 32).tolist()
+        assert not set(a) & set(b)
+
+
+class TestCounterLosses:
+    def test_counter_bernoulli_matches_uniforms(self):
+        rx = np.ones(100, dtype=bool)
+        out = CounterBernoulliLoss(0.4, seed=5).apply(3, rx)
+        assert (out == (counter_uniforms(5, 3, 100) >= 0.4)).all()
+
+    def test_counter_bernoulli_deterministic_per_slot(self):
+        rx = np.ones(50, dtype=bool)
+        loss = CounterBernoulliLoss(0.5, seed=7)
+        a = loss.apply(9, rx)
+        loss.apply(3, rx)
+        assert (a == loss.apply(9, rx)).all()
+
+    def test_counter_burst_all_or_nothing(self):
+        rx = np.ones(20, dtype=bool)
+        loss = CounterBurstLoss(0.5, seed=3)
+        outcomes = set()
+        for slot in range(1, 40):
+            out = loss.apply(slot, rx)
+            assert out.all() or not out.any()
+            outcomes.add(bool(out.any()))
+        assert outcomes == {True, False}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterBernoulliLoss(-0.1)
+        with pytest.raises(ValueError):
+            CounterBurstLoss(1.5)
+
+
+class TestBatchLosses:
+    def test_bernoulli_batch_rows_equal_trial_loss(self):
+        seeds = trial_seeds(2, 0.3, 5)
+        batch = BernoulliBatchLoss(0.3, seeds)
+        rx = np.ones((5, 60), dtype=bool)
+        out = batch.apply_batch(4, rx)
+        for b in range(5):
+            assert (out[b] == batch.trial_loss(b).apply(4, rx[b])).all()
+
+    def test_burst_batch_rows_equal_trial_loss(self):
+        seeds = trial_seeds(2, 0.5, 8)
+        batch = BurstBatchLoss(0.5, seeds)
+        rx = np.ones((8, 30), dtype=bool)
+        for slot in (1, 2, 3):
+            out = batch.apply_batch(slot, rx)
+            for b in range(8):
+                assert (out[b] ==
+                        batch.trial_loss(b).apply(slot, rx[b])).all()
+
+    def test_per_trial_adapter_rows(self):
+        losses = [BernoulliLoss(0.3, seed=1), BurstLoss(0.5, seed=2)]
+        batch = PerTrialBatchLoss(losses)
+        rx = np.ones((2, 40), dtype=bool)
+        out = batch.apply_batch(6, rx)
+        for b in range(2):
+            assert (out[b] == losses[b].apply(6, rx[b])).all()
+        assert batch.trial_loss(1) is losses[1]
+
+    def test_zero_rate_is_identity(self):
+        rx = np.random.default_rng(0).random((3, 20)) < 0.5
+        seeds = trial_seeds(0, 0.0, 3)
+        assert (BernoulliBatchLoss(0.0, seeds).apply_batch(1, rx) == rx).all()
+
+    def test_batch_never_creates_receptions(self):
+        rx = np.zeros((4, 20), dtype=bool)
+        seeds = trial_seeds(1, 0.5, 4)
+        assert not BernoulliBatchLoss(0.5, seeds).apply_batch(1, rx).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliBatchLoss(2.0, trial_seeds(0, 0.1, 2))
+        with pytest.raises(ValueError):
+            BernoulliBatchLoss(0.1, [])
+        with pytest.raises(ValueError):
+            PerTrialBatchLoss([])
 
 
 class TestDeadMasks:

@@ -87,3 +87,65 @@ class TestLifetime:
             simulate_lifetime(mesh, [(2, 2)], battery_j=0.0)
         with pytest.raises(ValueError):
             simulate_lifetime(mesh, [], battery_j=1.0)
+
+
+class TestLossyEnergy:
+    def test_lossy_cost_is_cheaper(self):
+        """Under loss, uninformed nodes cannot forward, so the expected
+        per-round total cost is below the perfect-channel cost."""
+        mesh = Mesh2D4(8, 8)
+        clean = per_node_round_energy(mesh, (4, 4))
+        lossy = per_node_round_energy(mesh, (4, 4), loss_rate=0.3,
+                                      loss_trials=8, seed=1)
+        assert float(lossy.sum()) < float(clean.sum())
+        assert (lossy >= 0).all()
+
+    def test_zero_loss_rate_matches_clean(self):
+        mesh = Mesh2D4(8, 8)
+        clean = per_node_round_energy(mesh, (4, 4))
+        lossy = per_node_round_energy(mesh, (4, 4), loss_rate=0.0,
+                                      loss_trials=4)
+        assert np.allclose(lossy, clean)
+
+    def test_lossy_cost_deterministic_in_seed(self):
+        mesh = Mesh2D4(6, 6)
+        a = per_node_round_energy(mesh, (3, 3), loss_rate=0.2, seed=5)
+        b = per_node_round_energy(mesh, (3, 3), loss_rate=0.2, seed=5)
+        c = per_node_round_energy(mesh, (3, 3), loss_rate=0.2, seed=6)
+        assert (a == b).all()
+        assert (a != c).any()
+
+    def test_lossy_lifetime_runs_longer(self):
+        mesh = Mesh2D4(6, 6)
+        clean = simulate_lifetime(mesh, [(3, 3)], battery_j=1e-3)
+        lossy = simulate_lifetime(mesh, [(3, 3)], battery_j=1e-3,
+                                  loss_rate=0.4, loss_trials=8)
+        assert lossy.rounds_completed >= clean.rounds_completed
+
+
+class TestParallelLifetime:
+    def test_workers_match_serial(self):
+        mesh = Mesh2D4(8, 8)
+        sources = [(4, 4), (1, 1), (8, 8), (1, 8)]
+        serial = simulate_lifetime(mesh, sources, battery_j=2e-3)
+        parallel = simulate_lifetime(mesh, sources, battery_j=2e-3,
+                                     workers=2)
+        assert parallel.rounds_completed == serial.rounds_completed
+        assert parallel.first_death_node == serial.first_death_node
+        assert np.allclose(parallel.residual_energy_j,
+                           serial.residual_energy_j)
+
+    def test_workers_share_disk_cache(self, tmp_path):
+        from repro.core import ScheduleCache
+        mesh = Mesh2D4(8, 8)
+        sources = [(4, 4), (1, 1), (8, 8)]
+        cache = ScheduleCache(tmp_path / "sched")
+        res = simulate_lifetime(mesh, sources, battery_j=2e-3,
+                                workers=2, cache=cache)
+        assert res.rounds_completed > 0
+        # the worker processes populated the shared disk tier
+        warm = ScheduleCache(tmp_path / "sched")
+        rerun = simulate_lifetime(mesh, sources, battery_j=2e-3,
+                                  cache=warm)
+        assert rerun.rounds_completed == res.rounds_completed
+        assert warm.hits >= 1

@@ -1,10 +1,12 @@
 """Tests for the robustness analysis (loss/failure degradation curves)."""
 
+import numpy as np
 import pytest
 
 from repro.analysis import (failure_degradation, harden_plan,
                             loss_degradation)
 from repro.core import protocol_for
+from repro.radio import CounterBernoulliLoss, trial_seeds
 from repro.topology import Mesh2D4
 
 
@@ -40,6 +42,107 @@ class TestHardenPlan:
         plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
         with pytest.raises(ValueError):
             harden_plan(plan, -1)
+
+    def test_zero_repeats_copy_is_mutation_independent(self, mesh):
+        """repeats=0 must hand back an independent copy: mutating it may
+        not leak into the original plan."""
+        plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
+        before_offsets = dict(plan.repeat_offsets)
+        before_mask = plan.relay_mask.copy()
+        hardened = harden_plan(plan, 0)
+        hardened.repeat_offsets[0] = (2, 4)
+        hardened.relay_mask[:] = False
+        assert plan.repeat_offsets == before_offsets
+        assert (plan.relay_mask == before_mask).all()
+
+    def test_offsets_all_even_and_sorted(self, mesh):
+        """Hardening offsets must be even (phase-aligned with the wave)
+        and each relay's merged tuple sorted ascending."""
+        plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
+        pre_existing = {v: offs for v, offs in plan.repeat_offsets.items()}
+        hardened = harden_plan(plan, 3)
+        for v in np.nonzero(plan.relay_mask)[0]:
+            offs = hardened.repeat_offsets[int(v)]
+            assert list(offs) == sorted(offs)
+            added = set(offs) - set(pre_existing.get(int(v), ()))
+            assert added == {2, 4, 6}
+            assert all(o % 2 == 0 for o in added)
+
+    def test_non_relays_untouched(self, mesh):
+        """Nodes outside the relay mask keep exactly their pre-existing
+        repeats — hardening only amplifies actual relays."""
+        plan = protocol_for("2D-4").relay_plan(mesh, (6, 4))
+        hardened = harden_plan(plan, 2)
+        for v, offs in plan.repeat_offsets.items():
+            if not plan.relay_mask[v]:
+                assert hardened.repeat_offsets[v] == offs
+
+
+class TestSeedMixing:
+    def test_parameters_draw_distinct_randomness(self, mesh):
+        """Regression for the correlated-stream bug: the old seeding
+        (``seed * 1000 + trial``) gave every sweep parameter the same
+        per-trial channels, so curves were paired sample-for-sample.
+        The per-trial losses for two parameters must now differ."""
+        rx = np.ones(mesh.num_nodes, dtype=bool)
+        for trial in range(4):
+            s_a = int(trial_seeds(0, 0.1, 4)[trial])
+            s_b = int(trial_seeds(0, 0.2, 4)[trial])
+            assert s_a != s_b
+            a = CounterBernoulliLoss(0.5, s_a).apply(1, rx)
+            b = CounterBernoulliLoss(0.5, s_b).apply(1, rx)
+            assert (a != b).any()
+
+    def test_failure_masks_decorrelated_across_counts(self, mesh):
+        """Different failure counts must kill different node sets (beyond
+        the forced subset relation a shared stream would produce)."""
+        from repro.analysis.robustness import _failure_dead_masks
+        src = mesh.index((6, 4))
+        m4 = _failure_dead_masks(mesh, 4, 6, seed=0, src=src)
+        m8 = _failure_dead_masks(mesh, 8, 6, seed=0, src=src)
+        subset_rows = sum((m4[b] & ~m8[b]).sum() == 0 for b in range(6))
+        assert subset_rows < 6
+
+
+class TestEngineEquivalence:
+    """engine="batch" and engine="serial" must produce identical curves."""
+
+    def assert_points_equal(self, a, b):
+        assert len(a) == len(b)
+        for pa, pb in zip(a, b):
+            assert pa == pb
+
+    def test_loss_points_identical(self, mesh):
+        kw = dict(trials=6, seed=4, harden=1)
+        self.assert_points_equal(
+            loss_degradation(mesh, (6, 4), [0.0, 0.1, 0.3],
+                             engine="batch", **kw),
+            loss_degradation(mesh, (6, 4), [0.0, 0.1, 0.3],
+                             engine="serial", **kw))
+
+    def test_failure_points_identical(self, mesh):
+        kw = dict(trials=5, seed=2)
+        self.assert_points_equal(
+            failure_degradation(mesh, (6, 4), [0, 4, 9],
+                                engine="batch", **kw),
+            failure_degradation(mesh, (6, 4), [0, 4, 9],
+                                engine="serial", **kw))
+
+    def test_workers_do_not_change_points(self, mesh):
+        kw = dict(trials=4, seed=7)
+        self.assert_points_equal(
+            loss_degradation(mesh, (6, 4), [0.05, 0.1, 0.2, 0.3], **kw),
+            loss_degradation(mesh, (6, 4), [0.05, 0.1, 0.2, 0.3],
+                             workers=2, **kw))
+        self.assert_points_equal(
+            failure_degradation(mesh, (6, 4), [2, 5, 8], **kw),
+            failure_degradation(mesh, (6, 4), [2, 5, 8], workers=2, **kw))
+
+    def test_unknown_engine_rejected(self, mesh):
+        with pytest.raises(ValueError, match="unknown engine"):
+            loss_degradation(mesh, (6, 4), [0.1], engine="vector")
+        with pytest.raises(ValueError, match="unknown engine"):
+            failure_degradation(mesh, (6, 4), [1], engine="vector")
 
 
 class TestLossDegradation:
