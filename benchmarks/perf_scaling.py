@@ -1,0 +1,226 @@
+"""Large-grid scaling benchmark: build/compile/simulate seconds vs n.
+
+Walks a size ladder into the 10^5-10^6 node range on one topology and
+writes ``BENCH_scaling.json`` (repo root by default).  Per size it
+records:
+
+* ``stencil_build_s`` — CSR adjacency via the vectorised stencil fast
+  path (:meth:`~repro.topology.base.Topology.stencil_edges`);
+* ``loop_build_s``    — the per-node reference builder
+  (:func:`~repro.topology.graph.build_adjacency_loop`), skipped above
+  ``--loop-cap`` where the python loop gets too slow to time politely;
+  whenever both run, the two CSR matrices are asserted identical
+  *before* any timing is reported;
+* ``compile_s`` / ``simulate_s`` and the resulting broadcast metrics for
+  a centre-source broadcast (skipped above ``--sim-cap``);
+* ``diameter`` via the closed-form lattice metric (O(1) — the dense
+  all-pairs matrix is never materialised; the gate is asserted);
+* ``peak_rss_mb`` — ``ru_maxrss`` after the point completes.  The
+  counter is monotone over the process lifetime, so per-point values are
+  "peak so far" and only the growth between points is attributable to a
+  size.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/perf_scaling.py
+    PYTHONPATH=src python benchmarks/perf_scaling.py \
+        --topology 2D-4 --sizes 10000 100000 500000 1000000
+
+``benchmarks/test_perf_scaling.py`` smoke-tests this module on small
+grids in tier-2 runs; ``tests/test_bench_artifact.py`` validates the
+committed artefact's schema in tier 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.scaling import central_source, shape_for
+from repro.analysis.sweep import effective_workers
+from repro.core.registry import protocol_for
+from repro.radio.energy import PAPER_PACKET_BITS, PAPER_RADIO_MODEL
+from repro.sim.metrics import compute_metrics
+from repro.topology.builder import make_topology
+from repro.topology.graph import (DENSE_PAIRS_GATE, DenseAllPairsError,
+                                  all_pairs_distances, build_adjacency,
+                                  build_adjacency_loop)
+
+SCHEMA = "repro-wsn/bench-scaling/v1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+DEFAULT_SIZES = (10_000, 100_000, 500_000, 1_000_000)
+DEFAULT_LOOP_CAP = 500_000
+DEFAULT_SIM_CAP = 1_000_000
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process so far, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS, where this would
+    overreport — the artefact records the platform next to the numbers).
+    """
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+                 1)
+
+
+def _csr_equal(a, b) -> bool:
+    return (a.shape == b.shape
+            and np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices)
+            and np.array_equal(a.data, b.data))
+
+
+def measure_point(topology_label: str, target: int,
+                  loop_cap: int, sim_cap: int) -> dict:
+    """Time adjacency construction (both builders), compile and simulate
+    at one ladder size; return the per-point record."""
+    shape = shape_for(topology_label, target)
+    topo = make_topology(topology_label, shape=shape)
+    n = topo.num_nodes
+
+    t0 = time.perf_counter()
+    adj = build_adjacency(topo)
+    stencil_s = time.perf_counter() - t0
+
+    point = {
+        "nodes": n,
+        "shape": list(shape),
+        "stencil_build_s": round(stencil_s, 4),
+        "loop_build_s": None,
+        "adjacency_equal": None,
+        "compile_s": None,
+        "simulate_s": None,
+        "tx": None,
+        "delay_slots": None,
+        "reachability": None,
+        "diameter": int(topo.diameter),  # closed form: O(1), no dense
+    }
+
+    if n <= loop_cap:
+        t0 = time.perf_counter()
+        loop_adj = build_adjacency_loop(topo)
+        point["loop_build_s"] = round(time.perf_counter() - t0, 4)
+        point["adjacency_equal"] = _csr_equal(adj, loop_adj)
+        assert point["adjacency_equal"], (
+            f"stencil CSR != loop CSR at {topology_label} {shape}")
+        del loop_adj
+
+    if n <= sim_cap:
+        # seed the topology's cached adjacency so compile doesn't rebuild
+        topo.__dict__["adjacency"] = adj
+        src = central_source(shape)
+        proto = protocol_for(topo)
+        t0 = time.perf_counter()
+        compiled = proto.compile(topo, src)
+        point["compile_s"] = round(time.perf_counter() - t0, 4)
+        t0 = time.perf_counter()
+        m = compute_metrics(compiled.trace, topo, PAPER_RADIO_MODEL,
+                            PAPER_PACKET_BITS)
+        point["simulate_s"] = round(time.perf_counter() - t0, 4)
+        point["tx"] = int(m.tx)
+        point["delay_slots"] = int(m.delay_slots)
+        point["reachability"] = float(m.reachability)
+
+    point["peak_rss_mb"] = _peak_rss_mb()
+    return point
+
+
+def check_dense_gate(adjacency) -> bool:
+    """True iff the dense all-pairs path refuses to materialise above the
+    gate (the acceptance criterion: no O(n^2) allocation at scale)."""
+    if adjacency.shape[0] <= DENSE_PAIRS_GATE:
+        return True
+    try:
+        all_pairs_distances(adjacency)
+    except DenseAllPairsError:
+        return True
+    return False
+
+
+def run_benchmark(topology_label: str = "2D-4",
+                  sizes: Sequence[int] = DEFAULT_SIZES,
+                  loop_cap: int = DEFAULT_LOOP_CAP,
+                  sim_cap: int = DEFAULT_SIM_CAP,
+                  workers: Optional[int] = None) -> dict:
+    """Measure every ladder size; return the BENCH_scaling.json payload."""
+    points = [measure_point(topology_label, target, loop_cap, sim_cap)
+              for target in sizes]
+
+    # speedup at the largest size where both builders ran
+    common = [p for p in points if p["loop_build_s"] is not None]
+    largest = max(common, key=lambda p: p["nodes"]) if common else None
+
+    # gate probe on the largest grid of the run
+    biggest = max(points, key=lambda p: p["nodes"])
+    probe = make_topology(topology_label,
+                          shape=shape_for(topology_label, biggest["nodes"]))
+    gate_ok = check_dense_gate(probe.adjacency)
+
+    return {
+        "schema": SCHEMA,
+        "topology": topology_label,
+        "sizes": [int(s) for s in sizes],
+        "loop_cap": loop_cap,
+        "sim_cap": sim_cap,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers_requested": workers,
+        "workers_effective": effective_workers(workers),
+        "dense_gate": DENSE_PAIRS_GATE,
+        "dense_gate_respected": gate_ok,
+        "largest_common_nodes": None if largest is None else
+            largest["nodes"],
+        "adjacency_speedup_at_largest_common": None if largest is None else
+            round(largest["loop_build_s"] / largest["stencil_build_s"], 2),
+        "adjacency_equal_everywhere": all(
+            p["adjacency_equal"] for p in common),
+        "points": points,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--topology", default="2D-4")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SIZES))
+    parser.add_argument("--loop-cap", type=int, default=DEFAULT_LOOP_CAP,
+                        help="skip the loop reference builder above this "
+                             "many nodes")
+    parser.add_argument("--sim-cap", type=int, default=DEFAULT_SIM_CAP,
+                        help="skip compile+simulate above this many nodes")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="recorded for provenance; points run serially "
+                             "(each one saturates the machine)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        topology_label=args.topology, sizes=args.sizes,
+        loop_cap=args.loop_cap, sim_cap=args.sim_cap, workers=args.workers)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for p in payload["points"]:
+        loop = ("skipped" if p["loop_build_s"] is None
+                else f"{p['loop_build_s']:8.3f}s")
+        comp = ("skipped" if p["compile_s"] is None
+                else f"{p['compile_s']:7.3f}s")
+        print(f"n={p['nodes']:>9}: stencil {p['stencil_build_s']:7.3f}s  "
+              f"loop {loop}  compile {comp}  rss {p['peak_rss_mb']} MiB")
+    print(f"adjacency speedup at n={payload['largest_common_nodes']}: "
+          f"{payload['adjacency_speedup_at_largest_common']}x")
+    print(f"dense gate respected: {payload['dense_gate_respected']}")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.analysis.sweep import sweep_sources
+from repro.analysis.sweep import effective_workers, sweep_sources
 from repro.core.cache import ScheduleCache
 from repro.core.registry import protocol_for
 from repro.topology.builder import make_topology
@@ -120,6 +120,9 @@ def run_benchmark(topology_label: str = "2D-4",
         "shape": list(shape),
         "sources": num_sources,
         "workers": workers,
+        # single-CPU hosts degrade parallel requests to serial; the
+        # "parallel" entry then times the serial path
+        "workers_effective": effective_workers(workers),
         "platform": platform.platform(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),

@@ -1,0 +1,99 @@
+"""Smoke + perf coverage of the large-grid scaling benchmark.
+
+The smoke tests are deliberately *not* perf-marked: they run the
+benchmark end-to-end on small ladders in every tier-2 pass, exercising
+the stencil == loop adjacency-equality assertion, the dense-gate probe
+and the JSON artefact schema.  The full 10^4..10^6 ladder (the ISSUE's
+>= 5x / >= 500k acceptance bars) is perf-marked.
+"""
+
+import json
+
+import pytest
+
+from perf_scaling import (SCHEMA, check_dense_gate, measure_point,
+                          run_benchmark)
+from repro.topology.graph import DENSE_PAIRS_GATE
+from repro.topology.builder import make_topology
+
+
+def _validate_payload(payload: dict) -> None:
+    assert payload["schema"] == SCHEMA
+    assert payload["dense_gate"] == DENSE_PAIRS_GATE
+    assert payload["dense_gate_respected"] is True
+    assert payload["adjacency_equal_everywhere"] is True
+    assert payload["workers_effective"] >= 1
+    assert len(payload["points"]) == len(payload["sizes"])
+    for p in payload["points"]:
+        assert p["nodes"] > 0
+        assert p["stencil_build_s"] > 0
+        assert p["diameter"] > 0
+        assert p["peak_rss_mb"] > 0
+        if p["loop_build_s"] is not None:
+            assert p["adjacency_equal"] is True
+        if p["compile_s"] is not None:
+            assert p["reachability"] == 1.0
+
+
+def test_perf_scaling_smoke():
+    payload = run_benchmark(topology_label="2D-4", sizes=(512, 2048))
+    _validate_payload(payload)
+    assert payload["largest_common_nodes"] == 2048
+    assert payload["adjacency_speedup_at_largest_common"] > 0
+    # The artefact must survive a JSON round trip unchanged.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_perf_scaling_caps_respected():
+    payload = run_benchmark(topology_label="2D-4", sizes=(512, 5000),
+                            loop_cap=1000, sim_cap=1000)
+    big = payload["points"][1]
+    assert big["loop_build_s"] is None
+    assert big["compile_s"] is None
+    assert big["simulate_s"] is None
+    assert payload["largest_common_nodes"] == 512
+
+
+def test_perf_scaling_cli_writes_artifact(tmp_path, capsys):
+    from perf_scaling import main
+    out = tmp_path / "bench.json"
+    rc = main(["--topology", "2D-8", "--sizes", "512", "1152",
+               "--out", str(out)])
+    assert rc == 0
+    _validate_payload(json.loads(out.read_text()))
+    assert "adjacency speedup" in capsys.readouterr().out
+
+
+def test_dense_gate_probe():
+    """The probe must report False only when a dense all-pairs matrix is
+    actually materialised above the gate."""
+    small = make_topology("2D-4", shape=(8, 8))
+    assert check_dense_gate(small.adjacency) is True
+    big = make_topology("2D-4", shape=(150, 40))  # 6000 > gate
+    assert check_dense_gate(big.adjacency) is True
+
+
+def test_measure_point_3d():
+    point = measure_point("3D-6", 512, loop_cap=10_000, sim_cap=10_000)
+    assert point["shape"] == [8, 8, 8]
+    assert point["adjacency_equal"] is True
+    assert point["diameter"] == 21
+    assert point["reachability"] == 1.0
+
+
+@pytest.mark.perf
+def test_perf_scaling_full_ladder():
+    """ISSUE acceptance bars: >= 5x stencil-vs-loop adjacency speedup at
+    the largest common size, a completed compile+simulate point at
+    >= 500k nodes on 2D-4, and no dense all-pairs allocation above the
+    gate."""
+    payload = run_benchmark(topology_label="2D-4",
+                            sizes=(10_000, 100_000, 500_000))
+    _validate_payload(payload)
+    assert payload["largest_common_nodes"] >= 500_000
+    assert payload["adjacency_speedup_at_largest_common"] >= 5.0
+    big = max(payload["points"], key=lambda p: p["nodes"])
+    assert big["nodes"] >= 500_000
+    assert big["compile_s"] is not None and big["simulate_s"] is not None
+    assert big["reachability"] == 1.0
+    assert payload["dense_gate_respected"] is True

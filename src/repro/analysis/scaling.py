@@ -21,10 +21,45 @@ from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
                             FirstOrderRadioModel)
 from ..sim.metrics import compute_metrics
 from ..topology.builder import make_topology
+from .sweep import effective_workers
 
 #: Default size ladder (node counts); each 2D entry is a 2k x k mesh.
 DEFAULT_SIZES_2D = (128, 288, 512, 800, 1152)
 DEFAULT_SIZES_3D = (64, 216, 512, 1000)
+
+#: Large-grid ladders exercising the stencil fast path (10^4 .. 10^6
+#: nodes).  2D shapes are 2k x k; 3D are k^3 at comparable node counts.
+LARGE_SIZES_2D = (10_000, 50_000, 100_000, 500_000, 1_000_000)
+LARGE_SIZES_3D = (10_648, 50_653, 103_823, 493_039, 1_000_000)
+
+#: Named ladders for the CLI's ``--ladder`` option.
+LADDERS_2D = {"paper": DEFAULT_SIZES_2D, "large": LARGE_SIZES_2D}
+LADDERS_3D = {"paper": DEFAULT_SIZES_3D, "large": LARGE_SIZES_3D}
+
+
+def sizes_for(label: str, ladder: str = "paper") -> tuple:
+    """The named size *ladder* for topology *label*."""
+    table = LADDERS_3D if label == "3D-6" else LADDERS_2D
+    try:
+        return table[ladder]
+    except KeyError:
+        raise ValueError(
+            f"unknown ladder {ladder!r}; choose from {sorted(table)}")
+
+
+def icbrt(num: int) -> int:
+    """Integer cube root rounding to the nearest cube.
+
+    ``round(num ** (1/3))`` misrounds on exact cubes whose float cube root
+    lands just below .5 (e.g. ``216 ** (1/3) == 5.999...`` → 6 only by
+    luck of the rounding, ``10 ** 21`` style magnitudes drift further), so
+    pick the integer k minimising ``|k^3 - num|`` exactly.
+    """
+    if num < 0:
+        raise ValueError("num must be >= 0")
+    k = round(num ** (1 / 3))
+    return min((abs(c ** 3 - num), c) for c in (k - 1, k, k + 1)
+               if c >= 0)[1]
 
 
 @dataclass(frozen=True)
@@ -66,7 +101,7 @@ def shape_for(label: str, num_nodes: int) -> tuple:
     """A paper-proportioned shape with (approximately) *num_nodes* nodes:
     2k x k for the 2D meshes, k^3 for 3D-6."""
     if label == "3D-6":
-        k = round(num_nodes ** (1 / 3))
+        k = icbrt(num_nodes)
         return (k, k, k)
     k = round((num_nodes / 2) ** 0.5)
     return (2 * k, k)
@@ -88,13 +123,16 @@ def scaling_curve(
 
     *workers* >= 2 compiles the sizes in parallel processes; each size is
     independent and the result order always matches *sizes*, so the curve
-    is identical to the serial one.
+    is identical to the serial one.  On single-CPU hosts the request
+    degrades to serial (see
+    :func:`~repro.analysis.sweep.effective_workers`).
     """
     if sizes is None:
         sizes = DEFAULT_SIZES_3D if label == "3D-6" else DEFAULT_SIZES_2D
     jobs = [(label, target, protocol, model, packet_bits)
             for target in sizes]
-    if workers is not None and workers > 1 and len(jobs) > 1:
+    workers = effective_workers(workers)
+    if workers > 1 and len(jobs) > 1:
         from concurrent.futures import ProcessPoolExecutor
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_scaling_point, jobs))

@@ -11,6 +11,7 @@ source position by default — and take the extremes.
 from __future__ import annotations
 
 import itertools
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
@@ -24,6 +25,21 @@ from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
                             FirstOrderRadioModel)
 from ..sim.metrics import BroadcastMetrics, compute_metrics
 from ..topology.base import Topology
+
+
+def effective_workers(workers: Optional[int]) -> int:
+    """Worker count actually used for a requested *workers* value.
+
+    Single-CPU hosts degrade to serial: process fan-out only adds fork +
+    pickle overhead there (BENCH_sweep.json measured the parallel path
+    *losing* to serial, 0.53 s vs 0.47 s, on a 1-CPU runner).  Benchmarks
+    record this effective count next to the requested one.
+    """
+    if workers is None or workers <= 1:
+        return 1
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    return int(workers)
 
 
 @dataclass
@@ -94,7 +110,9 @@ def sweep_sources(
         rather than per source.
     workers:
         ``None`` or ``<= 1`` runs serially in-process.  ``>= 2`` fans the
-        sources out over that many worker processes in contiguous chunks.
+        sources out over that many worker processes in contiguous chunks —
+        unless the host has a single CPU, in which case the request
+        degrades to serial (see :func:`effective_workers`).
         Compilation is deterministic per source, and results are
         reassembled in submission order, so the metrics list — and every
         statistic derived from it — is bit-for-bit identical to the serial
@@ -112,7 +130,8 @@ def sweep_sources(
         sources = [topology.coord(i) for i in range(topology.num_nodes)]
     result = SweepResult(topology=topology.name)
     total = len(sources)
-    if workers is not None and workers > 1 and total > 1:
+    workers = effective_workers(workers)
+    if workers > 1 and total > 1:
         chunks = _chunk(list(sources), workers)
         cache_path = None if cache is None else cache.path
         jobs = [(topology, protocol, chunk, model, packet_bits,

@@ -191,8 +191,9 @@ def cmd_lifetime(args) -> int:
 
 
 def cmd_scaling(args) -> int:
-    from .analysis.scaling import scaling_curve
-    points = scaling_curve(args.label, sizes=args.sizes or None,
+    from .analysis.scaling import scaling_curve, sizes_for
+    sizes = args.sizes or sizes_for(args.label, args.ladder)
+    points = scaling_curve(args.label, sizes=sizes,
                            workers=args.workers)
     print(analysis.render_table(
         [p.as_row() for p in points],
@@ -339,6 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="broadcast cost vs network size (extension)")
     p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
     p.add_argument("--sizes", type=int, nargs="+", default=None)
+    p.add_argument("--ladder", choices=["paper", "large"], default="paper",
+                   help="named size ladder: the paper-scale defaults or "
+                        "the 10^4..10^6 large-grid ladder "
+                        "(--sizes overrides)")
     p.add_argument("--workers", type=int, default=None,
                    help="compile the sizes in parallel processes")
     p.set_defaults(func=cmd_scaling)

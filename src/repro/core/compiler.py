@@ -68,8 +68,10 @@ def compile_broadcast(
     completion/repair phases route the wave around them (fault-injection
     extension; the paper assumes a pristine network).
     """
-    # Memoised on the topology: rebuilding the per-node neighbour sets was
-    # the single biggest fixed cost of a compile call in source sweeps.
+    # Memoised on the topology and lazily materialised per node
+    # (LazyNeighborSets): the fix planner below only inspects the
+    # neighbourhoods of unreached/border/collision nodes, so a large grid
+    # never pays an up-front O(n) set-construction pass.
     nbr_sets = topology.neighbor_sets
 
     forced: Dict[int, Set[int]] = {}

@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 import hashlib
 from functools import cached_property
-from typing import Iterator, List
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -85,6 +85,41 @@ class Topology(abc.ABC):
         """``(num_nodes, dims)`` float array of node positions in metres."""
 
     # ------------------------------------------------------------------
+    # Large-grid fast-path hooks (regular lattices override these)
+    # ------------------------------------------------------------------
+
+    def stencil_edges(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorised directed edge arrays ``(rows, cols)``, or ``None``.
+
+        Regular lattices build both arrays from pure index arithmetic
+        (meshgrid + offset shifts + boundary masks), letting
+        :func:`repro.topology.graph.build_adjacency` assemble the CSR
+        matrix with no per-node python loop.  Irregular topologies return
+        ``None`` and fall back to the loop reference builder.
+        """
+        return None
+
+    def lattice_diameter(self) -> Optional[int]:
+        """Closed-form graph diameter, or ``None`` if no closed form.
+
+        Exactness is differentially tested against the dense all-pairs
+        diameter across shape grids (``tests/test_lattice_diameter.py``).
+        """
+        return None
+
+    def lattice_eccentricities(self) -> Optional[np.ndarray]:
+        """Closed-form per-node eccentricity vector (O(n)), or ``None``."""
+        return None
+
+    def _lattice_eccentricity(self, coord: Coord) -> Optional[int]:
+        """Closed-form eccentricity of one node (O(1)), or ``None``."""
+        return None
+
+    def _lattice_connected(self) -> Optional[bool]:
+        """Connectivity known from the lattice structure, or ``None``."""
+        return None
+
+    # ------------------------------------------------------------------
     # Shared graph machinery
     # ------------------------------------------------------------------
 
@@ -110,17 +145,16 @@ class Topology(abc.ABC):
         return _graph.build_adjacency(self)
 
     @cached_property
-    def neighbor_sets(self) -> List[frozenset]:
-        """Per-node neighbour sets (frozen, cached).
+    def neighbor_sets(self) -> Sequence[frozenset]:
+        """Per-node neighbour sets (lazy, cached).
 
-        The schedule compiler's working representation; building it from
-        the CSR arrays costs a full pass over the graph, so it is computed
-        once per topology instead of once per ``compile_broadcast`` call.
+        The schedule compiler's working representation.  Backed by CSR
+        slices and materialised per node on first access
+        (:class:`~repro.topology.graph.LazyNeighborSets`): the compiler's
+        fix planner only inspects border/collision neighbourhoods, so a
+        large grid never pays the O(n) set-construction cost up front.
         """
-        adj = self.adjacency
-        indptr, indices = adj.indptr, adj.indices
-        return [frozenset(indices[indptr[v]:indptr[v + 1]].tolist())
-                for v in range(self.num_nodes)]
+        return _graph.LazyNeighborSets(self.adjacency)
 
     @cached_property
     def slot_kernel(self):
@@ -181,18 +215,48 @@ class Topology(abc.ABC):
         return _graph.bfs_distances(self.adjacency, self.index(source))
 
     def eccentricity(self, source: Coord) -> int:
-        """Maximum hop distance from *source* to any reachable node."""
+        """Maximum hop distance from *source* to any reachable node.
+
+        Regular lattices answer from their closed-form hop metric in
+        O(1); otherwise one BFS sweep.
+        """
+        closed = self._lattice_eccentricity(source)
+        if closed is not None:
+            return closed
         d = self.hop_distances(source)
         reachable = d[d >= 0]
         return int(reachable.max())
 
+    def eccentricities(self) -> np.ndarray:
+        """Per-node eccentricity vector.
+
+        O(n) via the lattice closed forms where available; the dense
+        all-pairs fallback is gated by
+        :data:`repro.topology.graph.DENSE_PAIRS_GATE`.
+        """
+        closed = self.lattice_eccentricities()
+        if closed is not None:
+            return closed
+        return _graph.eccentricities(self.adjacency)
+
     @cached_property
     def diameter(self) -> int:
-        """Maximum eccentricity over all nodes (graph diameter)."""
+        """Maximum eccentricity over all nodes (graph diameter).
+
+        Closed form for the regular lattices (O(1)); otherwise exact
+        dense all-pairs below the size gate and the BFS double-sweep
+        estimate above it (see :func:`repro.topology.graph.diameter`).
+        """
+        closed = self.lattice_diameter()
+        if closed is not None:
+            return closed
         return _graph.diameter(self.adjacency)
 
     def is_connected(self) -> bool:
         """True if every node is reachable from node 0."""
+        closed = self._lattice_connected()
+        if closed is not None:
+            return closed
         d = _graph.bfs_distances(self.adjacency, 0)
         return bool((d >= 0).all())
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import List, Set, Tuple
 
+import numpy as np
+
 from .coords import Coord2D
 from .mesh2d import Mesh2D3, _Mesh2DBase
 
@@ -55,6 +57,24 @@ def s2_set(mesh: _Mesh2DBase, c: int) -> List[Coord2D]:
         if 1 <= y <= mesh.n:
             out.append((x, y))
     return out
+
+
+def s1_indices(mesh: _Mesh2DBase, c: int) -> np.ndarray:
+    """0-based node indices of ``S1(c)``, ordered by x (vectorised).
+
+    Index-arithmetic equivalent of :func:`s1_set` for large grids: no
+    coordinate tuples are materialised.
+    """
+    x = np.arange(max(1, c - mesh.n), min(mesh.m, c - 1) + 1, dtype=np.int64)
+    y = c - x
+    return x - 1 + (y - 1) * mesh.m
+
+
+def s2_indices(mesh: _Mesh2DBase, c: int) -> np.ndarray:
+    """0-based node indices of ``S2(c)``, ordered by x (vectorised)."""
+    x = np.arange(max(1, c + 1), min(mesh.m, c + mesh.n) + 1, dtype=np.int64)
+    y = x - c
+    return x - 1 + (y - 1) * mesh.m
 
 
 def s1_range(mesh: _Mesh2DBase) -> Tuple[int, int]:

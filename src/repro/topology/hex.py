@@ -42,6 +42,12 @@ class Mesh2D6(_Mesh2DBase):
                    (dx, 1), (dx, -1))
         return self._offset_neighbors(coord, offsets)
 
+    def _stencil_offsets(self, x: np.ndarray, y: np.ndarray) -> List[tuple]:
+        """Axis pairs plus the row-parity diagonal pair (odd-r offset)."""
+        dxa = np.where(y % 2 == 1, 1, -1)
+        return [(1, 0), (-1, 0), (0, 1), (0, -1),
+                (dxa, 1), (dxa, -1)]
+
     def positions(self) -> np.ndarray:
         xs = np.arange(self.m, dtype=np.float64)
         ys = np.arange(self.n, dtype=np.float64)

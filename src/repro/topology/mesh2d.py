@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +74,37 @@ class _Mesh2DBase(Topology):
                 out.append((nx, ny))
         return out
 
+    # -- large-grid fast path -------------------------------------------
+
+    def _grid_xy(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node 1-based coordinate arrays ``(x, y)`` in index order."""
+        idx = np.arange(self.num_nodes, dtype=np.int64)
+        return idx % self.m + 1, idx // self.m + 1
+
+    def _stencil_offsets(self, x: np.ndarray, y: np.ndarray) -> List[tuple]:
+        """``(dx, dy)`` pairs of the lattice stencil; each component is an
+        int or a per-node array (parity-dependent lattices)."""
+        return list(self.OFFSETS)
+
+    def stencil_edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Directed edge arrays from pure index arithmetic (no python
+        loop): shift the coordinate grids by each stencil offset and mask
+        out-of-box targets."""
+        x, y = self._grid_xy()
+        idx = np.arange(self.num_nodes, dtype=np.int64)
+        rows, cols = [], []
+        for dx, dy in self._stencil_offsets(x, y):
+            nx, ny = x + dx, y + dy
+            ok = (nx >= 1) & (nx <= self.m) & (ny >= 1) & (ny <= self.n)
+            rows.append(idx[ok])
+            cols.append(nx[ok] - 1 + (ny[ok] - 1) * self.m)
+        return np.concatenate(rows), np.concatenate(cols)
+
+    def _lattice_connected(self) -> Optional[bool]:
+        """Rectangular meshes with both horizontal and some vertical edge
+        per node are connected; parity lattices override."""
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name} {self.m}x{self.n}>"
 
@@ -88,6 +119,22 @@ class Mesh2D4(_Mesh2DBase):
 
     def _neighbor_coords(self, coord) -> List[Coord2D]:
         return self._offset_neighbors(coord, self.OFFSETS)
+
+    # Hop distance is the Manhattan metric, so the far corner is always a
+    # farthest node and all the O(n)/O(1) metrics are closed-form.
+
+    def lattice_diameter(self) -> int:
+        return (self.m - 1) + (self.n - 1)
+
+    def lattice_eccentricities(self) -> np.ndarray:
+        x, y = self._grid_xy()
+        return (np.maximum(x - 1, self.m - x)
+                + np.maximum(y - 1, self.n - y))
+
+    def _lattice_eccentricity(self, coord) -> int:
+        x, y = validate_coord(coord, 2)
+        self.index((x, y))  # bounds check
+        return max(x - 1, self.m - x) + max(y - 1, self.n - y)
 
 
 class Mesh2D8(_Mesh2DBase):
@@ -107,6 +154,21 @@ class Mesh2D8(_Mesh2DBase):
     def tx_range(self) -> float:
         """Diagonal neighbours sit ``sqrt(2) * spacing`` away."""
         return self.spacing * math.sqrt(2.0)
+
+    # Hop distance is the Chebyshev metric.
+
+    def lattice_diameter(self) -> int:
+        return max(self.m - 1, self.n - 1)
+
+    def lattice_eccentricities(self) -> np.ndarray:
+        x, y = self._grid_xy()
+        return np.maximum(np.maximum(x - 1, self.m - x),
+                          np.maximum(y - 1, self.n - y))
+
+    def _lattice_eccentricity(self, coord) -> int:
+        x, y = validate_coord(coord, 2)
+        self.index((x, y))  # bounds check
+        return max(x - 1, self.m - x, y - 1, self.n - y)
 
 
 class Mesh2D3(_Mesh2DBase):
@@ -136,3 +198,83 @@ class Mesh2D3(_Mesh2DBase):
         x, y = coord
         dy = self.vertical_neighbor_offset(x, y)
         return self._offset_neighbors(coord, ((1, 0), (-1, 0), (0, dy)))
+
+    def _stencil_offsets(self, x: np.ndarray, y: np.ndarray) -> List[tuple]:
+        """Horizontal pair plus the parity-dependent vertical edge: the
+        ``(x + y) % 2`` brick rule as one vectorised offset column."""
+        dy = np.where((x + y) % 2 == 0, 1, -1)
+        return [(1, 0), (-1, 0), (0, dy)]
+
+    # -- closed-form hop metric -----------------------------------------
+    #
+    # For m >= 2 the brick-wall hop distance has a closed form.  Climbing
+    # one row requires a column of the right parity ((x + y) even), and
+    # consecutive climbs need alternating column parities, so a path with
+    # dy vertical moves spends at least max(dx, dy - 1 + a + b) horizontal
+    # moves, where a = 1 iff the lower endpoint cannot climb immediately
+    # ((x_lo + y_lo) odd) and b = 1 iff the upper endpoint is not on the
+    # final climb parity ((x_hi + y_hi) even).  Both bounds are achievable
+    # by zig-zagging between adjacent columns, so
+    #
+    #     d = dy + max(dx, dy - 1 + a + b)        (dy >= 1; d = dx else).
+    #
+    # tests/test_lattice_diameter.py verifies this differentially against
+    # dense BFS over a grid of shapes.  m == 1 degenerates into isolated
+    # domino pairs and is special-cased.
+
+    @staticmethod
+    def _brick_distance(x1, y1, x2, y2):
+        """Vectorised closed-form hop distance (valid for m >= 2)."""
+        x1, y1, x2, y2 = (np.asarray(v, dtype=np.int64)
+                          for v in (x1, y1, x2, y2))
+        swap = y1 > y2
+        xl = np.where(swap, x2, x1)
+        yl = np.where(swap, y2, y1)
+        xh = np.where(swap, x1, x2)
+        yh = np.where(swap, y1, y2)
+        dx = np.abs(x1 - x2)
+        dy = yh - yl
+        a = (xl + yl) % 2
+        b = (xh + yh + 1) % 2
+        return np.where(dy == 0, dx,
+                        dy + np.maximum(dx, dy - 1 + a + b))
+
+    #: Candidate x-columns containing a farthest node for any source (both
+    #: parities at both extremes); eccentricity = max distance over the
+    #: candidate set {1, 2, m-1, m} x {1, n}.
+
+    def _far_candidates(self) -> Tuple[np.ndarray, np.ndarray]:
+        xs = np.asarray(sorted({1, 2, self.m - 1, self.m}), dtype=np.int64)
+        xs = xs[(xs >= 1) & (xs <= self.m)]
+        ys = np.asarray(sorted({1, self.n}), dtype=np.int64)
+        cx, cy = np.meshgrid(xs, ys, indexing="ij")
+        return cx.ravel(), cy.ravel()
+
+    def lattice_diameter(self) -> int:
+        if self.m == 1:
+            # Vertical edges only at (1, y)-(1, y+1) with y odd: the grid
+            # decomposes into dominoes (plus a singleton for odd n).
+            return 1 if self.n >= 2 else 0
+        return max(self.m + self.n - 2, 2 * self.n - 1)
+
+    def lattice_eccentricities(self) -> np.ndarray:
+        if self.m == 1:
+            y = np.arange(1, self.n + 1, dtype=np.int64)
+            paired = (y % 2 == 0) | (y < self.n)
+            return paired.astype(np.int64)
+        x, y = self._grid_xy()
+        cx, cy = self._far_candidates()
+        d = self._brick_distance(x[:, None], y[:, None],
+                                 cx[None, :], cy[None, :])
+        return d.max(axis=1)
+
+    def _lattice_eccentricity(self, coord) -> int:
+        x, y = validate_coord(coord, 2)
+        self.index((x, y))  # bounds check
+        if self.m == 1:
+            return int(y % 2 == 0 or y < self.n)
+        cx, cy = self._far_candidates()
+        return int(self._brick_distance(x, y, cx, cy).max())
+
+    def _lattice_connected(self) -> bool:
+        return self.m >= 2 or self.n <= 2

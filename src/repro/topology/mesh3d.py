@@ -8,7 +8,7 @@ with the 2D-4 protocol and forwards across planes along the Z axis.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -80,6 +80,52 @@ class Mesh3D6(Topology):
             if in_box3d(nx, ny, nz, self.m, self.n, self.l):
                 out.append((nx, ny, nz))
         return out
+
+    # -- large-grid fast path -------------------------------------------
+
+    def _grid_xyz(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-node 1-based coordinate arrays ``(x, y, z)`` in index order."""
+        idx = np.arange(self.num_nodes, dtype=np.int64)
+        plane = self.m * self.n
+        return (idx % self.m + 1,
+                idx % plane // self.m + 1,
+                idx // plane + 1)
+
+    def stencil_edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Directed edge arrays from pure index arithmetic (no python loop)."""
+        x, y, z = self._grid_xyz()
+        idx = np.arange(self.num_nodes, dtype=np.int64)
+        plane = self.m * self.n
+        rows, cols = [], []
+        for dx, dy, dz in self.OFFSETS:
+            nx, ny, nz = x + dx, y + dy, z + dz
+            ok = ((nx >= 1) & (nx <= self.m)
+                  & (ny >= 1) & (ny <= self.n)
+                  & (nz >= 1) & (nz <= self.l))
+            rows.append(idx[ok])
+            cols.append(nx[ok] - 1 + (ny[ok] - 1) * self.m
+                        + (nz[ok] - 1) * plane)
+        return np.concatenate(rows), np.concatenate(cols)
+
+    # Hop distance is the 3D Manhattan metric.
+
+    def lattice_diameter(self) -> int:
+        return (self.m - 1) + (self.n - 1) + (self.l - 1)
+
+    def lattice_eccentricities(self) -> np.ndarray:
+        x, y, z = self._grid_xyz()
+        return (np.maximum(x - 1, self.m - x)
+                + np.maximum(y - 1, self.n - y)
+                + np.maximum(z - 1, self.l - z))
+
+    def _lattice_eccentricity(self, coord) -> int:
+        x, y, z = validate_coord(coord, 3)
+        self.index((x, y, z))  # bounds check
+        return (max(x - 1, self.m - x) + max(y - 1, self.n - y)
+                + max(z - 1, self.l - z))
+
+    def _lattice_connected(self) -> bool:
+        return True
 
     def plane_indices(self, z: int) -> np.ndarray:
         """0-based node indices of the XY plane at height *z* (1-based)."""

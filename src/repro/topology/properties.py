@@ -6,9 +6,10 @@ and by the CLI's ``topology`` command.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict
+
+import numpy as np
 
 from .base import Topology
 
@@ -45,7 +46,8 @@ class TopologyReport:
 def analyze(topology: Topology) -> TopologyReport:
     """Compute a :class:`TopologyReport` for *topology*."""
     degrees = topology.degrees
-    hist = dict(Counter(int(d) for d in degrees))
+    vals, counts = np.unique(degrees, return_counts=True)
+    hist = {int(v): int(c) for v, c in zip(vals, counts)}
     num_edges = int(degrees.sum()) // 2
     border = int((degrees < topology.nominal_degree).sum())
     return TopologyReport(

@@ -1,9 +1,10 @@
 """The committed benchmark artefacts must stay well-formed.
 
-``benchmarks/perf_sweep.py`` / ``benchmarks/perf_robustness.py``
-regenerate the artefacts; these tier-1 checks only validate their
-structure (cheap, no timing), so a hand-edited or truncated file is
-caught before it misleads anyone reading the numbers.
+``benchmarks/perf_sweep.py`` / ``benchmarks/perf_robustness.py`` /
+``benchmarks/perf_scaling.py`` regenerate the artefacts; these tier-1
+checks only validate their structure (cheap, no timing), so a
+hand-edited or truncated file is caught before it misleads anyone
+reading the numbers.
 """
 
 import json
@@ -14,6 +15,7 @@ import pytest
 _ROOT = Path(__file__).resolve().parent.parent
 SWEEP_ARTIFACT = _ROOT / "BENCH_sweep.json"
 ROBUSTNESS_ARTIFACT = _ROOT / "BENCH_robustness.json"
+SCALING_ARTIFACT = _ROOT / "BENCH_scaling.json"
 
 
 @pytest.mark.skipif(not SWEEP_ARTIFACT.exists(),
@@ -46,3 +48,28 @@ def test_bench_robustness_artifact_well_formed():
     assert len(payload["loss_rates"]) >= 8
     assert payload["trials"] >= 32
     assert payload["batched_speedup_vs_serial"] >= 3.0
+
+
+@pytest.mark.skipif(not SCALING_ARTIFACT.exists(),
+                    reason="BENCH_scaling.json not generated")
+def test_bench_scaling_artifact_well_formed():
+    payload = json.loads(SCALING_ARTIFACT.read_text())
+    assert payload["schema"] == "repro-wsn/bench-scaling/v1"
+    assert payload["dense_gate_respected"] is True
+    assert payload["adjacency_equal_everywhere"] is True
+    assert payload["workers_effective"] >= 1
+    assert len(payload["points"]) == len(payload["sizes"])
+    for p in payload["points"]:
+        assert p["stencil_build_s"] > 0
+        assert p["peak_rss_mb"] > 0
+        if p["loop_build_s"] is not None:
+            assert p["adjacency_equal"] is True
+    # the ISSUE's acceptance floors for the committed artefact
+    assert payload["topology"] == "2D-4"
+    assert payload["largest_common_nodes"] >= 500_000
+    assert payload["adjacency_speedup_at_largest_common"] >= 5.0
+    big = max(payload["points"], key=lambda p: p["nodes"])
+    assert big["nodes"] >= 500_000
+    assert big["compile_s"] is not None
+    assert big["simulate_s"] is not None
+    assert big["reachability"] == 1.0

@@ -107,3 +107,15 @@ class TestScalingCommand:
     def test_scaling_3d(self, capsys):
         assert main(["scaling", "3D-6", "--sizes", "64"]) == 0
         assert "4x4x4" in capsys.readouterr().out
+
+    def test_scaling_explicit_sizes_override_ladder(self, capsys):
+        assert main(["scaling", "2D-4", "--ladder", "large",
+                     "--sizes", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "16x8" in out
+        assert "1000x500" not in out
+
+    def test_scaling_rejects_unknown_ladder(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scaling", "2D-4", "--ladder", "huge"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -66,6 +66,29 @@ class TestSValues:
         assert sorted(all_s1) == sorted(mesh.iter_coords())
 
 
+class TestVectorizedIndices:
+    """s1_indices/s2_indices are the index-arithmetic equivalents of the
+    coordinate-tuple sets — same nodes, same x-order, no python loop."""
+
+    @pytest.mark.parametrize("shape", [(8, 8), (7, 5), (1, 6), (6, 1),
+                                       (2, 2)])
+    def test_s1_matches_coordinate_set(self, shape):
+        mesh = Mesh2D8(*shape)
+        lo, hi = D.s1_range(mesh)
+        for c in range(lo - 2, hi + 3):  # incl. out-of-range constants
+            want = [mesh.index(cd) for cd in D.s1_set(mesh, c)]
+            assert D.s1_indices(mesh, c).tolist() == want, c
+
+    @pytest.mark.parametrize("shape", [(8, 8), (7, 5), (1, 6), (6, 1),
+                                       (2, 2)])
+    def test_s2_matches_coordinate_set(self, shape):
+        mesh = Mesh2D8(*shape)
+        lo, hi = D.s2_range(mesh)
+        for c in range(lo - 2, hi + 3):
+            want = [mesh.index(cd) for cd in D.s2_set(mesh, c)]
+            assert D.s2_indices(mesh, c).tolist() == want, c
+
+
 class TestStaircases:
     def test_paper_b_values_example(self):
         """Paper Section 3.3: source (5,4), (5,5) not a neighbour ->

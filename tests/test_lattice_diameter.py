@@ -1,0 +1,124 @@
+"""Closed-form lattice metrics vs BFS/dense measurement.
+
+The large-grid fast path answers ``diameter`` / ``eccentricities`` /
+``is_connected`` from closed forms on the four regular grids.  Exactness
+is the whole point — a million-node mesh can't be cross-checked — so
+this suite proves the formulas on a grid of small shapes against the
+dense all-pairs matrix, and pins down the size gate plus the BFS
+double-sweep fallback used where no closed form exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.topology import Mesh2D3, Mesh2D4, Mesh2D6, Mesh2D8, Mesh3D6
+from repro.topology import graph as G
+
+SHAPES_2D = [(1, 1), (1, 2), (1, 5), (1, 6), (2, 1), (5, 1), (2, 2),
+             (2, 7), (7, 2), (3, 3), (3, 8), (8, 3), (4, 6), (6, 4),
+             (5, 5), (8, 8), (2, 9), (9, 2)]
+SHAPES_3D = [(1, 1, 1), (2, 2, 2), (1, 4, 2), (3, 1, 3), (2, 3, 4),
+             (4, 3, 2), (3, 3, 3), (5, 2, 1)]
+
+
+def measured_metrics(topo):
+    """Ground truth from the dense all-pairs matrix (small shapes only)."""
+    adj = topo.adjacency
+    d = G.all_pairs_distances(adj)
+    finite = d[np.isfinite(d)]
+    diam = int(finite.max()) if finite.size else 0
+    dd = d.copy()
+    dd[~np.isfinite(dd)] = -np.inf
+    ecc = dd.max(axis=1).astype(np.int64)
+    connected = bool(np.isfinite(d).all())
+    return diam, ecc, connected
+
+
+@pytest.mark.parametrize("cls", [Mesh2D4, Mesh2D8, Mesh2D3])
+@pytest.mark.parametrize("shape", SHAPES_2D)
+def test_closed_forms_2d(cls, shape):
+    topo = cls(*shape)
+    diam, ecc, connected = measured_metrics(topo)
+    assert topo.lattice_diameter() == diam, (cls.__name__, shape)
+    assert np.array_equal(topo.lattice_eccentricities(), ecc), \
+        (cls.__name__, shape)
+    assert topo._lattice_connected() == connected, (cls.__name__, shape)
+    # the public accessors route through the closed forms
+    assert topo.diameter == diam
+    assert np.array_equal(topo.eccentricities(), ecc)
+    assert topo.is_connected() == connected
+    # spot-check the O(1) single-node form on a few nodes
+    for i in (0, topo.num_nodes // 2, topo.num_nodes - 1):
+        c = topo.coord(i)
+        assert topo._lattice_eccentricity(c) == ecc[i], (cls.__name__,
+                                                         shape, c)
+        assert topo.eccentricity(c) == ecc[i]
+
+
+@pytest.mark.parametrize("shape", SHAPES_3D)
+def test_closed_forms_3d(shape):
+    topo = Mesh3D6(*shape)
+    diam, ecc, connected = measured_metrics(topo)
+    assert topo.lattice_diameter() == diam, shape
+    assert np.array_equal(topo.lattice_eccentricities(), ecc), shape
+    assert topo._lattice_connected() is True and connected
+    for i in (0, topo.num_nodes // 2, topo.num_nodes - 1):
+        c = topo.coord(i)
+        assert topo._lattice_eccentricity(c) == ecc[i], (shape, c)
+
+
+def test_brick_distance_matches_bfs():
+    """The 2D-3 closed-form hop distance (not just its max) is exact."""
+    for shape in [(2, 2), (3, 5), (5, 3), (6, 6), (4, 7), (7, 4)]:
+        topo = Mesh2D3(*shape)
+        d = G.all_pairs_distances(topo.adjacency)
+        x, y = topo._grid_xy()
+        closed = Mesh2D3._brick_distance(x[:, None], y[:, None],
+                                         x[None, :], y[None, :])
+        assert np.array_equal(closed, d.astype(np.int64)), shape
+
+
+def test_hex_has_no_closed_form_but_stays_exact():
+    """2D-6 relies on the generic fallbacks; below the gate these are the
+    dense exact paths."""
+    topo = Mesh2D6(9, 7)
+    assert topo.lattice_diameter() is None
+    diam, ecc, connected = measured_metrics(topo)
+    assert topo.diameter == diam
+    assert np.array_equal(topo.eccentricities(), ecc)
+    assert topo.is_connected() == connected
+
+
+class TestDenseGate:
+    def test_all_pairs_refuses_above_gate(self):
+        adj = Mesh2D4(2, 2).adjacency
+        big = G.DENSE_PAIRS_GATE + 1
+        import scipy.sparse as sp
+        huge = sp.csr_matrix((big, big), dtype=np.int8)
+        with pytest.raises(G.DenseAllPairsError):
+            G.all_pairs_distances(huge)
+        with pytest.raises(G.DenseAllPairsError):
+            G.eccentricities(huge)
+        # a MemoryError subclass, so generic OOM guards catch it too
+        assert issubclass(G.DenseAllPairsError, MemoryError)
+        # small matrices still work
+        assert np.isfinite(G.all_pairs_distances(adj)).all()
+
+    def test_diameter_switches_to_double_sweep_above_gate(self):
+        m, n = 150, 40  # 6000 nodes > gate
+        topo = Mesh2D8(m, n)
+        adj = topo.adjacency
+        assert adj.shape[0] > G.DENSE_PAIRS_GATE
+        assert G.diameter(adj) == topo.lattice_diameter() == m - 1
+
+    def test_double_sweep_exact_on_lattices(self):
+        for topo in (Mesh2D4(9, 6), Mesh2D8(7, 7), Mesh2D3(8, 5),
+                     Mesh3D6(4, 3, 5), Mesh2D6(6, 8)):
+            want = G.diameter(topo.adjacency)  # dense exact (below gate)
+            assert G.double_sweep_diameter(topo.adjacency) == want, \
+                repr(topo)
+
+    def test_double_sweep_disconnected(self):
+        topo = Mesh2D3(1, 5)  # domino components
+        assert not topo.is_connected()
+        assert G.double_sweep_diameter(topo.adjacency) == 1

@@ -2,8 +2,11 @@
 
 import pytest
 
-from repro.analysis.scaling import (ScalingPoint, central_source,
-                                    scaling_curve, shape_for)
+from repro.analysis.scaling import (DEFAULT_SIZES_3D, LARGE_SIZES_2D,
+                                    LARGE_SIZES_3D, ScalingPoint,
+                                    central_source, icbrt, scaling_curve,
+                                    shape_for, sizes_for)
+from repro.analysis.sweep import effective_workers
 
 
 class TestShapes:
@@ -20,6 +23,59 @@ class TestShapes:
         assert central_source((32, 16)) == (16, 8)
         assert central_source((8, 8, 8)) == (4, 4, 4)
         assert central_source((1, 1)) == (1, 1)
+
+
+class TestIntegerCubeRoot:
+    def test_exact_cubes(self):
+        # 216 ** (1/3) == 5.999... in float; round() alone can misround
+        for k in (1, 2, 5, 6, 10, 22, 37, 47, 79, 100, 10**6, 10**7):
+            assert icbrt(k ** 3) == k, k
+
+    def test_nearest_cube(self):
+        assert icbrt(0) == 0
+        assert icbrt(7) == 2       # |8-7| < |1-7|
+        assert icbrt(9) == 2
+        assert icbrt(1000_000_001) == 1000
+        with pytest.raises(ValueError):
+            icbrt(-8)
+
+    def test_default_3d_ladder_regression(self):
+        """Every entry of the default (and large) 3D ladders is an exact
+        cube and must map to exactly that cube's edge."""
+        for target in DEFAULT_SIZES_3D + LARGE_SIZES_3D:
+            k = icbrt(target)
+            assert k ** 3 == target, target
+            assert shape_for("3D-6", target) == (k, k, k)
+
+
+class TestLadders:
+    def test_sizes_for(self):
+        assert sizes_for("2D-4") == (128, 288, 512, 800, 1152)
+        assert sizes_for("2D-4", "large") == LARGE_SIZES_2D
+        assert sizes_for("3D-6", "large") == LARGE_SIZES_3D
+        with pytest.raises(ValueError):
+            sizes_for("2D-4", "huge")
+
+    def test_large_ladder_reaches_a_million(self):
+        assert max(LARGE_SIZES_2D) == 1_000_000
+        assert max(LARGE_SIZES_3D) == 1_000_000
+
+
+class TestEffectiveWorkers:
+    def test_serial_requests_stay_serial(self):
+        assert effective_workers(None) == 1
+        assert effective_workers(0) == 1
+        assert effective_workers(1) == 1
+
+    def test_multi_cpu_honours_request(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert effective_workers(4) == 4
+
+    def test_single_cpu_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert effective_workers(4) == 1
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert effective_workers(4) == 1
 
 
 class TestCurve:
