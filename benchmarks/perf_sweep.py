@@ -37,7 +37,8 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.analysis.sweep import effective_workers, sweep_sources
+from repro.analysis.sweep import (available_cpus, effective_workers,
+                                  sweep_sources)
 from repro.core.cache import ScheduleCache
 from repro.core.registry import protocol_for
 from repro.topology.builder import make_topology
@@ -47,8 +48,11 @@ DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
 
 def _timed_sweep(topology, **kwargs):
+    # symmetry=False pins the direct per-source path: this benchmark is
+    # the *baseline* the symmetry-reduced sweep (perf_symmetry.py) is
+    # measured against, so its modes must keep compiling every source.
     t0 = time.perf_counter()
-    result = sweep_sources(topology, **kwargs)
+    result = sweep_sources(topology, symmetry=False, **kwargs)
     return result, time.perf_counter() - t0
 
 
@@ -89,7 +93,8 @@ def run_benchmark(topology_label: str = "2D-4",
                     warm_dir = Path(cache_dir) / "warm"
                     if rep == 0:
                         sweep_sources(topology, protocol=protocol,
-                                      cache=ScheduleCache(warm_dir))
+                                      cache=ScheduleCache(warm_dir),
+                                      symmetry=False)
                     # Fresh instance: empty memory tier, every source is a
                     # disk hit (replay only, no compile fixpoint).
                     result, secs = _timed_sweep(
@@ -126,6 +131,7 @@ def run_benchmark(topology_label: str = "2D-4",
         "platform": platform.platform(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "cpus_available": available_cpus(),
         "entries": entries,
         "parallel_matches_serial": True,  # asserted above
         "warm_speedup_vs_cold": round(

@@ -1,0 +1,148 @@
+"""Benchmark: symmetry-reduced source sweeps vs direct compilation.
+
+Measures the compile-count reduction and wall-clock speedup of the
+symmetry-reduced sweep path (:mod:`repro.core.symmetry`) against the
+direct per-source path on full-grid sweeps of the paper topologies:
+
+* ``no_symmetry`` — ``sweep_sources(symmetry=False)``: one
+  ``compile_broadcast`` fixpoint per source (the PR 1 baseline
+  semantics, exactly what ``benchmarks/perf_sweep.py`` times).
+* ``symmetry``    — ``sweep_sources(symmetry=True)``: one fixpoint per
+  source-equivalence class, members derived by the batched engine.
+
+Before anything is written, the two modes' metrics lists are asserted
+**equal element for element** — the symmetry path is only a performance
+path, so a benchmark whose outputs diverged would be measuring the wrong
+thing; ``metrics_equal`` records the assertion in the artefact.
+
+Compile counts are observed, not inferred: the serial compiler keeps a
+process-global invocation counter (:func:`repro.core.compiler.
+compile_call_count`) that is diffed around each sweep.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/perf_symmetry.py
+    PYTHONPATH=src python benchmarks/perf_symmetry.py \
+        --grids 2D-4:32x16 2D-8:32x16 --out BENCH_symmetry.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.sweep import (available_cpus, effective_workers,
+                                  sweep_sources)
+from repro.core.compiler import compile_call_count
+from repro.core.registry import protocol_for
+from repro.core.symmetry import group_sources
+from repro.topology.builder import make_topology
+
+SCHEMA = "repro-wsn/bench-symmetry/v1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_symmetry.json"
+DEFAULT_GRIDS = ("2D-4:32x16", "2D-8:32x16")
+
+
+def _timed_sweep(topology, protocol, symmetry: bool):
+    """One full-grid sweep; returns (result, seconds, compile_calls)."""
+    calls0 = compile_call_count()
+    t0 = time.perf_counter()
+    result = sweep_sources(topology, protocol=protocol, symmetry=symmetry)
+    return result, time.perf_counter() - t0, compile_call_count() - calls0
+
+
+def bench_grid(topology_label: str, shape: Sequence[int],
+               repeats: int = 1) -> dict:
+    """Benchmark one full-grid sweep in both modes; assert equality."""
+    topology = make_topology(topology_label, shape=tuple(shape))
+    protocol = protocol_for(topology)
+    sources = [topology.coord(i) for i in range(topology.num_nodes)]
+    groups, direct = group_sources(topology, protocol, sources)
+
+    entry = {
+        "topology": topology_label,
+        "shape": list(shape),
+        "sources": len(sources),
+        "classes": len(groups),
+        "ungrouped_sources": len(direct),
+    }
+    for label, symmetry in (("no_symmetry", False), ("symmetry", True)):
+        best = None
+        for _ in range(max(1, repeats)):
+            result, secs, calls = _timed_sweep(topology, protocol, symmetry)
+            if best is None or secs < best[1]:
+                best = (result, secs, calls)
+        result, secs, calls = best
+        entry[label] = {
+            "seconds": round(secs, 4),
+            "compile_calls": calls,
+            "sources_per_second": round(len(sources) / secs, 1),
+        }
+        if symmetry:
+            sym_metrics = result.metrics
+        else:
+            ref_metrics = result.metrics
+
+    # Hard equality gate: the symmetry path must reproduce the direct
+    # path's metrics exactly (order included) or the numbers are void.
+    assert sym_metrics == ref_metrics, (
+        f"symmetry sweep diverged from direct sweep on "
+        f"{topology_label} {shape}")
+    entry["metrics_equal"] = True
+    entry["compile_call_reduction"] = round(
+        entry["no_symmetry"]["compile_calls"]
+        / max(1, entry["symmetry"]["compile_calls"]), 2)
+    entry["speedup"] = round(
+        entry["no_symmetry"]["seconds"] / entry["symmetry"]["seconds"], 2)
+    return entry
+
+
+def run_benchmark(grids: Sequence[str] = DEFAULT_GRIDS,
+                  repeats: int = 1) -> dict:
+    """Benchmark every ``LABEL:MxN[xL]`` grid; return the JSON payload."""
+    entries: List[dict] = []
+    for spec in grids:
+        label, _, dims = spec.partition(":")
+        shape = tuple(int(d) for d in dims.split("x"))
+        entries.append(bench_grid(label, shape, repeats=repeats))
+    return {
+        "schema": SCHEMA,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "cpus_available": available_cpus(),
+        "workers_effective": effective_workers(None),
+        "metrics_equal": all(e["metrics_equal"] for e in entries),
+        "entries": entries,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grids", nargs="+", default=list(DEFAULT_GRIDS),
+                        metavar="LABEL:MxN[xL]")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(grids=args.grids, repeats=args.repeats)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for e in payload["entries"]:
+        print(f"{e['topology']} {e['shape']}: "
+              f"{e['sources']} sources -> {e['classes']} classes, "
+              f"{e['no_symmetry']['compile_calls']} -> "
+              f"{e['symmetry']['compile_calls']} compile calls "
+              f"({e['compile_call_reduction']}x), "
+              f"{e['no_symmetry']['seconds']}s -> "
+              f"{e['symmetry']['seconds']}s ({e['speedup']}x)")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

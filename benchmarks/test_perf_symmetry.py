@@ -1,0 +1,52 @@
+"""Smoke + perf coverage of the symmetry-reduction benchmark.
+
+The smoke test runs the benchmark end-to-end on small grids in every
+tier-2 pass, which exercises the symmetry==direct equality assertion and
+the JSON artefact schema; the paper-size run (the one that regenerates
+the committed ``BENCH_symmetry.json``) is perf-marked.
+"""
+
+import json
+
+import pytest
+
+from perf_symmetry import SCHEMA, run_benchmark
+
+
+def _validate_payload(payload: dict) -> None:
+    assert payload["schema"] == SCHEMA
+    assert payload["metrics_equal"] is True
+    assert payload["cpus_available"] >= 1
+    for entry in payload["entries"]:
+        assert entry["metrics_equal"] is True
+        assert 1 <= entry["classes"] <= entry["sources"]
+        assert entry["no_symmetry"]["compile_calls"] == entry["sources"]
+        assert entry["symmetry"]["compile_calls"] <= entry["classes"]
+        for mode in ("no_symmetry", "symmetry"):
+            assert entry[mode]["seconds"] > 0
+
+
+def test_perf_symmetry_smoke():
+    payload = run_benchmark(grids=["2D-4:9x7", "3D-6:4x3x3"], repeats=1)
+    _validate_payload(payload)
+    assert [e["topology"] for e in payload["entries"]] == ["2D-4", "3D-6"]
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_perf_symmetry_cli_writes_artifact(tmp_path, capsys):
+    from perf_symmetry import main
+    out = tmp_path / "bench.json"
+    rc = main(["--grids", "2D-4:8x6", "--repeats", "1", "--out", str(out)])
+    assert rc == 0
+    _validate_payload(json.loads(out.read_text()))
+    assert "classes" in capsys.readouterr().out
+
+
+@pytest.mark.perf
+def test_perf_symmetry_full_size():
+    """Paper-size sweeps: the committed-artefact floors must hold."""
+    payload = run_benchmark(grids=["2D-4:32x16", "2D-8:32x16"], repeats=3)
+    _validate_payload(payload)
+    mesh2d4 = payload["entries"][0]
+    assert mesh2d4["compile_call_reduction"] >= 5.0
+    assert mesh2d4["speedup"] > 1.0

@@ -12,12 +12,14 @@ from .robustness import (RobustnessPoint, failure_degradation,
                           harden_plan, loss_degradation)
 from .report import (format_number, render_kv, render_paper_comparison,
                      render_table)
-from .sweep import (SweepResult, corner_sources, strided_sources,
-                    sweep_sources)
+from .sweep import (SweepResult, available_cpus, corner_sources,
+                    effective_workers, strided_sources, sweep_sources)
 
 __all__ = [
     "SweepResult",
     "sweep_sources",
+    "available_cpus",
+    "effective_workers",
     "strided_sources",
     "corner_sources",
     "SweepCache",

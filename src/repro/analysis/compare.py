@@ -72,7 +72,8 @@ class SweepCache:
                 packet_bits: int = PAPER_PACKET_BITS,
                 labels: Sequence[str] = TOPOLOGY_ORDER,
                 workers: Optional[int] = None,
-                cache: Optional[ScheduleCache] = None) -> "SweepCache":
+                cache: Optional[ScheduleCache] = None,
+                symmetry: Optional[bool] = None) -> "SweepCache":
         """Sweep all four paper topologies (stride > 1 subsamples sources
         for quick runs; all grid corners are always included).
 
@@ -80,7 +81,10 @@ class SweepCache:
         topology serves all three.  *workers* fans each sweep out over
         processes; *cache* (a :class:`~repro.core.cache.ScheduleCache`)
         reuses compilations across calls and — with ``path=`` — across
-        runs and worker processes.
+        runs and worker processes; *symmetry* selects the
+        symmetry-reduced compilation path exactly as in
+        :func:`~repro.analysis.sweep.sweep_sources` (identical results
+        either way).
         """
         sweeps = {}
         for label in labels:
@@ -88,7 +92,7 @@ class SweepCache:
             sources = None if stride == 1 else strided_sources(topo, stride)
             sweeps[label] = sweep_sources(
                 topo, protocol_for(label), sources, model, packet_bits,
-                workers=workers, cache=cache)
+                workers=workers, cache=cache, symmetry=symmetry)
         return cls(sweeps=sweeps)
 
 

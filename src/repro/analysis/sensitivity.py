@@ -93,17 +93,21 @@ def sensitivity_table(sweeps: Dict[str, SweepResult],
 
 def sensitivity_sweeps(stride: int = 1,
                        workers: "int | None" = None,
-                       cache=None) -> Dict[str, SweepResult]:
+                       cache=None,
+                       symmetry: "bool | None" = None
+                       ) -> Dict[str, SweepResult]:
     """Source sweeps of all four paper topologies, ready for
     :func:`sensitivity_table`.
 
     Thin wrapper over :meth:`repro.analysis.compare.SweepCache.compute`
-    so sensitivity studies get the same parallel-sweep (*workers*) and
-    schedule-cache (*cache*) machinery as the paper tables.
+    so sensitivity studies get the same parallel-sweep (*workers*),
+    schedule-cache (*cache*) and symmetry-reduction (*symmetry*)
+    machinery as the paper tables.
     """
     from .compare import SweepCache
     return SweepCache.compute(
-        stride=stride, workers=workers, cache=cache).sweeps
+        stride=stride, workers=workers, cache=cache,
+        symmetry=symmetry).sweeps
 
 
 # ---------------------------------------------------------------------------

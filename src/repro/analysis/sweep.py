@@ -21,10 +21,25 @@ import numpy as np
 from ..core.base import BroadcastProtocol
 from ..core.cache import ScheduleCache
 from ..core.registry import protocol_for
+from ..core.symmetry import compile_class, group_sources
 from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
                             FirstOrderRadioModel)
 from ..sim.metrics import BroadcastMetrics, compute_metrics
 from ..topology.base import Topology
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.sched_getaffinity`` respects cgroup/taskset CPU masks (the
+    common case on CI runners and containers, where ``os.cpu_count``
+    reports the host's cores even when the process is pinned to one);
+    fall back to ``os.cpu_count`` where affinity is unsupported.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def effective_workers(workers: Optional[int]) -> int:
@@ -33,11 +48,13 @@ def effective_workers(workers: Optional[int]) -> int:
     Single-CPU hosts degrade to serial: process fan-out only adds fork +
     pickle overhead there (BENCH_sweep.json measured the parallel path
     *losing* to serial, 0.53 s vs 0.47 s, on a 1-CPU runner).  Benchmarks
-    record this effective count next to the requested one.
+    record this effective count next to the requested one and next to the
+    raw ``os.cpu_count`` (which, unlike :func:`available_cpus`, ignores
+    the affinity mask the process actually runs under).
     """
     if workers is None or workers <= 1:
         return 1
-    if (os.cpu_count() or 1) <= 1:
+    if available_cpus() <= 1:
         return 1
     return int(workers)
 
@@ -95,6 +112,7 @@ def sweep_sources(
     progress: Optional[Callable[[int, int], None]] = None,
     workers: Optional[int] = None,
     cache: Optional[ScheduleCache] = None,
+    symmetry: Optional[bool] = None,
 ) -> SweepResult:
     """Compile and simulate a broadcast from each source position.
 
@@ -107,7 +125,8 @@ def sweep_sources(
     progress:
         Optional ``(done, total)`` callback for long sweeps.  In parallel
         mode it fires once per completed chunk (with cumulative counts)
-        rather than per source.
+        rather than per source; in symmetry mode once per completed
+        equivalence class.
     workers:
         ``None`` or ``<= 1`` runs serially in-process.  ``>= 2`` fans the
         sources out over that many worker processes in contiguous chunks —
@@ -123,6 +142,17 @@ def sweep_sources(
         in-memory tier is per-process), so pass a cache with ``path=`` for
         cross-run reuse.  The parent's in-memory tier is not populated by
         parallel workers.
+    symmetry:
+        ``None`` (default) auto-enables the symmetry-reduced fast path
+        (:mod:`repro.core.symmetry`) whenever the protocol can group the
+        sources into translation-equivalence classes; ``True`` forces it
+        (still falling back per-source for non-groupable sources and to
+        the direct sweep when nothing groups — irregular topologies,
+        baseline protocols); ``False`` compiles every source directly.
+        Both paths produce identical metrics in identical order — the
+        fast path compiles one representative per class and derives the
+        members with the batched engine, which is trace-for-trace equal
+        to per-source compilation.
     """
     if protocol is None:
         protocol = protocol_for(topology)
@@ -131,6 +161,13 @@ def sweep_sources(
     result = SweepResult(topology=topology.name)
     total = len(sources)
     workers = effective_workers(workers)
+    if symmetry is not False:
+        groups, direct_pos = group_sources(topology, protocol, sources)
+        if groups:
+            result.metrics.extend(_sweep_symmetry(
+                topology, protocol, list(sources), groups, direct_pos,
+                model, packet_bits, progress, workers, cache))
+            return result
     if workers > 1 and total > 1:
         chunks = _chunk(list(sources), workers)
         cache_path = None if cache is None else cache.path
@@ -154,6 +191,97 @@ def sweep_sources(
         if progress is not None:
             progress(done, total)
     return result
+
+
+def _sweep_symmetry(
+    topology: Topology,
+    protocol: BroadcastProtocol,
+    sources: List,
+    groups,
+    direct_pos: List[int],
+    model: FirstOrderRadioModel,
+    packet_bits: int,
+    progress: Optional[Callable[[int, int], None]],
+    workers: int,
+    cache: Optional[ScheduleCache],
+) -> List[BroadcastMetrics]:
+    """Symmetry-reduced sweep body: one compile per equivalence class.
+
+    Parallel mode distributes whole classes over the workers (a class is
+    the batching unit — splitting one would forfeit its shared fixpoint),
+    chunked contiguously by member count so the per-chunk work is
+    balanced.  Results are scattered back by source position, so the
+    returned metrics list is ordered exactly like the direct sweep's.
+    """
+    total = len(sources)
+    out: List[Optional[BroadcastMetrics]] = [None] * total
+    done = 0
+    class_items = [(key, positions, [sources[p] for p in positions])
+                   for key, positions in groups.items()]
+    if workers > 1 and len(class_items) > 1:
+        chunks = _chunk_classes(class_items, workers)
+        cache_path = None if cache is None else cache.path
+        jobs = [(topology, protocol, chunk, model, packet_bits,
+                 None if cache_path is None else str(cache_path))
+                for chunk in chunks]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk, placed in zip(chunks, pool.map(
+                    _symmetry_chunk, jobs)):
+                for pos, metrics in placed:
+                    out[pos] = metrics
+                done += sum(len(positions) for _, positions, _ in chunk)
+                if progress is not None:
+                    progress(done, total)
+    else:
+        for class_key, positions, coords in class_items:
+            for pos, member in zip(positions, compile_class(
+                    topology, protocol, class_key, coords, cache=cache)):
+                out[pos] = member.metrics(topology, model, packet_bits)
+            done += len(positions)
+            if progress is not None:
+                progress(done, total)
+    for pos in direct_pos:
+        compiled = protocol.compile(topology, sources[pos], cache=cache)
+        out[pos] = compute_metrics(
+            compiled.trace, topology, model, packet_bits)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+    return out
+
+
+def _chunk_classes(items: List, workers: int) -> List[List]:
+    """Contiguous class chunks balanced by total member count."""
+    total = sum(len(positions) for _, positions, _ in items)
+    target = max(1, -(-total // (workers * 4)))
+    chunks: List[List] = []
+    current: List = []
+    weight = 0
+    for item in items:
+        current.append(item)
+        weight += len(item[1])
+        if weight >= target:
+            chunks.append(current)
+            current, weight = [], 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _symmetry_chunk(job) -> List:
+    """Worker-process entry point: compile one chunk of source classes.
+
+    Module-level (not a closure) so it pickles under every start method.
+    Returns ``(position, metrics)`` pairs for the parent to scatter.
+    """
+    topology, protocol, items, model, packet_bits, cache_path = job
+    cache = None if cache_path is None else ScheduleCache(cache_path)
+    out = []
+    for class_key, positions, coords in items:
+        for pos, member in zip(positions, compile_class(
+                topology, protocol, class_key, coords, cache=cache)):
+            out.append((pos, member.metrics(topology, model, packet_bits)))
+    return out
 
 
 def _chunk(items: List, workers: int) -> List[List]:

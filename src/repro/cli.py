@@ -63,7 +63,8 @@ def cmd_table(args) -> int:
     if n in (3, 4, 5):
         cache = analysis.SweepCache.compute(
             stride=args.stride, workers=args.workers,
-            cache=_schedule_cache_from_args(args))
+            cache=_schedule_cache_from_args(args),
+            symmetry=args.symmetry)
         if n == 3:
             rows = analysis.table3_best(cache)
             title = "Table 3: our protocols, best case"
@@ -224,7 +225,7 @@ def cmd_sweep(args) -> int:
                else analysis.strided_sources(topo, args.stride))
     sweep = analysis.sweep_sources(
         topo, sources=sources, workers=args.workers,
-        cache=_schedule_cache_from_args(args))
+        cache=_schedule_cache_from_args(args), symmetry=args.symmetry)
     best = sweep.best_by_energy()
     worst = sweep.worst_by_energy()
     print(analysis.render_kv([
@@ -282,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "serial)")
     p.add_argument("--cache", metavar="DIR", default=None,
                    help="schedule-cache directory shared across runs")
+    p.add_argument("--symmetry", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force (--symmetry) or disable (--no-symmetry) "
+                        "the symmetry-reduced sweep; default auto-enables "
+                        "it whenever the protocol can group sources into "
+                        "translation classes (identical results either "
+                        "way)")
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("figure", help="reproduce a paper figure (5-9)")
@@ -364,6 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "serial)")
     p.add_argument("--cache", metavar="DIR", default=None,
                    help="schedule-cache directory shared across runs")
+    p.add_argument("--symmetry", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force (--symmetry) or disable (--no-symmetry) "
+                        "the symmetry-reduced sweep; default auto-enables "
+                        "it whenever the protocol can group sources into "
+                        "translation classes (identical results either "
+                        "way)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("selfcheck", help="validate topologies and protocols")

@@ -13,8 +13,9 @@ Public surface:
 
 from .alltoall import AllToAllResult, all_to_all
 from .base import BroadcastProtocol, CompiledBroadcast, RelayPlan
-from .cache import ScheduleCache, schedule_cache_key
-from .compiler import CompilationError, compile_broadcast
+from .cache import ScheduleCache, class_profile_key, schedule_cache_key
+from .compiler import (CompilationError, compile_broadcast,
+                       compile_call_count)
 from .etr import (OPTIMAL_ETR, diagonal_vs_axis_etr, optimal_etr,
                   optimal_etr_fraction, trace_etrs, transmission_etr)
 from .ideal import (IdealCase, ideal_case, ideal_delay, ideal_max_delay,
@@ -24,6 +25,8 @@ from .mesh2d4 import Mesh2D4Protocol
 from .mesh2d8 import Mesh2D8Protocol
 from .mesh3d6 import Mesh3D6Protocol
 from .registry import PROTOCOL_CLASSES, protocol_for
+from .symmetry import (ClassMemberResult, compile_class, group_sources,
+                       sweep_compile)
 from .regions import RegionPartition, base_nodes, partition
 from .validate import ScheduleError, ValidationReport, validate_broadcast
 
@@ -35,8 +38,14 @@ __all__ = [
     "RelayPlan",
     "CompilationError",
     "compile_broadcast",
+    "compile_call_count",
     "ScheduleCache",
     "schedule_cache_key",
+    "class_profile_key",
+    "ClassMemberResult",
+    "compile_class",
+    "group_sources",
+    "sweep_compile",
     "Mesh2D3Protocol",
     "Mesh2D4Protocol",
     "Mesh2D8Protocol",

@@ -129,6 +129,27 @@ class BroadcastProtocol(abc.ABC):
         """
         return topology.name == self.name
 
+    def source_class_key(self, topology: Topology,
+                         source) -> Optional[Tuple]:
+        """Equivalence-class key of *source* for symmetry-reduced sweeps.
+
+        Two sources sharing a key have the same relay-pattern *shape*:
+        the same residue of the source under the protocol's relay period
+        along each axis, and the same per-axis distances to the grid
+        borders clamped at the protocol's border-rule influence radius.
+        The symmetry-reduced sweep (:mod:`repro.core.symmetry`) compiles
+        one representative per class through the full fixpoint and drives
+        the remaining members through the batched multi-source engine;
+        the key never affects *correctness* (every member's result is
+        produced by the same simulate->fix algorithm), only how sources
+        are grouped and which execution mode a group is predicted to take.
+
+        ``None`` marks the source non-groupable (irregular topology,
+        baseline protocol without a lattice period); such sources fall
+        back to direct per-source compilation.
+        """
+        return None
+
     def compile(self, topology: Topology, source, *,
                 completion: bool = True, repair: bool = True,
                 cache: "Optional[ScheduleCache]" = None

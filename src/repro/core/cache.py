@@ -61,6 +61,18 @@ def schedule_cache_key(topology: Topology, protocol_name: str,
     return h.hexdigest()
 
 
+def class_profile_key(topology: Topology, protocol_name: str,
+                      class_key: Tuple, *,
+                      completion: bool = True,
+                      repair: bool = True) -> str:
+    """Deterministic cache key for one source-equivalence-class profile."""
+    h = hashlib.sha256()
+    h.update(topology.fingerprint.encode("ascii"))
+    h.update(f"|{protocol_name}|class|{class_key!r}"
+             f"|c{int(completion)}|r{int(repair)}".encode("ascii"))
+    return h.hexdigest()
+
+
 class ScheduleCache:
     """Two-tier cache of compiled broadcast schedules.
 
@@ -75,6 +87,16 @@ class ScheduleCache:
     hits / misses:
         Counters over this instance's :meth:`get_or_compile` calls
         (memory and disk hits both count as hits).
+
+    Besides per-source compilations, the cache holds a *class-keyed tier*
+    of compile profiles for symmetry-reduced sweeps
+    (:mod:`repro.core.symmetry`): one tiny record per source-equivalence
+    class (did the class representative need completion/repair fixes, and
+    how many rounds) that lets a warm sweep pick the batched execution
+    mode for a whole class without compiling its representative first.
+    Profiles are predictions, never answers — every class member's result
+    is still produced (and verified reached) by the engine, so a stale or
+    wrong profile costs a fallback, not correctness.
     """
 
     def __init__(self, path: Optional[os.PathLike] = None) -> None:
@@ -85,6 +107,7 @@ class ScheduleCache:
                 f"schedule cache path {self.path} exists and is not a "
                 f"directory")
         self._mem: Dict[str, CompiledBroadcast] = {}
+        self._class_mem: Dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
 
@@ -123,9 +146,67 @@ class ScheduleCache:
                              completion, repair, compiled)
         return compiled
 
+    def class_profile(self, topology: Topology, protocol_name: str,
+                      class_key: Tuple, *,
+                      completion: bool = True,
+                      repair: bool = True) -> Optional[dict]:
+        """Cached compile profile of one source class, or ``None``."""
+        key = class_profile_key(topology, protocol_name, class_key,
+                                completion=completion, repair=repair)
+        profile = self._class_mem.get(key)
+        if profile is not None:
+            return profile
+        if self.path is None:
+            return None
+        try:
+            with open(self.path / f"class-{key}.json", "r",
+                      encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (payload.get("version") != DISK_FORMAT_VERSION
+                or payload.get("key") != key):
+            return None
+        profile = payload["profile"]
+        self._class_mem[key] = profile
+        return profile
+
+    def store_class_profile(self, topology: Topology, protocol_name: str,
+                            class_key: Tuple, profile: dict, *,
+                            completion: bool = True,
+                            repair: bool = True) -> None:
+        """Record the compile profile of one source class."""
+        key = class_profile_key(topology, protocol_name, class_key,
+                                completion=completion, repair=repair)
+        self._class_mem[key] = dict(profile)
+        if self.path is None:
+            return
+        payload = {
+            "version": DISK_FORMAT_VERSION,
+            "key": key,
+            "protocol": protocol_name,
+            "class_key": repr(class_key),
+            "profile": dict(profile),
+        }
+        self.path.mkdir(parents=True, exist_ok=True)
+        target = self.path / f"class-{key}.json"
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path), prefix=f".class-{key[:16]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def clear_memory(self) -> None:
         """Drop the in-memory tier (disk entries survive)."""
         self._mem.clear()
+        self._class_mem.clear()
 
     def __len__(self) -> int:
         return len(self._mem)

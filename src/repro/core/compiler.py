@@ -47,6 +47,18 @@ class CompilationError(RuntimeError):
     """Raised when the compiler cannot reach a 100 %-coverage fixpoint."""
 
 
+#: Monotone count of :func:`compile_broadcast` invocations in this
+#: process.  Benchmarks (``benchmarks/perf_symmetry.py``) diff it around a
+#: sweep to measure how many full fixpoint compilations the
+#: symmetry-reduced path avoided; it has no functional role.
+_compile_calls = 0
+
+
+def compile_call_count() -> int:
+    """Number of :func:`compile_broadcast` calls made by this process."""
+    return _compile_calls
+
+
 def compile_broadcast(
     topology: Topology,
     source: int,
@@ -68,6 +80,8 @@ def compile_broadcast(
     completion/repair phases route the wave around them (fault-injection
     extension; the paper assumes a pristine network).
     """
+    global _compile_calls
+    _compile_calls += 1
     # Memoised on the topology and lazily materialised per node
     # (LazyNeighborSets): the fix planner below only inspects the
     # neighbourhoods of unreached/border/collision nodes, so a large grid
@@ -200,6 +214,10 @@ def _plan_fixes(
 
     additions: List[Tuple[int, int, str]] = []
     added_at: Dict[int, Set[int]] = {}     # this round's additions
+    added_nodes: Set[int] = set()          # flat view of added_at, kept
+    #                                        in sync incrementally (the
+    #                                        per-candidate rebuild was an
+    #                                        O(additions) rescan per probe)
     planned_rx: Dict[int, int] = {}        # unreached node -> fix slot
 
     def tx_count_near(v: int, slot: int) -> int:
@@ -266,7 +284,7 @@ def _plan_fixes(
                 continue
             if dead_mask is not None and dead_mask[u]:
                 continue
-            is_new_relay = u not in ever_tx and u not in _flat(added_at)
+            is_new_relay = u not in ever_tx and u not in added_nodes
             kind = "completion" if is_new_relay else "repair"
             if kind == "completion" and not allow_completion:
                 continue
@@ -288,14 +306,8 @@ def _plan_fixes(
         covered = coverage(u, s)
         additions.append((u, s, kind))
         added_at.setdefault(s, set()).add(u)
+        added_nodes.add(u)
         for w in covered:
             planned_rx[w] = s
         planned_rx.setdefault(v, s)
     return additions
-
-
-def _flat(added_at: Dict[int, Set[int]]) -> Set[int]:
-    out: Set[int] = set()
-    for nodes in added_at.values():
-        out |= nodes
-    return out

@@ -57,6 +57,23 @@ class Mesh2D3Protocol(BroadcastProtocol):
 
     name = "2D-3"
 
+    def source_class_key(self, topology: Topology, source):
+        """Symmetry class of *source*: column residue mod 4 (the
+        staircase seeding period), the brick-lattice parity ``(i+j) mod
+        2`` (it flips every node's up/down neighbour, so plans of
+        opposite parity are not translates), the side of the vertical
+        region split (the R1-R4 partition is anchored at the source, not
+        translation-invariant), and border distances clamped at radius
+        2 (B1/B2 arms clip against the two outermost rows/columns)."""
+        if not isinstance(topology, Mesh2D3) \
+                or not topology.contains(tuple(source)):
+            return None
+        i, j = source
+        m, n = topology.m, topology.n
+        return ("2D-3", i % 4, (i + j) % 2,
+                min(i - 1, 2), min(m - i, 2),
+                min(j - 1, 2), min(n - j, 2))
+
     def relay_plan(self, topology: Topology, source) -> RelayPlan:
         if not isinstance(topology, Mesh2D3):
             raise TypeError(f"expected Mesh2D3, got {type(topology).__name__}")

@@ -52,6 +52,21 @@ class Mesh2D4Protocol(BroadcastProtocol):
 
     name = "2D-4"
 
+    def source_class_key(self, topology: Topology, source):
+        """Symmetry class of *source*: column residue mod 3 (the relay
+        column period) plus per-axis border distances clamped at the
+        border rules' reach — the x border rule inspects columns
+        ``{1, 2, m-1, m}`` (radius 2); the y axis has no border rule, so
+        only at-border vs interior matters (radius 1)."""
+        if not isinstance(topology, Mesh2D4) \
+                or not topology.contains(tuple(source)):
+            return None
+        i, j = source
+        m, n = topology.m, topology.n
+        return ("2D-4", i % 3,
+                min(i - 1, 2), min(m - i, 2),
+                min(j - 1, 1), min(n - j, 1))
+
     def relay_plan(self, topology: Topology, source) -> RelayPlan:
         if not isinstance(topology, Mesh2D4):
             raise TypeError(f"expected Mesh2D4, got {type(topology).__name__}")

@@ -75,6 +75,21 @@ class Mesh2D8Protocol(BroadcastProtocol):
 
     name = "2D-8"
 
+    def source_class_key(self, topology: Topology, source):
+        """Symmetry class of *source*: the ``S2 = i - j`` anti-diagonal
+        residue mod 5 (the relay diagonal period) plus border distances
+        clamped at radius 2 (the border-continuation rule and the
+        staggered border delays react to the two outermost rows and
+        columns)."""
+        if not isinstance(topology, Mesh2D8) \
+                or not topology.contains(tuple(source)):
+            return None
+        i, j = source
+        m, n = topology.m, topology.n
+        return ("2D-8", (i - j) % 5,
+                min(i - 1, 2), min(m - i, 2),
+                min(j - 1, 2), min(n - j, 2))
+
     def relay_plan(self, topology: Topology, source) -> RelayPlan:
         if not isinstance(topology, Mesh2D8):
             raise TypeError(f"expected Mesh2D8, got {type(topology).__name__}")

@@ -1,7 +1,12 @@
 """Slot-synchronous broadcast simulator."""
 
-from .engine import replay, replay_batch, run_reactive, run_reactive_batch
-from .metrics import BroadcastMetrics, compute_metrics
+from .engine import (replay, replay_batch, run_reactive,
+                     run_reactive_batch, run_reactive_multi)
+from .metrics import (BroadcastMetrics, compute_metrics,
+                      compute_metrics_from_counts)
+from .translate import (TranslationError, translate_compiled,
+                        translate_plan, translate_schedule,
+                        translate_trace)
 from .reference import ReferenceSimulator
 from .schedule import BroadcastSchedule
 from .summary import TraceSummary
@@ -14,8 +19,15 @@ __all__ = [
     "ReferenceSimulator",
     "TraceSummary",
     "compute_metrics",
+    "compute_metrics_from_counts",
     "replay",
     "replay_batch",
     "run_reactive",
     "run_reactive_batch",
+    "run_reactive_multi",
+    "TranslationError",
+    "translate_compiled",
+    "translate_plan",
+    "translate_schedule",
+    "translate_trace",
 ]

@@ -41,8 +41,8 @@ the differential test-suite proves the two produce identical traces.
 
 from __future__ import annotations
 
-from typing import (Dict, Iterable, List, Mapping, Optional, Set, Tuple,
-                    Union)
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Set,
+                    Tuple, Union)
 
 import numpy as np
 
@@ -321,14 +321,19 @@ class _BatchState:
     replay drivers share one slot-commit implementation.
     """
 
-    def __init__(self, num_nodes: int, source: int, trials: int,
-                 summary: bool) -> None:
+    def __init__(self, num_nodes: int, source: Union[int, np.ndarray],
+                 trials: int, summary: bool) -> None:
         self.n = num_nodes
         self.source = source
         self.trials = trials
         self.summary = summary
         self.first_rx = np.full((trials, num_nodes), -1, dtype=np.int64)
-        self.first_rx[:, source] = 0
+        if np.ndim(source) == 0:
+            self.first_rx[:, int(source)] = 0
+        else:
+            # Per-trial sources (run_reactive_multi): trial b originates
+            # at its own node.
+            self.first_rx[np.arange(trials), source] = 0
         self.dropped_forced: List[List[Tuple[int, int]]] = [
             [] for _ in range(trials)]
         if summary:
@@ -374,6 +379,7 @@ class _BatchState:
         tx_buf = self.tx_log._buf[:self.tx_log._len]
         rx_buf = self.rx_log._buf[:self.rx_log._len]
         coll_buf = self.coll_log._buf[:self.coll_log._len]
+        scalar_source = np.ndim(self.source) == 0
         for b in range(self.trials):
             # Rows were appended slot-by-slot with intra-slot (trial,
             # node) ordering, so a per-trial extraction preserves exactly
@@ -382,7 +388,9 @@ class _BatchState:
             rx = rx_buf[rx_buf[:, 1] == b][:, (0, 2, 3)]
             coll = coll_buf[coll_buf[:, 1] == b][:, (0, 2)]
             traces.append(BroadcastTrace(
-                num_nodes=self.n, source=self.source,
+                num_nodes=self.n,
+                source=int(self.source) if scalar_source
+                else int(self.source[b]),
                 first_rx=self.first_rx[b].copy(),
                 tx_events=list(map(tuple, tx.tolist())),
                 rx_events=list(map(tuple, rx.tolist())),
@@ -535,6 +543,172 @@ def run_reactive_batch(
                 rel_t, rel_n = nt[rel], nn[rel]
                 schedule_pairs(rel_t, rel_n,
                                t + 1 + extra_delay[rel_n])
+    return state.finish()
+
+
+def run_reactive_multi(
+    topology: Topology,
+    sources: np.ndarray,
+    relay_masks: np.ndarray,
+    *,
+    extra_delays: Optional[np.ndarray] = None,
+    repeat_offsets_list: Optional[
+        Sequence[Mapping[int, Tuple[int, ...]]]] = None,
+    forced_tx_list: Optional[
+        Sequence[Optional[Mapping[int, Iterable[int]]]]] = None,
+    max_slots: Optional[int] = None,
+    summary: bool = False,
+) -> Union[TraceSummary, List[BroadcastTrace]]:
+    """Run B reactive waves with *per-trial* sources and relay plans.
+
+    Where :func:`run_reactive_batch` varies the channel realisation under
+    one shared plan, this entry point varies the *broadcast itself*: trial
+    *b* originates at ``sources[b]`` and executes relay plan row *b*
+    (``relay_masks[b]``, ``extra_delays[b]``, ``repeat_offsets_list[b]``)
+    plus its own forced transmissions ``forced_tx_list[b]``.  This is the
+    engine under the symmetry-reduced sweep: one equivalence class of
+    source positions advances through a single CSR gather + bincount per
+    slot instead of B separate python slot loops.
+
+    Trial *b* is trace-for-trace identical to::
+
+        run_reactive(topology, sources[b], relay_masks[b],
+                     extra_delay=extra_delays[b],
+                     repeat_offsets=repeat_offsets_list[b],
+                     forced_tx=forced_tx_list[b])
+
+    including the serial engine's per-trial ``max_slots`` default (each
+    trial is cut off at its own bound, which depends on its forced set),
+    dropped-forced bookkeeping, and intra-slot node-sorted event order.
+    With ``summary=True`` the result is a
+    :class:`~repro.sim.summary.TraceSummary` whose ``source`` attribute
+    is the per-trial ``(B,)`` source array.
+    """
+    n = topology.num_nodes
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.ndim != 1 or len(sources) < 1:
+        raise ValueError("sources must be a non-empty 1-D index array")
+    if ((sources < 0) | (sources >= n)).any():
+        raise ValueError("source index out of range")
+    batch = len(sources)
+    relay_masks = np.asarray(relay_masks, dtype=bool)
+    if relay_masks.shape != (batch, n):
+        raise ValueError(f"relay_masks must have shape ({batch}, {n})")
+    if extra_delays is None:
+        extra_delays = np.zeros((batch, n), dtype=np.int64)
+    else:
+        extra_delays = np.asarray(extra_delays, dtype=np.int64)
+        if extra_delays.shape != (batch, n):
+            raise ValueError(
+                f"extra_delays must have shape ({batch}, {n})")
+        if (extra_delays < 0).any():
+            raise ValueError("extra_delay must be non-negative")
+    offset_masks: Dict[int, np.ndarray] = {}
+    if repeat_offsets_list is not None:
+        if len(repeat_offsets_list) != batch:
+            raise ValueError("repeat_offsets_list must have one entry "
+                             "per trial")
+        for b, repeats in enumerate(repeat_offsets_list):
+            for v, offs in (repeats or {}).items():
+                for off in offs:
+                    if off < 1:
+                        raise ValueError(
+                            f"repeat offsets must be >= 1, got {off}")
+                    offset_masks.setdefault(
+                        int(off),
+                        np.zeros((batch, n), dtype=bool))[b, int(v)] = True
+
+    # Per-trial forced transmissions, pre-grouped by slot into (trial,
+    # node) arrays; nodes ascend within a trial so dropped-forced entries
+    # append in the serial engine's sorted order.
+    forced_at: Dict[int, List[Tuple[int, int]]] = {}
+    limit = np.full(batch, 4 * n + 16, dtype=np.int64)
+    if forced_tx_list is not None:
+        if len(forced_tx_list) != batch:
+            raise ValueError("forced_tx_list must have one entry per trial")
+        for b, forced_tx in enumerate(forced_tx_list):
+            forced = _normalize_forced(forced_tx)
+            if forced:
+                limit[b] = max(limit[b], max(forced) + 2)
+            for slot, nodes in forced.items():
+                forced_at.setdefault(slot, []).extend(
+                    (b, v) for v in sorted(nodes))
+    if max_slots is not None:
+        limit[:] = max_slots
+
+    kernel = topology.slot_kernel
+    state = _BatchState(n, sources, batch, summary)
+
+    pending: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
+    horizon = max(forced_at, default=0)
+
+    def schedule_pairs(tr: np.ndarray, nd: np.ndarray,
+                       base: np.ndarray) -> None:
+        nonlocal horizon
+        last = int(base.max())
+        for s in np.unique(base):
+            sel = base == s
+            pending.setdefault(int(s), []).append((tr[sel], nd[sel]))
+        for off, mask in offset_masks.items():
+            has = mask[tr, nd]
+            if has.any():
+                rep_base = base[has] + off
+                rep_tr, rep_nd = tr[has], nd[has]
+                for s in np.unique(rep_base):
+                    sel = rep_base == s
+                    pending.setdefault(int(s), []).append(
+                        (rep_tr[sel], rep_nd[sel]))
+                last = max(last, int(rep_base.max()))
+        if last > horizon:
+            horizon = last
+
+    all_trials = np.arange(batch, dtype=np.int64)
+    schedule_pairs(all_trials, sources,
+                   1 + extra_delays[all_trials, sources])
+
+    max_limit = int(limit.max())
+    t = 0
+    while t < max_limit and t < horizon:
+        t += 1
+        entries = pending.pop(t, None)
+        if entries:
+            tr = np.concatenate([e[0] for e in entries])
+            nd = np.concatenate([e[1] for e in entries])
+        else:
+            tr, nd = _EMPTY, _EMPTY
+        # Per-trial cutoff: the serial engine stops trial b's slot loop at
+        # its own max_slots bound, so events past it must neither execute
+        # nor be recorded as dropped.
+        keep = limit[tr] >= t
+        if not keep.all():
+            tr, nd = tr[keep], nd[keep]
+        forced_now = forced_at.pop(t, None)
+        if forced_now:
+            f_tr = np.fromiter((b for b, _ in forced_now),
+                               count=len(forced_now), dtype=np.int64)
+            f_nd = np.fromiter((v for _, v in forced_now),
+                               count=len(forced_now), dtype=np.int64)
+            in_limit = limit[f_tr] >= t
+            f_tr, f_nd = f_tr[in_limit], f_nd[in_limit]
+            frx = state.first_rx[f_tr, f_nd]
+            ok = (frx >= 0) & (frx < t)
+            tr = np.concatenate([tr, f_tr[ok]])
+            nd = np.concatenate([nd, f_nd[ok]])
+            for j in (~ok).nonzero()[0]:
+                state.dropped_forced[int(f_tr[j])].append(
+                    (t, int(f_nd[j])))
+        if len(nd) == 0:
+            continue
+        key = np.unique(tr * n + nd)
+        tr, nd = key // n, key % n
+        _, received, collided, senders = kernel.resolve_batch(nd, tr, batch)
+        nt, nn = state.commit_slot(t, tr, nd, received, collided, senders)
+        if len(nn):
+            rel = relay_masks[nt, nn]
+            if rel.any():
+                rel_t, rel_n = nt[rel], nn[rel]
+                schedule_pairs(rel_t, rel_n,
+                               t + 1 + extra_delays[rel_t, rel_n])
     return state.finish()
 
 

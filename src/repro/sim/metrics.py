@@ -62,6 +62,51 @@ class BroadcastMetrics:
         }
 
 
+def compute_metrics_from_counts(
+    topology: Topology,
+    source_index: int,
+    first_rx,
+    tx_count,
+    rx_count,
+    collisions: int,
+    model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
+    packet_bits: int = PAPER_PACKET_BITS,
+) -> BroadcastMetrics:
+    """:class:`BroadcastMetrics` from per-node count arrays.
+
+    Mirrors :func:`compute_metrics` field for field, but consumes the
+    aggregate arrays of a batched summary run (one row of a
+    :class:`~repro.sim.summary.TraceSummary`) instead of a materialised
+    event-tuple trace: every metric the paper tabulates is a reduction
+    over per-node counts, so the symmetry-reduced sweep never has to pay
+    per-event tuple materialisation for class members.  For the same
+    broadcast the two constructors produce equal metrics (the trace
+    properties ``num_tx``/``num_rx``/``delay_slots``/... are the same
+    reductions).
+    """
+    num_tx = int(tx_count.sum())
+    num_rx = int(rx_count.sum())
+    num_first_rx = int((first_rx > 0).sum())
+    all_reached = bool((first_rx >= 0).all())
+    energy = model.broadcast_energy(
+        num_tx=num_tx, num_rx=num_rx, bits=packet_bits,
+        distance_m=topology.tx_range())
+    return BroadcastMetrics(
+        topology=topology.name,
+        num_nodes=topology.num_nodes,
+        source=tuple(topology.coord(source_index)),
+        tx=num_tx,
+        rx=num_rx,
+        duplicates=num_rx - num_first_rx,
+        collisions=int(collisions),
+        energy_j=energy,
+        delay_slots=int(first_rx.max()) if all_reached else -1,
+        reachability=float((first_rx >= 0).sum()) / topology.num_nodes,
+        relay_count=int((tx_count > 0).sum()),
+        retransmit_count=int((tx_count > 1).sum()),
+    )
+
+
 def compute_metrics(
     trace: BroadcastTrace,
     topology: Topology,

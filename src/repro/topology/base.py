@@ -208,6 +208,40 @@ class Topology(abc.ABC):
         """
         return self.degree(coord) < self.nominal_degree
 
+    # -- coordinate translation -----------------------------------------
+
+    def coord_delta(self, a: Coord, b: Coord) -> Tuple[int, ...]:
+        """Per-axis displacement taking coordinate *a* to *b*."""
+        if len(a) != len(b):
+            raise ValueError(f"dimension mismatch: {a} vs {b}")
+        return tuple(int(q) - int(p) for p, q in zip(a, b))
+
+    def shift_coord(self, coord: Coord, delta: Sequence[int]) -> Tuple[int, ...]:
+        """*coord* translated by *delta* (may leave the topology)."""
+        if len(coord) != len(delta):
+            raise ValueError(f"dimension mismatch: {coord} vs {delta}")
+        return tuple(int(c) + int(d) for c, d in zip(coord, delta))
+
+    def shift_index_map(self, delta: Sequence[int]
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized node translation by *delta*.
+
+        Returns ``(mapped, valid)``: ``mapped[i]`` is the index of
+        ``coord(i) + delta`` where that coordinate stays inside the
+        topology, else ``-1`` (with ``valid[i]`` False).  The generic
+        implementation walks the coordinates; box lattices override it
+        with pure index arithmetic.
+        """
+        n = self.num_nodes
+        mapped = np.full(n, -1, dtype=np.int64)
+        valid = np.zeros(n, dtype=bool)
+        for i, coord in enumerate(self.iter_coords()):
+            shifted = self.shift_coord(coord, delta)
+            if self.contains(shifted):
+                mapped[i] = self.index(shifted)
+                valid[i] = True
+        return mapped, valid
+
     # -- distances ------------------------------------------------------
 
     def hop_distances(self, source: Coord) -> np.ndarray:

@@ -100,6 +100,15 @@ class _Mesh2DBase(Topology):
             cols.append(nx[ok] - 1 + (ny[ok] - 1) * self.m)
         return np.concatenate(rows), np.concatenate(cols)
 
+    def shift_index_map(self, delta) -> Tuple[np.ndarray, np.ndarray]:
+        """Index-arithmetic translation map (no coordinate loop)."""
+        dx, dy = (int(d) for d in delta)
+        x, y = self._grid_xy()
+        nx, ny = x + dx, y + dy
+        valid = (nx >= 1) & (nx <= self.m) & (ny >= 1) & (ny <= self.n)
+        mapped = np.where(valid, nx - 1 + (ny - 1) * self.m, -1)
+        return mapped, valid
+
     def _lattice_connected(self) -> Optional[bool]:
         """Rectangular meshes with both horizontal and some vertical edge
         per node are connected; parity lattices override."""

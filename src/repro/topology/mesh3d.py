@@ -107,6 +107,19 @@ class Mesh3D6(Topology):
                         + (nz[ok] - 1) * plane)
         return np.concatenate(rows), np.concatenate(cols)
 
+    def shift_index_map(self, delta) -> Tuple[np.ndarray, np.ndarray]:
+        """Index-arithmetic translation map (no coordinate loop)."""
+        dx, dy, dz = (int(d) for d in delta)
+        x, y, z = self._grid_xyz()
+        nx, ny, nz = x + dx, y + dy, z + dz
+        valid = ((nx >= 1) & (nx <= self.m)
+                 & (ny >= 1) & (ny <= self.n)
+                 & (nz >= 1) & (nz <= self.l))
+        plane = self.m * self.n
+        mapped = np.where(
+            valid, nx - 1 + (ny - 1) * self.m + (nz - 1) * plane, -1)
+        return mapped, valid
+
     # Hop distance is the 3D Manhattan metric.
 
     def lattice_diameter(self) -> int:

@@ -175,9 +175,14 @@ class TestScheduleCacheSweep:
         mesh = Mesh2D4(6, 5)
         plain = sweep_sources(mesh)
         cache = ScheduleCache(tmp_path / "sched")
-        cold = sweep_sources(mesh, cache=cache)
+        # symmetry=False pins the direct path, whose cache accounting is
+        # exactly one get_or_compile per source (the symmetry path only
+        # compiles class representatives); `plain` and `disk_only` keep
+        # the default auto mode, so the equality below also cross-checks
+        # the two paths against each other.
+        cold = sweep_sources(mesh, cache=cache, symmetry=False)
         assert cache.misses == mesh.num_nodes and cache.hits == 0
-        warm = sweep_sources(mesh, cache=cache)
+        warm = sweep_sources(mesh, cache=cache, symmetry=False)
         assert cache.hits == mesh.num_nodes
         disk_only = sweep_sources(mesh, cache=ScheduleCache(tmp_path / "sched"))
         assert plain.metrics == cold.metrics == warm.metrics

@@ -16,6 +16,7 @@ _ROOT = Path(__file__).resolve().parent.parent
 SWEEP_ARTIFACT = _ROOT / "BENCH_sweep.json"
 ROBUSTNESS_ARTIFACT = _ROOT / "BENCH_robustness.json"
 SCALING_ARTIFACT = _ROOT / "BENCH_scaling.json"
+SYMMETRY_ARTIFACT = _ROOT / "BENCH_symmetry.json"
 
 
 @pytest.mark.skipif(not SWEEP_ARTIFACT.exists(),
@@ -48,6 +49,39 @@ def test_bench_robustness_artifact_well_formed():
     assert len(payload["loss_rates"]) >= 8
     assert payload["trials"] >= 32
     assert payload["batched_speedup_vs_serial"] >= 3.0
+
+
+@pytest.mark.skipif(not SYMMETRY_ARTIFACT.exists(),
+                    reason="BENCH_symmetry.json not generated")
+def test_bench_symmetry_artifact_well_formed():
+    payload = json.loads(SYMMETRY_ARTIFACT.read_text())
+    assert payload["schema"] == "repro-wsn/bench-symmetry/v1"
+    # the hard equality gate: symmetry sweeps reproduced the direct
+    # sweeps' metrics exactly before the artefact was written
+    assert payload["metrics_equal"] is True
+    assert payload["cpu_count"] is None or payload["cpu_count"] >= 1
+    assert payload["cpus_available"] >= 1
+    labels = set()
+    for entry in payload["entries"]:
+        labels.add(entry["topology"])
+        assert entry["metrics_equal"] is True
+        assert entry["classes"] >= 1
+        assert entry["classes"] <= entry["sources"]
+        for mode in ("no_symmetry", "symmetry"):
+            assert entry[mode]["seconds"] > 0
+            assert entry[mode]["compile_calls"] >= 0
+        assert entry["no_symmetry"]["compile_calls"] == entry["sources"]
+        assert entry["symmetry"]["compile_calls"] <= entry["classes"]
+        assert entry["speedup"] > 0
+    # the ISSUE's acceptance floors for the committed artefact: a
+    # full-grid 2D-4 sweep with >= 5x fewer compile calls and a
+    # measured wall-clock speedup over the direct cached-sweep baseline
+    assert "2D-4" in labels
+    mesh2d4 = next(e for e in payload["entries"]
+                   if e["topology"] == "2D-4")
+    assert mesh2d4["sources"] == mesh2d4["shape"][0] * mesh2d4["shape"][1]
+    assert mesh2d4["compile_call_reduction"] >= 5.0
+    assert mesh2d4["speedup"] > 1.0
 
 
 @pytest.mark.skipif(not SCALING_ARTIFACT.exists(),

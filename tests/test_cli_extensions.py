@@ -97,6 +97,31 @@ class TestLifetimeCommand:
         assert "2D-4" in capsys.readouterr().out
 
 
+class TestSweepSymmetryFlag:
+    def _sweep_output(self, capsys, *flags):
+        assert main(["sweep", "2D-4", "--shape", "9", "6", "--stride", "4",
+                     *flags]) == 0
+        return capsys.readouterr().out
+
+    def test_symmetry_and_direct_print_identical_tables(self, capsys):
+        forced = self._sweep_output(capsys, "--symmetry")
+        direct = self._sweep_output(capsys, "--no-symmetry")
+        default = self._sweep_output(capsys)
+        assert forced == direct == default
+        assert "source sweep: 2D-4" in forced
+
+    def test_symmetry_composes_with_workers_and_cache(self, tmp_path,
+                                                      capsys):
+        out = self._sweep_output(
+            capsys, "--symmetry", "--workers", "2",
+            "--cache", str(tmp_path / "sched"))
+        assert "all reached        : True" in out
+
+    def test_table_accepts_symmetry_flag(self, capsys):
+        assert main(["table", "3", "--stride", "64", "--symmetry"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+
 class TestScalingCommand:
     def test_scaling(self, capsys):
         assert main(["scaling", "2D-4", "--sizes", "128", "288"]) == 0

@@ -68,14 +68,31 @@ class TestEffectiveWorkers:
         assert effective_workers(1) == 1
 
     def test_multi_cpu_honours_request(self, monkeypatch):
-        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        monkeypatch.setattr("os.sched_getaffinity", lambda pid: set(range(8)),
+                            raising=False)
         assert effective_workers(4) == 4
 
     def test_single_cpu_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr("os.sched_getaffinity", lambda pid: {0},
+                            raising=False)
+        assert effective_workers(4) == 1
+
+    def test_affinity_respected_over_cpu_count(self, monkeypatch):
+        # A process pinned to one CPU of an 8-CPU host must stay serial:
+        # os.cpu_count sees the host, sched_getaffinity sees the pin.
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        monkeypatch.setattr("os.sched_getaffinity", lambda pid: {3},
+                            raising=False)
+        assert effective_workers(4) == 1
+
+    def test_cpu_count_fallback_without_affinity(self, monkeypatch):
+        monkeypatch.delattr("os.sched_getaffinity", raising=False)
         monkeypatch.setattr("os.cpu_count", lambda: 1)
         assert effective_workers(4) == 1
         monkeypatch.setattr("os.cpu_count", lambda: None)
         assert effective_workers(4) == 1
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert effective_workers(4) == 4
 
 
 class TestCurve:
