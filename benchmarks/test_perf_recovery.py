@@ -1,0 +1,61 @@
+"""Smoke + perf coverage of the recovery-frontier benchmark.
+
+The smoke test is deliberately *not* perf-marked: it runs the benchmark
+end-to-end on a small grid in every tier-2 pass, which exercises the
+batched == serial frontier equality assertion and the acceptance
+comparison.  The full-size reference-case run (the ISSUE's >= 25%
+energy-saving acceptance bar at blind-r2 reachability) is perf-marked.
+"""
+
+import json
+
+import pytest
+
+from perf_recovery import SCHEMA, run_benchmark
+
+
+def _validate_payload(payload: dict) -> None:
+    assert payload["schema"] == SCHEMA
+    assert payload["batched_matches_serial"] is True
+    assert set(payload["entries"]) == {"serial", "batched"}
+    for entry in payload["entries"].values():
+        assert entry["seconds"] > 0
+        assert entry["simulations_per_second"] > 0
+    assert len(payload["frontier"]) == len(payload["strategies"])
+    acc = payload["acceptance"]
+    assert acc["meets_bar"] is True
+    assert acc["recovery"]["mean_reach"] >= acc["blind_r2"]["mean_reach"]
+    assert acc["energy_saving_vs_blind_r2"] >= 0.25
+
+
+def test_perf_recovery_smoke():
+    payload = run_benchmark(
+        topology_label="2D-4", shape=(8, 8), loss_rate=0.2,
+        trials=16, seed=42, repeats=1)
+    _validate_payload(payload)
+    assert payload["topology"] == "2D-4"
+    # The artefact must survive a JSON round trip unchanged.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_perf_recovery_cli_writes_artifact(tmp_path, capsys):
+    from perf_recovery import main
+    out = tmp_path / "bench.json"
+    rc = main(["--shape", "8", "8", "--trials", "8", "--seed", "42",
+               "--repeats", "1", "--out", str(out)])
+    assert rc == 0
+    _validate_payload(json.loads(out.read_text()))
+    assert "acceptance" in capsys.readouterr().out
+
+
+@pytest.mark.perf
+def test_perf_recovery_full_size():
+    """ISSUE acceptance bar: on the 2D-4 16x16 / p=0.2 reference case a
+    default recovery policy must meet blind-r2's reachability at >= 25%
+    lower mean energy, with the batched frontier equal to the serial."""
+    payload = run_benchmark(
+        topology_label="2D-4", shape=(16, 16), loss_rate=0.2,
+        trials=64, seed=0, repeats=1)
+    _validate_payload(payload)
+    assert payload["shape"] == [16, 16]
+    assert payload["trials"] == 64

@@ -8,8 +8,9 @@ from .lifetime import (LifetimeResult, per_node_round_energy,
 from .sensitivity import (SensitivityReport, loss_sensitivity, sensitivity,
                           sensitivity_sweeps, sensitivity_table)
 from .scaling import ScalingPoint, scaling_curve, shape_for
-from .robustness import (RobustnessPoint, failure_degradation,
-                          harden_plan, loss_degradation)
+from .robustness import (DEFAULT_RECOVERY_POLICIES, FrontierPoint,
+                          RobustnessPoint, failure_degradation,
+                          harden_plan, loss_degradation, recovery_frontier)
 from .report import (format_number, render_kv, render_paper_comparison,
                      render_table)
 from .sweep import (SweepResult, available_cpus, corner_sources,
@@ -45,9 +46,12 @@ __all__ = [
     "scaling_curve",
     "shape_for",
     "RobustnessPoint",
+    "FrontierPoint",
+    "DEFAULT_RECOVERY_POLICIES",
     "failure_degradation",
     "loss_degradation",
     "harden_plan",
+    "recovery_frontier",
     "LifetimeResult",
     "simulate_lifetime",
     "per_node_round_energy",

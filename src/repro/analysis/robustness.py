@@ -31,7 +31,7 @@ like :func:`~repro.analysis.sweep.sweep_sources`.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -40,10 +40,13 @@ from ..core.base import BroadcastProtocol, RelayPlan
 from ..core.cache import ScheduleCache
 from ..core.compiler import compile_broadcast
 from ..core.registry import protocol_for
+from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
+                            PAPER_SPACING_M)
 from ..radio.impairments import (BernoulliBatchLoss, CounterBernoulliLoss,
                                  random_dead_mask, trial_seeds)
 from ..sim.engine import (replay, replay_batch, run_reactive,
                           run_reactive_batch)
+from ..sim.recovery import RecoveryPolicy
 from ..topology.base import Topology
 
 _ENGINES = ("batch", "serial")
@@ -51,13 +54,21 @@ _ENGINES = ("batch", "serial")
 
 @dataclass(frozen=True)
 class RobustnessPoint:
-    """One measurement of a degradation curve."""
+    """One measurement of a degradation curve.
+
+    The dispersion fields (``std_reach`` and the 5th/50th reachability
+    percentiles) were added for frontier comparisons; they default to
+    zero so pre-existing positional constructions stay valid.
+    """
 
     parameter: float
     trials: int
     mean_reachability: float
     min_reachability: float
     mean_tx: float
+    std_reach: float = 0.0
+    p5_reach: float = 0.0
+    p50_reach: float = 0.0
 
     def as_row(self) -> dict:
         return {
@@ -66,6 +77,9 @@ class RobustnessPoint:
             "mean_reach": self.mean_reachability,
             "min_reach": self.min_reachability,
             "mean_tx": self.mean_tx,
+            "std_reach": self.std_reach,
+            "p5_reach": self.p5_reach,
+            "p50_reach": self.p50_reach,
         }
 
 
@@ -105,27 +119,35 @@ def _point(parameter: float, reaches: np.ndarray,
         parameter=float(parameter), trials=len(reaches),
         mean_reachability=float(np.mean(reaches)),
         min_reachability=float(np.min(reaches)),
-        mean_tx=float(np.mean(txs)))
+        mean_tx=float(np.mean(txs)),
+        std_reach=float(np.std(reaches)),
+        p5_reach=float(np.percentile(reaches, 5)),
+        p50_reach=float(np.percentile(reaches, 50)))
 
 
 def _chunk(items: List, workers: int) -> List[List]:
-    """Contiguous chunks, ~2 per worker, preserving order."""
+    """Contiguous non-empty chunks, ~2 per worker, preserving order."""
+    if not items:
+        return []
     size = max(1, -(-len(items) // (workers * 2)))
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
 def _fan_out(points_fn, parameters: Sequence, workers: Optional[int],
-             job_builder, worker_fn) -> List[RobustnessPoint]:
+             job_builder, worker_fn) -> List:
     """Run *points_fn* over *parameters*, optionally across processes.
 
     Results are reassembled in submission order, so the parallel curve is
-    identical to the serial one regardless of worker count.
+    identical to the serial one regardless of worker count.  The pool is
+    sized to the actual chunk count: asking for more workers than there
+    are sweep points no longer spawns idle processes.
     """
     params = list(parameters)
     if workers is not None and workers > 1 and len(params) > 1:
         chunks = _chunk(params, workers)
-        points: List[RobustnessPoint] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        points: List = []
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks))) as pool:
             for chunk_points in pool.map(
                     worker_fn, [job_builder(chunk) for chunk in chunks]):
                 points.extend(chunk_points)
@@ -138,8 +160,9 @@ def _fan_out(points_fn, parameters: Sequence, workers: Optional[int],
 # ---------------------------------------------------------------------------
 
 def _loss_point(topology: Topology, src: int, plan: RelayPlan,
-                p: float, trials: int, seed: int,
-                engine: str) -> RobustnessPoint:
+                p: float, trials: int, seed: int, engine: str,
+                recovery: Optional[RecoveryPolicy] = None
+                ) -> RobustnessPoint:
     """One loss-rate point: *trials* Bernoulli channels, batched or not.
 
     The per-trial seeds mix the loss rate into the stream
@@ -152,7 +175,8 @@ def _loss_point(topology: Topology, src: int, plan: RelayPlan,
             topology, src, plan.relay_mask,
             extra_delay=plan.extra_delay,
             repeat_offsets=plan.repeat_offsets,
-            loss=BernoulliBatchLoss(p, seeds), summary=True)
+            loss=BernoulliBatchLoss(p, seeds), summary=True,
+            recovery=recovery)
         return _point(p, s.reachability, s.num_tx)
     reaches = np.empty(trials)
     txs = np.empty(trials)
@@ -161,7 +185,8 @@ def _loss_point(topology: Topology, src: int, plan: RelayPlan,
             topology, src, plan.relay_mask,
             extra_delay=plan.extra_delay,
             repeat_offsets=plan.repeat_offsets,
-            loss=CounterBernoulliLoss(p, int(seeds[b])))
+            loss=CounterBernoulliLoss(p, int(seeds[b])),
+            recovery=recovery)
         reaches[b] = trace.reachability
         txs[b] = trace.num_tx
     return _point(p, reaches, txs)
@@ -169,8 +194,9 @@ def _loss_point(topology: Topology, src: int, plan: RelayPlan,
 
 def _loss_chunk(job) -> List[RobustnessPoint]:
     """Worker-process entry point for parallel loss sweeps."""
-    topology, src, plan, rates, trials, seed, engine = job
-    return [_loss_point(topology, src, plan, p, trials, seed, engine)
+    topology, src, plan, rates, trials, seed, engine, recovery = job
+    return [_loss_point(topology, src, plan, p, trials, seed, engine,
+                        recovery)
             for p in rates]
 
 
@@ -184,6 +210,7 @@ def loss_degradation(
     seed: int = 0,
     workers: Optional[int] = None,
     engine: str = "batch",
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> List[RobustnessPoint]:
     """Reachability of the (optionally hardened) protocol under Bernoulli
     loss, per loss rate.
@@ -191,6 +218,9 @@ def loss_degradation(
     The wave is re-run reactively under each lossy channel (relays fire
     on their *actual* first reception), which is how a real deployment
     would behave; no recompilation knowledge of the losses is assumed.
+    *recovery* layers the closed-loop recovery policy on top (it composes
+    with *harden*, though the frontier sweep shows the two are usually
+    alternatives).
 
     All trials of one loss rate run as one batch through
     :func:`~repro.sim.engine.run_reactive_batch` (``engine="batch"``,
@@ -205,10 +235,11 @@ def loss_degradation(
     src = topology.index(source)
 
     def job_builder(chunk):
-        return (topology, src, plan, chunk, trials, seed, engine)
+        return (topology, src, plan, chunk, trials, seed, engine, recovery)
 
     return _fan_out(
-        lambda p: _loss_point(topology, src, plan, p, trials, seed, engine),
+        lambda p: _loss_point(topology, src, plan, p, trials, seed, engine,
+                              recovery),
         loss_rates, workers, job_builder, _loss_chunk)
 
 
@@ -229,7 +260,9 @@ def _failure_dead_masks(topology: Topology, k: int, trials: int,
 def _failure_point(topology: Topology, source, src: int,
                    baseline_schedule, plan: Optional[RelayPlan],
                    k: int, trials: int, seed: int, recompile: bool,
-                   engine: str) -> RobustnessPoint:
+                   engine: str,
+                   recovery: Optional[RecoveryPolicy] = None
+                   ) -> RobustnessPoint:
     dead_masks = _failure_dead_masks(topology, k, trials, seed, src)
     live = ~dead_masks
     if recompile:
@@ -247,13 +280,14 @@ def _failure_point(topology: Topology, source, src: int,
         return _point(k, reaches, txs)
     if engine == "batch":
         s = replay_batch(topology, baseline_schedule, src,
-                         dead_masks=dead_masks, summary=True)
+                         dead_masks=dead_masks, summary=True,
+                         recovery=recovery)
         return _point(k, s.live_reachability(dead_masks), s.num_tx)
     reaches = np.empty(trials)
     txs = np.empty(trials)
     for b in range(trials):
         trace = replay(topology, baseline_schedule, src,
-                       dead_mask=dead_masks[b])
+                       dead_mask=dead_masks[b], recovery=recovery)
         reached = (trace.first_rx >= 0) & live[b]
         reaches[b] = float(reached.sum()) / float(live[b].sum())
         txs[b] = trace.num_tx
@@ -263,9 +297,9 @@ def _failure_point(topology: Topology, source, src: int,
 def _failure_chunk(job) -> List[RobustnessPoint]:
     """Worker-process entry point for parallel failure sweeps."""
     (topology, source, src, schedule, plan, counts, trials, seed,
-     recompile, engine) = job
+     recompile, engine, recovery) = job
     return [_failure_point(topology, source, src, schedule, plan, k,
-                           trials, seed, recompile, engine)
+                           trials, seed, recompile, engine, recovery)
             for k in counts]
 
 
@@ -280,6 +314,7 @@ def failure_degradation(
     workers: Optional[int] = None,
     cache: Optional[ScheduleCache] = None,
     engine: str = "batch",
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> List[RobustnessPoint]:
     """Live-node reachability after k random node deaths.
 
@@ -293,7 +328,9 @@ def failure_degradation(
     compiles per trial (each trial yields a different schedule) but the
     invariant relay plan is computed once.  ``workers`` fans the failure
     counts out over processes; *cache* is the schedule cache used for the
-    baseline compilation.
+    baseline compilation.  *recovery* applies the closed-loop recovery
+    layer to the static replay (ignored by the recompile branch, which
+    already routes around the known failures at compile time).
     """
     _check_engine(engine)
     if protocol is None:
@@ -309,9 +346,215 @@ def failure_degradation(
 
     def job_builder(chunk):
         return (topology, source, src, baseline_schedule, plan, chunk,
-                trials, seed, recompile, engine)
+                trials, seed, recompile, engine, recovery)
 
     return _fan_out(
         lambda k: _failure_point(topology, source, src, baseline_schedule,
-                                 plan, k, trials, seed, recompile, engine),
+                                 plan, k, trials, seed, recompile, engine,
+                                 recovery),
         failure_counts, workers, job_builder, _failure_chunk)
+
+
+# ---------------------------------------------------------------------------
+# Recovery frontier: blind hardening vs closed-loop recovery
+# ---------------------------------------------------------------------------
+
+#: Recovery policies swept by default.  ``timeout=2, backoff=1`` aligns
+#: retry checks with blind hardening's repeat offsets (+2, +4, ...), so
+#: those policies retransmit on exactly the slots ``harden_plan(r)``
+#: would blindly repeat on -- but only when a neighbour actually missed.
+#: The ``election=False`` variants skip the last-resort repair election,
+#: which under pure loss only adds spurious transmissions (a node that
+#: merely *missed* its relay cannot tell it apart from a dead one); the
+#: election-enabled entries earn their keep when relays actually die.
+#: The suppression-free entry exposes what the Trickle counter is worth.
+DEFAULT_RECOVERY_POLICIES = (
+    RecoveryPolicy(timeout=2, max_retries=2, backoff=1, suppression_k=2,
+                   election=False),
+    RecoveryPolicy(timeout=2, max_retries=3, backoff=1, suppression_k=2,
+                   election=False),
+    RecoveryPolicy(timeout=2, max_retries=2, backoff=1, suppression_k=2),
+    RecoveryPolicy(timeout=2, max_retries=2, backoff=2, suppression_k=2),
+    RecoveryPolicy(timeout=2, max_retries=3, backoff=2, suppression_k=0),
+)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (strategy, loss rate, failure count) cell of the frontier.
+
+    ``pareto`` flags the points on the reachability-vs-energy Pareto
+    front *within their (loss_rate, failures) cell*: no other strategy in
+    the cell has both >= mean reachability and <= mean energy with one
+    inequality strict.
+    """
+
+    strategy: str
+    loss_rate: float
+    failures: int
+    trials: int
+    mean_reachability: float
+    min_reachability: float
+    std_reach: float
+    p5_reach: float
+    p50_reach: float
+    mean_tx: float
+    mean_rx: float
+    mean_energy_j: float
+    pareto: bool = False
+
+    def as_row(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "loss_rate": self.loss_rate,
+            "failures": self.failures,
+            "trials": self.trials,
+            "mean_reach": self.mean_reachability,
+            "min_reach": self.min_reachability,
+            "std_reach": self.std_reach,
+            "p5_reach": self.p5_reach,
+            "p50_reach": self.p50_reach,
+            "mean_tx": self.mean_tx,
+            "mean_rx": self.mean_rx,
+            "mean_energy_j": self.mean_energy_j,
+            "pareto": self.pareto,
+        }
+
+
+def _frontier_seeds(seed: int, p: float, k: int, trials: int) -> np.ndarray:
+    """Per-trial loss seeds for one frontier cell.
+
+    The (p, k) pair is mixed into one sweep parameter so each cell draws
+    independent randomness, while all strategies of a cell share the
+    identical channels — a paired comparison, which is what makes the
+    per-cell Pareto fronts meaningful at modest trial counts.
+    """
+    return trial_seeds(seed, float(p) + 7919.0 * float(k), trials)
+
+
+def _frontier_cell(topology: Topology, src: int,
+                   strategies, p: float, k: int, trials: int, seed: int,
+                   engine: str) -> List[FrontierPoint]:
+    """All strategies of one (loss rate, failure count) cell."""
+    seeds = _frontier_seeds(seed, p, k, trials)
+    dead_masks = (_failure_dead_masks(topology, k, trials, seed, src)
+                  if k > 0 else None)
+    tx_e = PAPER_RADIO_MODEL.tx_energy(PAPER_PACKET_BITS, PAPER_SPACING_M)
+    rx_e = PAPER_RADIO_MODEL.rx_energy(PAPER_PACKET_BITS)
+    out = []
+    for label, plan, policy in strategies:
+        if engine == "batch":
+            s = run_reactive_batch(
+                topology, src, plan.relay_mask,
+                extra_delay=plan.extra_delay,
+                repeat_offsets=plan.repeat_offsets,
+                dead_masks=dead_masks,
+                loss=BernoulliBatchLoss(p, seeds) if p > 0 else None,
+                trials=trials, summary=True, recovery=policy)
+            reaches = (s.live_reachability(dead_masks)
+                       if dead_masks is not None else s.reachability)
+            txs, rxs = s.num_tx.astype(float), s.num_rx.astype(float)
+        else:
+            reaches = np.empty(trials)
+            txs = np.empty(trials)
+            rxs = np.empty(trials)
+            for b in range(trials):
+                trace = run_reactive(
+                    topology, src, plan.relay_mask,
+                    extra_delay=plan.extra_delay,
+                    repeat_offsets=plan.repeat_offsets,
+                    dead_mask=None if dead_masks is None else dead_masks[b],
+                    loss=(CounterBernoulliLoss(p, int(seeds[b]))
+                          if p > 0 else None),
+                    recovery=policy)
+                if dead_masks is None:
+                    reaches[b] = trace.reachability
+                else:
+                    live = ~dead_masks[b]
+                    reached = (trace.first_rx >= 0) & live
+                    reaches[b] = float(reached.sum()) / float(live.sum())
+                txs[b] = trace.num_tx
+                rxs[b] = trace.num_rx
+        energy = txs * tx_e + rxs * rx_e
+        out.append(FrontierPoint(
+            strategy=label, loss_rate=float(p), failures=int(k),
+            trials=trials,
+            mean_reachability=float(np.mean(reaches)),
+            min_reachability=float(np.min(reaches)),
+            std_reach=float(np.std(reaches)),
+            p5_reach=float(np.percentile(reaches, 5)),
+            p50_reach=float(np.percentile(reaches, 50)),
+            mean_tx=float(np.mean(txs)), mean_rx=float(np.mean(rxs)),
+            mean_energy_j=float(np.mean(energy))))
+    return _mark_pareto(out)
+
+
+def _mark_pareto(cell: List[FrontierPoint]) -> List[FrontierPoint]:
+    """Flag the reachability-vs-energy Pareto front within one cell."""
+    out = []
+    for a in cell:
+        dominated = any(
+            b.mean_reachability >= a.mean_reachability
+            and b.mean_energy_j <= a.mean_energy_j
+            and (b.mean_reachability > a.mean_reachability
+                 or b.mean_energy_j < a.mean_energy_j)
+            for b in cell)
+        out.append(replace(a, pareto=not dominated))
+    return out
+
+
+def _frontier_chunk(job) -> List[List[FrontierPoint]]:
+    """Worker-process entry point for parallel frontier sweeps."""
+    topology, src, strategies, cells, trials, seed, engine = job
+    return [_frontier_cell(topology, src, strategies, p, k, trials, seed,
+                           engine)
+            for p, k in cells]
+
+
+def recovery_frontier(
+    topology: Topology,
+    source,
+    loss_rates: Sequence[float] = (0.0, 0.1, 0.2),
+    failure_counts: Sequence[int] = (0,),
+    trials: int = 32,
+    protocol: Optional[BroadcastProtocol] = None,
+    hardening: Sequence[int] = (0, 1, 2, 3),
+    policies: Sequence[RecoveryPolicy] = DEFAULT_RECOVERY_POLICIES,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    engine: str = "batch",
+) -> List[FrontierPoint]:
+    """Reachability-vs-energy Pareto sweep: blind hardening vs recovery.
+
+    For every ``(loss_rate, failure_count)`` cell, runs the reactive wave
+    under (a) ``harden_plan(plan, r)`` for each r in *hardening* (blind
+    ARQ, strategy ``blind-r{r}``) and (b) the base plan plus each
+    :class:`~repro.sim.recovery.RecoveryPolicy` in *policies* (strategies
+    named by :meth:`~repro.sim.recovery.RecoveryPolicy.label`), all over
+    the *same* per-cell channel and failure realisations, then marks each
+    cell's Pareto-optimal points.  Energy uses the paper's first-order
+    radio model at the paper's packet size and node spacing.
+
+    This is the experiment behind the headline claim: a feedback-driven
+    policy matches blind ``r=2`` hardening's reachability at a fraction
+    of its energy.  Beyond-the-paper extension.
+    """
+    _check_engine(engine)
+    if protocol is None:
+        protocol = protocol_for(topology)
+    base_plan = protocol.relay_plan(topology, source)
+    src = topology.index(source)
+    strategies = (
+        [(f"blind-r{r}", harden_plan(base_plan, r), None)
+         for r in hardening]
+        + [(pol.label(), base_plan, pol) for pol in policies])
+    cells = [(float(p), int(k)) for p in loss_rates for k in failure_counts]
+
+    def job_builder(chunk):
+        return (topology, src, strategies, chunk, trials, seed, engine)
+
+    cell_lists = _fan_out(
+        lambda cell: _frontier_cell(topology, src, strategies,
+                                    cell[0], cell[1], trials, seed, engine),
+        cells, workers, job_builder, _frontier_chunk)
+    return [point for cell in cell_lists for point in cell]

@@ -136,15 +136,46 @@ def _default_center_source(topo):
             else (topo.m, topo.n)))
 
 
+def _recovery_from_args(args):
+    """Build a RecoveryPolicy from ``--recovery*`` flags (None if off)."""
+    if not getattr(args, "recovery", False):
+        return None
+    from .sim import RecoveryPolicy
+    return RecoveryPolicy(
+        timeout=args.recovery_timeout,
+        max_retries=args.recovery_max_retries,
+        backoff=args.recovery_backoff,
+        suppression_k=args.recovery_suppression_k,
+        election=not args.recovery_no_election)
+
+
+def _add_recovery_flags(p) -> None:
+    p.add_argument("--recovery", action="store_true",
+                   help="enable the closed-loop recovery layer "
+                        "(overhear-ACKs + timeout/backoff retransmission)")
+    p.add_argument("--recovery-timeout", type=int, default=2,
+                   help="slots a relay waits before checking coverage")
+    p.add_argument("--recovery-max-retries", type=int, default=3,
+                   help="retransmission budget per relay")
+    p.add_argument("--recovery-backoff", type=int, default=2,
+                   help="multiplicative timeout backoff between retries")
+    p.add_argument("--recovery-suppression-k", type=int, default=2,
+                   help="Trickle counter: cancel a pending retry after "
+                        "overhearing k overlapping repairs (0 disables)")
+    p.add_argument("--recovery-no-election", action="store_true",
+                   help="disable the last-resort repair election")
+
+
 def cmd_robustness(args) -> int:
     topo = _topology_from_args(args)
     source = (tuple(args.source) if args.source
               else _default_center_source(topo))
+    recovery = _recovery_from_args(args)
     rows = []
     for p in analysis.loss_degradation(
             topo, source, args.loss_rates, trials=args.trials,
             harden=args.harden, seed=args.seed, workers=args.workers,
-            engine=args.engine):
+            engine=args.engine, recovery=recovery):
         rows.append({"impairment": f"loss p={p.parameter}",
                      "mean reach": round(p.mean_reachability, 3),
                      "min reach": round(p.min_reachability, 3),
@@ -152,7 +183,8 @@ def cmd_robustness(args) -> int:
     for p in analysis.failure_degradation(
             topo, source, args.failures, trials=args.trials,
             recompile=args.recompile, seed=args.seed, workers=args.workers,
-            cache=_schedule_cache_from_args(args), engine=args.engine):
+            cache=_schedule_cache_from_args(args), engine=args.engine,
+            recovery=recovery):
         mode = "recompiled" if args.recompile else "static"
         rows.append({"impairment": f"{int(p.parameter)} dead ({mode})",
                      "mean reach": round(p.mean_reachability, 3),
@@ -161,6 +193,33 @@ def cmd_robustness(args) -> int:
     print(analysis.render_table(
         rows, ["impairment", "mean reach", "min reach", "mean tx"],
         title=f"robustness of {topo.name} broadcast from {source}"))
+    return 0
+
+
+def cmd_frontier(args) -> int:
+    topo = _topology_from_args(args)
+    source = (tuple(args.source) if args.source
+              else _default_center_source(topo))
+    points = analysis.recovery_frontier(
+        topo, source, loss_rates=args.loss_rates,
+        failure_counts=args.failures, trials=args.trials,
+        hardening=args.hardening, seed=args.seed,
+        workers=args.workers, engine=args.engine)
+    rows = []
+    for p in points:
+        rows.append({"strategy": p.strategy,
+                     "p": p.loss_rate,
+                     "dead": p.failures,
+                     "mean reach": round(p.mean_reachability, 3),
+                     "p5 reach": round(p.p5_reach, 3),
+                     "mean tx": round(p.mean_tx, 1),
+                     "energy mJ": round(p.mean_energy_j * 1e3, 3),
+                     "pareto": "*" if p.pareto else ""})
+    print(analysis.render_table(
+        rows, ["strategy", "p", "dead", "mean reach", "p5 reach",
+               "mean tx", "energy mJ", "pareto"],
+        title=(f"recovery frontier: {topo.name} from {source} "
+               f"({args.trials} trials)")))
     return 0
 
 
@@ -319,7 +378,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical to serial)")
     p.add_argument("--cache", metavar="DIR", default=None,
                    help="schedule-cache directory shared across runs")
+    _add_recovery_flags(p)
     p.set_defaults(func=cmd_robustness)
+
+    p = sub.add_parser("frontier",
+                       help="blind hardening vs closed-loop recovery "
+                            "Pareto sweep (extension)")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.add_argument("--source", type=int, nargs="+", default=None)
+    p.add_argument("--loss-rates", type=float, nargs="+",
+                   default=[0.0, 0.1, 0.2])
+    p.add_argument("--failures", type=int, nargs="+", default=[0])
+    p.add_argument("--trials", type=int, default=32)
+    p.add_argument("--hardening", type=int, nargs="+", default=[0, 1, 2, 3],
+                   help="blind repetition budgets r to compare against")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["batch", "serial"],
+                   default="batch",
+                   help="trial execution: batched Monte-Carlo (default) or "
+                        "the equivalent serial per-trial loop")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan (loss, failure) cells out over processes "
+                        "(results identical to serial)")
+    p.set_defaults(func=cmd_frontier)
 
     p = sub.add_parser("lifetime",
                        help="repeated-broadcast lifetime (extension)")

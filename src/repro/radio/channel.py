@@ -98,6 +98,16 @@ class SlotKernel:
         self._senders = np.empty(self.num_nodes, dtype=np.int64)
         self._batch_senders = None
 
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array of the bound adjacency (read-only use)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array of the bound adjacency (read-only use)."""
+        return self._indices
+
     def resolve(self, tx_nodes: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Resolve one slot given the array of transmitting node indices.

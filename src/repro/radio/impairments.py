@@ -187,24 +187,37 @@ class CounterBernoulliLoss(LossProcess):
 
 
 class CounterBurstLoss(LossProcess):
-    """Whole-slot blackouts drawn from the counter-based RNG."""
+    """Whole-slot blackouts drawn from the counter-based RNG.
 
-    def __init__(self, p: float, seed: int = 0) -> None:
+    *length* extends each burst: a burst *starting* at slot s (its start
+    draw fires with probability p) blacks out slots ``s .. s+length-1``,
+    so slot t is erased iff any start draw in ``[t-length+1, t]`` fired.
+    Being a pure function of the slot window, the process stays stateless
+    (slot-order independent) and its batch variant bit-identical.
+    ``length=1`` is the original single-slot burst.
+    """
+
+    def __init__(self, p: float, seed: int = 0, length: int = 1) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"burst probability must be in [0, 1], got {p}")
+        if length < 1:
+            raise ValueError(f"burst length must be >= 1, got {length}")
         self.p = float(p)
         self.seed = int(seed)
+        self.length = int(length)
 
     def apply(self, slot: int, received: np.ndarray) -> np.ndarray:
         if self.p == 0.0:
             return received
-        u = counter_uniforms(self.seed, slot, 1)
-        if u[0] < self.p:
-            return np.zeros_like(received)
+        for s in range(max(1, slot - self.length + 1), slot + 1):
+            u = counter_uniforms(self.seed, s, 1)
+            if u[0] < self.p:
+                return np.zeros_like(received)
         return received
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<CounterBurstLoss p={self.p} seed={self.seed}>"
+        return (f"<CounterBurstLoss p={self.p} seed={self.seed} "
+                f"length={self.length}>")
 
 
 # ---------------------------------------------------------------------------
@@ -261,11 +274,17 @@ class BernoulliBatchLoss(BatchLoss):
 
 
 class BurstBatchLoss(BatchLoss):
-    """B independent whole-slot blackout channels, one draw per slot."""
+    """B independent blackout channels, one draw window per slot.
 
-    def __init__(self, p: float, seeds: Sequence[int]) -> None:
+    Row *b* is bit-identical to ``CounterBurstLoss(p, seeds[b], length)``.
+    """
+
+    def __init__(self, p: float, seeds: Sequence[int],
+                 length: int = 1) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"burst probability must be in [0, 1], got {p}")
+        if length < 1:
+            raise ValueError(f"burst length must be >= 1, got {length}")
         self.p = float(p)
         self.seeds = np.asarray(
             [int(s) & _MASK64 for s in np.asarray(seeds).tolist()],
@@ -273,18 +292,23 @@ class BurstBatchLoss(BatchLoss):
         if self.seeds.ndim != 1 or len(self.seeds) == 0:
             raise ValueError("seeds must be a non-empty 1-D sequence")
         self.trials = len(self.seeds)
+        self.length = int(length)
 
     def apply_batch(self, slot: int, received: np.ndarray) -> np.ndarray:
         if self.p == 0.0:
             return received
-        u = counter_uniforms(self.seeds, slot, 1)
-        return received & (u >= self.p)
+        survive = np.ones(self.trials, dtype=bool)
+        for s in range(max(1, slot - self.length + 1), slot + 1):
+            u = counter_uniforms(self.seeds, s, 1)
+            survive &= u[:, 0] >= self.p
+        return received & survive[:, None]
 
     def trial_loss(self, trial: int) -> LossProcess:
-        return CounterBurstLoss(self.p, int(self.seeds[trial]))
+        return CounterBurstLoss(self.p, int(self.seeds[trial]), self.length)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<BurstBatchLoss p={self.p} trials={self.trials}>"
+        return (f"<BurstBatchLoss p={self.p} trials={self.trials} "
+                f"length={self.length}>")
 
 
 class PerTrialBatchLoss(BatchLoss):

@@ -4,6 +4,8 @@ from .engine import (replay, replay_batch, run_reactive,
                      run_reactive_batch, run_reactive_multi)
 from .metrics import (BroadcastMetrics, compute_metrics,
                       compute_metrics_from_counts)
+from .recovery import (BatchRecoveryState, RecoveryPolicy, RecoveryState,
+                       relay_like_from_schedule, relay_like_mask)
 from .translate import (TranslationError, translate_compiled,
                         translate_plan, translate_schedule,
                         translate_trace)
@@ -25,6 +27,11 @@ __all__ = [
     "run_reactive",
     "run_reactive_batch",
     "run_reactive_multi",
+    "RecoveryPolicy",
+    "RecoveryState",
+    "BatchRecoveryState",
+    "relay_like_mask",
+    "relay_like_from_schedule",
     "TranslationError",
     "translate_compiled",
     "translate_plan",

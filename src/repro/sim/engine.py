@@ -48,6 +48,8 @@ import numpy as np
 
 from ..radio.impairments import BatchLoss, LossProcess
 from ..topology.base import Topology
+from .recovery import (BatchRecoveryState, RecoveryPolicy, RecoveryState,
+                       relay_like_from_schedule, relay_like_mask)
 from .schedule import BroadcastSchedule
 from .summary import TraceSummary
 from .trace import BroadcastTrace
@@ -110,6 +112,7 @@ def run_reactive(
     max_slots: Optional[int] = None,
     dead_mask: Optional[np.ndarray] = None,
     loss: Optional["LossProcess"] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> BroadcastTrace:
     """Run a reactive relay wave and return its trace.
 
@@ -144,6 +147,10 @@ def run_reactive(
     loss:
         Optional :class:`~repro.radio.impairments.LossProcess` erasing
         successful decodes after collision resolution.
+    recovery:
+        Optional :class:`~repro.sim.recovery.RecoveryPolicy` enabling the
+        closed-loop recovery layer (overhear-ACKs, timeout/backoff
+        retransmission, suppression, repair election).
     """
     n = topology.num_nodes
     if not 0 <= source < n:
@@ -208,8 +215,14 @@ def run_reactive(
 
     schedule_node(source, 1 + int(extra_delay[source]))
 
+    rec = None
+    if recovery is not None:
+        rec = RecoveryState(topology, recovery,
+                            relay_like_mask(n, relay_mask, source))
+
     t = 0
-    while t < max_slots and t < horizon:
+    while t < max_slots and (t < horizon
+                             or (rec is not None and t < rec.horizon)):
         t += 1
         tx_set = pending.pop(t, set())
         for v in sorted(forced.pop(t, ())):
@@ -219,12 +232,16 @@ def run_reactive(
                 dropped_forced.append((t, int(v)))
         if dead_mask is not None:
             tx_set = {v for v in tx_set if not dead_mask[v]}
+        if rec is not None:
+            # Recovery retransmitters are informed (hence alive) by
+            # construction, so joining after the dead filter is safe.
+            tx_set |= rec.pre_slot(t)
         if not tx_set:
             continue
         _execute_slot(kernel, t, tx_set, first_rx,
                       tx_log, rx_log, coll_log,
                       relay_mask, extra_delay, schedule_node,
-                      alive_mask=alive_mask, loss=loss)
+                      alive_mask=alive_mask, loss=loss, recovery=rec)
     return BroadcastTrace(
         num_nodes=n, source=source, first_rx=first_rx,
         tx_events=tx_log.tuples(), rx_events=rx_log.tuples(),
@@ -234,7 +251,10 @@ def run_reactive(
 def replay(topology: Topology, schedule: BroadcastSchedule,
            source: int,
            dead_mask: Optional[np.ndarray] = None,
-           loss: Optional["LossProcess"] = None) -> BroadcastTrace:
+           loss: Optional["LossProcess"] = None,
+           *,
+           recovery: Optional[RecoveryPolicy] = None,
+           max_slots: Optional[int] = None) -> BroadcastTrace:
     """Execute a fixed schedule verbatim and return the trace.
 
     *dead_mask* / *loss* inject faults into the replay: failed nodes
@@ -242,6 +262,11 @@ def replay(topology: Topology, schedule: BroadcastSchedule,
     A fault-injected replay also drops the transmissions of nodes that
     (because of the faults) never obtained the message — a real node
     cannot forward a packet it does not hold.
+
+    With *recovery*, the closed-loop recovery layer runs on top of the
+    schedule: scheduled transmitters double as recovery guardians, and
+    the replay continues past the schedule horizon while repairs are
+    pending (bounded by *max_slots*, default ``4 * n + 16``).
     """
     n = topology.num_nodes
     if not 0 <= source < n:
@@ -258,7 +283,18 @@ def replay(topology: Topology, schedule: BroadcastSchedule,
     coll_log = _EventLog(2)
     alive_mask = None if dead_mask is None else ~dead_mask
     faulty = dead_mask is not None or loss is not None
-    for t in schedule.active_slots():
+    rec = None
+    bound = schedule.max_slot
+    slots: Iterable[int] = schedule.active_slots()
+    if recovery is not None:
+        rec = RecoveryState(topology, recovery,
+                            relay_like_from_schedule(n, schedule))
+        if max_slots is None:
+            max_slots = max(4 * n + 16, bound + 2)
+        # Recovery inserts transmissions into arbitrary slots (and past
+        # the schedule horizon), so walk every slot up to the bound.
+        slots = _replay_recovery_slots(bound, max_slots, rec)
+    for t in slots:
         tx_set = schedule.transmitters(t)
         if dead_mask is not None:
             tx_set = {v for v in tx_set if not dead_mask[v]}
@@ -266,16 +302,29 @@ def replay(topology: Topology, schedule: BroadcastSchedule,
             # a node that never received cannot forward
             tx_set = {v for v in tx_set
                       if v == source or 0 <= first_rx[v] < t}
+        if rec is not None:
+            tx_set |= rec.pre_slot(t)
         if not tx_set:
             continue
         _execute_slot(kernel, t, tx_set, first_rx,
                       tx_log, rx_log, coll_log,
                       relay_mask=None, extra_delay=None, schedule_node=None,
-                      alive_mask=alive_mask, loss=loss)
+                      alive_mask=alive_mask, loss=loss, recovery=rec)
     return BroadcastTrace(
         num_nodes=n, source=source, first_rx=first_rx,
         tx_events=tx_log.tuples(), rx_events=rx_log.tuples(),
         collision_events=coll_log.tuples())
+
+
+def _replay_recovery_slots(sched_horizon: int, max_slots: int,
+                           rec) -> Iterable[int]:
+    """Slot counter of a recovery-enabled replay: runs while scheduled
+    *or* recovery work remains, re-reading the recovery horizon (which
+    grows as episodes are scheduled) each slot."""
+    t = 0
+    while t < max_slots and (t < sched_horizon or t < rec.horizon):
+        t += 1
+        yield t
 
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -412,17 +461,19 @@ def run_reactive_batch(
     loss: Optional[BatchLoss] = None,
     trials: Optional[int] = None,
     summary: bool = False,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> Union[TraceSummary, List[BroadcastTrace]]:
     """Run B independent reactive relay waves batched slot-by-slot.
 
     Every trial executes the same relay plan (*relay_mask*,
-    *extra_delay*, *repeat_offsets*, *forced_tx*) but its own channel
-    realisation: row *b* of *dead_masks* and trial *b* of the
-    :class:`~repro.radio.impairments.BatchLoss`.  Trial *b*'s outcome is
-    trace-for-trace identical to::
+    *extra_delay*, *repeat_offsets*, *forced_tx*) and recovery policy,
+    but its own channel realisation: row *b* of *dead_masks* and trial
+    *b* of the :class:`~repro.radio.impairments.BatchLoss`.  Trial *b*'s
+    outcome is trace-for-trace identical to::
 
         run_reactive(topology, source, relay_mask, ...,
-                     dead_mask=dead_masks[b], loss=loss.trial_loss(b))
+                     dead_mask=dead_masks[b], loss=loss.trial_loss(b),
+                     recovery=recovery)
 
     The batch size is inferred from *trials*, *loss* or *dead_masks*
     (which must agree).  With ``summary=False`` the result is a list of B
@@ -497,8 +548,15 @@ def run_reactive_batch(
                    np.full(batch, 1 + int(extra_delay[source]),
                            dtype=np.int64))
 
+    rec = None
+    if recovery is not None:
+        rec = BatchRecoveryState(topology, recovery,
+                                 relay_like_mask(n, relay_mask, source),
+                                 batch)
+
     t = 0
-    while t < max_slots and t < horizon:
+    while t < max_slots and (t < horizon
+                             or (rec is not None and t < rec.horizon)):
         t += 1
         entries = pending.pop(t, None)
         if entries:
@@ -517,6 +575,11 @@ def run_reactive_batch(
             nd = np.concatenate([nd, fv[ok_j]])
             for b, j in zip(*(~ok).nonzero()):
                 state.dropped_forced[b].append((t, int(fv[j])))
+        if rec is not None:
+            r_tr, r_nd = rec.pre_slot(t)
+            if len(r_nd):
+                tr = np.concatenate([tr, r_tr])
+                nd = np.concatenate([nd, r_nd])
         if len(nd) == 0:
             continue
         # A node can be both pending and forced in the same slot; the
@@ -543,6 +606,8 @@ def run_reactive_batch(
                 rel_t, rel_n = nt[rel], nn[rel]
                 schedule_pairs(rel_t, rel_n,
                                t + 1 + extra_delay[rel_n])
+        if rec is not None:
+            rec.post_slot(t, tr, nd, received, senders, nt, nn)
     return state.finish()
 
 
@@ -720,13 +785,16 @@ def replay_batch(
     loss: Optional[BatchLoss] = None,
     trials: Optional[int] = None,
     summary: bool = False,
+    recovery: Optional[RecoveryPolicy] = None,
+    max_slots: Optional[int] = None,
 ) -> Union[TraceSummary, List[BroadcastTrace]]:
     """Execute a fixed schedule for B fault realisations batched together.
 
     Trial *b* is trace-for-trace identical to
     ``replay(topology, schedule, source, dead_mask=dead_masks[b],
-    loss=loss.trial_loss(b))``; see :func:`run_reactive_batch` for the
-    batch-size and output conventions.
+    loss=loss.trial_loss(b), recovery=recovery)``; see
+    :func:`run_reactive_batch` for the batch-size and output conventions
+    and :func:`replay` for the recovery semantics.
     """
     n = topology.num_nodes
     if not 0 <= source < n:
@@ -737,12 +805,21 @@ def replay_batch(
     alive_masks = None if dead_masks is None else ~dead_masks
     faulty = dead_masks is not None or loss is not None
     all_trials = np.arange(batch, dtype=np.int64)
-    for t in schedule.active_slots():
+    rec = None
+    slots: Iterable[int] = schedule.active_slots()
+    if recovery is not None:
+        rec = BatchRecoveryState(topology, recovery,
+                                 relay_like_from_schedule(n, schedule),
+                                 batch)
+        if max_slots is None:
+            max_slots = max(4 * n + 16, schedule.max_slot + 2)
+        slots = _replay_recovery_slots(schedule.max_slot, max_slots, rec)
+    for t in slots:
         base = np.fromiter(sorted(schedule.transmitters(t)),
                            dtype=np.int64)
         if len(base) == 0:
-            continue
-        if faulty:
+            tr, nd = _EMPTY, _EMPTY
+        elif faulty:
             frx = state.first_rx[:, base]
             # a node that never received cannot forward
             ok = (base == source)[None, :] | ((frx >= 0) & (frx < t))
@@ -750,18 +827,29 @@ def replay_batch(
                 ok &= alive_masks[:, base]
             tr, j = ok.nonzero()
             nd = base[j]
-            if len(nd) == 0:
-                continue
         else:
             tr = all_trials.repeat(len(base))
             nd = np.tile(base, batch)
+        if rec is not None:
+            r_tr, r_nd = rec.pre_slot(t)
+            if len(r_nd):
+                # Recovery pairs can duplicate scheduled transmissions;
+                # the serial engine's per-slot set collapses that, so
+                # dedup (np.unique also restores (trial, node) order).
+                key = np.unique(np.concatenate([tr * n + nd,
+                                                r_tr * n + r_nd]))
+                tr, nd = key // n, key % n
+        if len(nd) == 0:
+            continue
         _, received, collided, senders = kernel.resolve_batch(nd, tr, batch)
         if alive_masks is not None:
             received &= alive_masks
             collided &= alive_masks
         if loss is not None:
             received = loss.apply_batch(t, received)
-        state.commit_slot(t, tr, nd, received, collided, senders)
+        nt, nn = state.commit_slot(t, tr, nd, received, collided, senders)
+        if rec is not None:
+            rec.post_slot(t, tr, nd, received, senders, nt, nn)
     return state.finish()
 
 
@@ -772,7 +860,8 @@ def _execute_slot(kernel, t: int, tx_set: Set[int],
                   extra_delay: Optional[np.ndarray],
                   schedule_node,
                   alive_mask: Optional[np.ndarray] = None,
-                  loss: Optional["LossProcess"] = None) -> None:
+                  loss: Optional["LossProcess"] = None,
+                  recovery: Optional[RecoveryState] = None) -> None:
     """Resolve one slot, log its events, and (reactive mode) schedule the
     transmissions of newly informed relays."""
     tx_nodes = np.fromiter(tx_set, count=len(tx_set), dtype=np.int64)
@@ -795,3 +884,6 @@ def _execute_slot(kernel, t: int, tx_set: Set[int],
         if relay_mask is not None:
             for v in new_nodes[relay_mask[new_nodes]]:
                 schedule_node(int(v), t + 1 + int(extra_delay[v]))
+    if recovery is not None:
+        # senders is the kernel's scratch buffer — consumed immediately.
+        recovery.post_slot(t, tx_nodes, received, senders, new_nodes)

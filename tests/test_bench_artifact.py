@@ -17,6 +17,7 @@ SWEEP_ARTIFACT = _ROOT / "BENCH_sweep.json"
 ROBUSTNESS_ARTIFACT = _ROOT / "BENCH_robustness.json"
 SCALING_ARTIFACT = _ROOT / "BENCH_scaling.json"
 SYMMETRY_ARTIFACT = _ROOT / "BENCH_symmetry.json"
+RECOVERY_ARTIFACT = _ROOT / "BENCH_recovery.json"
 
 
 @pytest.mark.skipif(not SWEEP_ARTIFACT.exists(),
@@ -82,6 +83,34 @@ def test_bench_symmetry_artifact_well_formed():
     assert mesh2d4["sources"] == mesh2d4["shape"][0] * mesh2d4["shape"][1]
     assert mesh2d4["compile_call_reduction"] >= 5.0
     assert mesh2d4["speedup"] > 1.0
+
+
+@pytest.mark.skipif(not RECOVERY_ARTIFACT.exists(),
+                    reason="BENCH_recovery.json not generated")
+def test_bench_recovery_artifact_well_formed():
+    payload = json.loads(RECOVERY_ARTIFACT.read_text())
+    assert payload["schema"] == "repro-wsn/bench-recovery/v1"
+    assert payload["batched_matches_serial"] is True
+    assert set(payload["entries"]) == {"serial", "batched"}
+    for label, entry in payload["entries"].items():
+        assert entry["seconds"] > 0, label
+        assert entry["simulations_per_second"] > 0, label
+    # the frontier rows must cover every strategy of the sweep
+    assert len(payload["frontier"]) == len(payload["strategies"])
+    for row in payload["frontier"]:
+        assert 0.0 <= row["mean_reach"] <= 1.0
+        assert row["mean_energy_j"] > 0
+    # the ISSUE's acceptance floors for the committed artefact: the
+    # 2D-4 16x16 / p=0.2 reference case must contain a recovery policy
+    # that meets blind-r2's reachability at >= 25% lower mean energy
+    assert payload["topology"] == "2D-4"
+    assert payload["shape"] == [16, 16]
+    assert payload["loss_rate"] == 0.2
+    assert payload["trials"] >= 32
+    acc = payload["acceptance"]
+    assert acc["meets_bar"] is True
+    assert acc["recovery"]["mean_reach"] >= acc["blind_r2"]["mean_reach"]
+    assert acc["energy_saving_vs_blind_r2"] >= 0.25
 
 
 @pytest.mark.skipif(not SCALING_ARTIFACT.exists(),

@@ -73,6 +73,78 @@ class TestRobustnessCommand:
         assert (tmp_path / "sched").is_dir()
 
 
+class TestRobustnessRecoveryFlags:
+    def test_recovery_flag(self, capsys):
+        assert main(["robustness", "2D-4", "--shape", "10", "6",
+                     "--loss-rates", "0.25", "--failures", "0",
+                     "--trials", "2", "--recovery"]) == 0
+        assert "loss p=0.25" in capsys.readouterr().out
+
+    def test_recovery_improves_reported_reach(self, capsys):
+        args = ["robustness", "2D-4", "--shape", "10", "6",
+                "--loss-rates", "0.25", "--failures", "0",
+                "--trials", "3", "--seed", "4"]
+        assert main(args) == 0
+        bare = capsys.readouterr().out
+        assert main(args + ["--recovery", "--recovery-no-election"]) == 0
+        rec = capsys.readouterr().out
+
+        def mean_reach(out):
+            line = next(l for l in out.splitlines() if "loss p=" in l)
+            return float(line.split("|")[1])
+
+        assert mean_reach(rec) > mean_reach(bare)
+
+    def test_recovery_policy_flags_parsed(self, capsys):
+        assert main(["robustness", "2D-4", "--shape", "8", "6",
+                     "--loss-rates", "0.2", "--failures", "0",
+                     "--trials", "2", "--recovery",
+                     "--recovery-timeout", "3",
+                     "--recovery-max-retries", "1",
+                     "--recovery-backoff", "1",
+                     "--recovery-suppression-k", "0",
+                     "--recovery-no-election"]) == 0
+        assert "loss p=0.2" in capsys.readouterr().out
+
+
+class TestFrontierCommand:
+    def test_default_run(self, capsys):
+        assert main(["frontier", "2D-4", "--shape", "8", "6",
+                     "--loss-rates", "0.2", "--trials", "2",
+                     "--hardening", "0", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "blind-r0" in out
+        assert "blind-r2" in out
+        assert "recovery-" in out
+        assert "*" in out  # at least one Pareto point
+
+    def test_seed_changes_channels(self, capsys):
+        args = ["frontier", "2D-4", "--shape", "8", "6",
+                "--loss-rates", "0.3", "--trials", "2",
+                "--hardening", "0"]
+        assert main(args + ["--seed", "1"]) == 0
+        a = capsys.readouterr().out
+        assert main(args + ["--seed", "2"]) == 0
+        b = capsys.readouterr().out
+        assert a != b
+
+    def test_engines_print_identical_tables(self, capsys):
+        args = ["frontier", "2D-4", "--shape", "8", "6",
+                "--loss-rates", "0.2", "--trials", "2",
+                "--hardening", "0", "--seed", "3"]
+        assert main(args + ["--engine", "batch"]) == 0
+        batch = capsys.readouterr().out
+        assert main(args + ["--engine", "serial"]) == 0
+        serial = capsys.readouterr().out
+        assert batch == serial
+
+    def test_workers_flag(self, capsys):
+        assert main(["frontier", "2D-4", "--shape", "8", "6",
+                     "--loss-rates", "0.1", "0.2", "--trials", "2",
+                     "--hardening", "0", "--workers", "2"]) == 0
+        assert "recovery frontier" in capsys.readouterr().out
+
+
 class TestLifetimeCommand:
     def test_default_run(self, capsys):
         assert main(["lifetime", "2D-4", "--shape", "8", "6",

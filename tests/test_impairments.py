@@ -187,6 +187,77 @@ class TestBatchLosses:
             PerTrialBatchLoss([])
 
 
+class TestBurstLength:
+    """Edge cases of the multi-slot burst window (``length > 1``)."""
+
+    def test_length_one_is_single_slot_burst(self):
+        """length=1 must reproduce the original one-draw-per-slot burst
+        bit-for-bit."""
+        rx = np.ones(30, dtype=bool)
+        a = CounterBurstLoss(0.4, seed=9)
+        b = CounterBurstLoss(0.4, seed=9, length=1)
+        for slot in range(1, 25):
+            assert (a.apply(slot, rx) == b.apply(slot, rx)).all()
+
+    def test_longer_bursts_only_add_erasures(self):
+        """Growing the window can only black out more slots: every slot
+        erased at length L is erased at length L+1 (same start draws)."""
+        rx = np.ones(10, dtype=bool)
+        short = CounterBurstLoss(0.3, seed=4, length=1)
+        long = CounterBurstLoss(0.3, seed=4, length=3)
+        for slot in range(1, 40):
+            erased_short = not short.apply(slot, rx).any()
+            erased_long = not long.apply(slot, rx).any()
+            assert erased_long or not erased_short
+
+    def test_rate_zero_is_identity_at_any_length(self):
+        rx = np.ones(15, dtype=bool)
+        loss = CounterBurstLoss(0.0, seed=1, length=50)
+        for slot in range(1, 20):
+            assert loss.apply(slot, rx).all()
+
+    def test_rate_one_blacks_out_everything(self):
+        rx = np.ones(15, dtype=bool)
+        for length in (1, 3):
+            loss = CounterBurstLoss(1.0, seed=1, length=length)
+            for slot in range(1, 20):
+                assert not loss.apply(slot, rx).any()
+
+    def test_length_exceeding_horizon(self):
+        """A burst longer than the whole broadcast: once any start draw
+        in slot 1..t fires, every later slot stays erased — the engine
+        must still terminate with a partial (possibly source-only)
+        wave."""
+        from repro.core import protocol_for
+        mesh = Mesh2D4(6, 4)
+        compiled = protocol_for("2D-4").compile(mesh, (3, 2))
+        horizon = compiled.schedule.max_slot
+        loss = CounterBurstLoss(1.0, seed=0, length=horizon + 50)
+        trace = replay(mesh, compiled.schedule, mesh.index((3, 2)),
+                       loss=loss)
+        assert trace.reachability == 1.0 / mesh.num_nodes  # source only
+        assert trace.rx_events == []
+
+    def test_batch_rows_equal_trial_loss_with_length(self):
+        """The (B,)-vectorised window must stay bit-identical to the
+        serial per-trial scan at every slot, including slots < length
+        where the window clips at slot 1."""
+        seeds = trial_seeds(3, 0.5, 6)
+        batch = BurstBatchLoss(0.5, seeds, length=4)
+        rx = np.ones((6, 25), dtype=bool)
+        for slot in (1, 2, 3, 4, 5, 9):
+            out = batch.apply_batch(slot, rx)
+            for b in range(6):
+                assert (out[b] ==
+                        batch.trial_loss(b).apply(slot, rx[b])).all()
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            CounterBurstLoss(0.5, length=0)
+        with pytest.raises(ValueError):
+            BurstBatchLoss(0.5, trial_seeds(0, 0.5, 2), length=-1)
+
+
 class TestDeadMasks:
     def test_from_coords(self):
         mesh = Mesh2D4(4, 4)

@@ -1,0 +1,180 @@
+"""Differential testing: batched recovery vs the serial recovery state.
+
+The batch engine's contract extends to the recovery layer: with the same
+:class:`RecoveryPolicy`, trial *b* of ``run_reactive_batch`` /
+``replay_batch`` must stay trace-for-trace identical to a one-trial
+``run_reactive`` / ``replay`` run with that trial's dead mask and loss
+process.  The serial :class:`RecoveryState` is implemented with python
+sets and per-node scalars while :class:`BatchRecoveryState` is a flat
+CSR-indexed vectorisation — hypothesis-generated scenarios on all four
+paper topologies (loss + dead-node masks + random policies) enforce
+that the two implementations agree exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import protocol_for
+from repro.radio.impairments import (BernoulliBatchLoss, BurstBatchLoss,
+                                     trial_seeds)
+from repro.sim import (RecoveryPolicy, replay, replay_batch, run_reactive,
+                       run_reactive_batch)
+from repro.topology import Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6
+
+MESHES = [
+    (Mesh2D4, (5, 4)),
+    (Mesh2D8, (4, 4)),
+    (Mesh2D3, (5, 4)),
+    (Mesh3D6, (3, 3, 3)),
+]
+
+
+def assert_trial_equal(batch_trace, serial_trace):
+    assert batch_trace.tx_events == serial_trace.tx_events
+    assert batch_trace.rx_events == serial_trace.rx_events
+    assert batch_trace.collision_events == serial_trace.collision_events
+    assert (batch_trace.first_rx == serial_trace.first_rx).all()
+
+
+@st.composite
+def recovery_policy(draw):
+    return RecoveryPolicy(
+        timeout=draw(st.integers(1, 3)),
+        max_retries=draw(st.integers(0, 3)),
+        backoff=draw(st.integers(1, 2)),
+        suppression_k=draw(st.integers(0, 3)),
+        election=draw(st.booleans()))
+
+
+@st.composite
+def channel(draw, num_nodes, trials, source):
+    """Per-trial dead masks (never the source) and a batch loss."""
+    dead_masks = None
+    if draw(st.booleans()):
+        dead_masks = np.zeros((trials, num_nodes), dtype=bool)
+        for b in range(trials):
+            for v in draw(st.lists(st.integers(0, num_nodes - 1),
+                                   max_size=3, unique=True)):
+                if v != source:
+                    dead_masks[b, v] = True
+    kind = draw(st.sampled_from(["none", "bernoulli", "burst"]))
+    seeds = trial_seeds(draw(st.integers(0, 5)), 0.3, trials)
+    if kind == "bernoulli":
+        loss = BernoulliBatchLoss(draw(st.sampled_from([0.15, 0.35])), seeds)
+    elif kind == "burst":
+        loss = BurstBatchLoss(draw(st.sampled_from([0.2, 0.4])), seeds,
+                              length=draw(st.integers(1, 3)))
+    else:
+        loss = None
+    return dead_masks, loss
+
+
+def serial_kwargs(b, dead_masks, loss):
+    return dict(
+        dead_mask=None if dead_masks is None else dead_masks[b],
+        loss=None if loss is None else loss.trial_loss(b))
+
+
+class TestReactiveRecoveryDifferential:
+    """run_reactive_batch + recovery == run_reactive + recovery, per trial."""
+
+    @pytest.mark.parametrize("cls,shape", MESHES)
+    def test_paper_plans(self, cls, shape):
+        mesh = cls(*shape)
+        src = tuple(max(1, s // 2) for s in shape)
+        plan = protocol_for(mesh.name).relay_plan(mesh, src)
+        src_idx = mesh.index(src)
+
+        @given(data=st.data())
+        @settings(max_examples=20, deadline=None)
+        def check(data):
+            policy = data.draw(recovery_policy())
+            trials = data.draw(st.integers(1, 3))
+            dead_masks, loss = data.draw(
+                channel(mesh.num_nodes, trials, src_idx))
+            traces = run_reactive_batch(
+                mesh, src_idx, plan.relay_mask,
+                extra_delay=plan.extra_delay,
+                repeat_offsets=plan.repeat_offsets,
+                dead_masks=dead_masks, loss=loss, trials=trials,
+                recovery=policy)
+            for b, batch_trace in enumerate(traces):
+                assert_trial_equal(
+                    batch_trace,
+                    run_reactive(mesh, src_idx, plan.relay_mask,
+                                 extra_delay=plan.extra_delay,
+                                 repeat_offsets=plan.repeat_offsets,
+                                 recovery=policy,
+                                 **serial_kwargs(b, dead_masks, loss)))
+
+        check()
+
+    @pytest.mark.parametrize("cls,shape", MESHES)
+    def test_random_relay_masks(self, cls, shape):
+        """Recovery on arbitrary relay sets, not just the paper plans —
+        exercises guardians with partially-covered neighbourhoods."""
+        mesh = cls(*shape)
+
+        @given(data=st.data())
+        @settings(max_examples=15, deadline=None)
+        def check(data):
+            policy = data.draw(recovery_policy())
+            source = data.draw(st.integers(0, mesh.num_nodes - 1))
+            relay_mask = np.array(
+                [data.draw(st.booleans()) for _ in range(mesh.num_nodes)],
+                dtype=bool)
+            trials = data.draw(st.integers(1, 3))
+            dead_masks, loss = data.draw(
+                channel(mesh.num_nodes, trials, source))
+            traces = run_reactive_batch(mesh, source, relay_mask,
+                                        dead_masks=dead_masks, loss=loss,
+                                        trials=trials, recovery=policy)
+            for b, batch_trace in enumerate(traces):
+                assert_trial_equal(
+                    batch_trace,
+                    run_reactive(mesh, source, relay_mask, recovery=policy,
+                                 **serial_kwargs(b, dead_masks, loss)))
+
+        check()
+
+
+class TestReplayRecoveryDifferential:
+    """replay_batch + recovery == replay + recovery, per trial."""
+
+    @pytest.mark.parametrize("cls,shape", MESHES)
+    def test_compiled_schedules(self, cls, shape):
+        mesh = cls(*shape)
+        src = tuple(max(1, s // 2) for s in shape)
+        compiled = protocol_for(mesh.name).compile(mesh, src)
+        src_idx = mesh.index(src)
+
+        @given(data=st.data())
+        @settings(max_examples=15, deadline=None)
+        def check(data):
+            policy = data.draw(recovery_policy())
+            trials = data.draw(st.integers(1, 3))
+            dead_masks, loss = data.draw(
+                channel(mesh.num_nodes, trials, src_idx))
+            traces = replay_batch(mesh, compiled.schedule, src_idx,
+                                  dead_masks=dead_masks, loss=loss,
+                                  trials=trials, recovery=policy)
+            for b, batch_trace in enumerate(traces):
+                assert_trial_equal(
+                    batch_trace,
+                    replay(mesh, compiled.schedule, src_idx,
+                           recovery=policy,
+                           **serial_kwargs(b, dead_masks, loss)))
+
+        check()
+
+    def test_clean_channel_replay_matches(self):
+        mesh = Mesh2D4(8, 6)
+        compiled = protocol_for("2D-4").compile(mesh, (4, 3))
+        src = mesh.index((4, 3))
+        policy = RecoveryPolicy()
+        serial = replay(mesh, compiled.schedule, src, recovery=policy)
+        for batch_trace in replay_batch(mesh, compiled.schedule, src,
+                                        trials=3, recovery=policy):
+            assert_trial_equal(batch_trace, serial)

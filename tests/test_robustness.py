@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.analysis import (failure_degradation, harden_plan,
-                            loss_degradation)
+                            loss_degradation, recovery_frontier)
+from repro.analysis.robustness import RobustnessPoint, _chunk, _fan_out
 from repro.core import protocol_for
 from repro.radio import CounterBernoulliLoss, trial_seeds
+from repro.sim import RecoveryPolicy
 from repro.topology import Mesh2D4
 
 
@@ -174,6 +176,23 @@ class TestLossDegradation:
         assert row["parameter"] == 0.1
         assert 0 <= row["min_reach"] <= row["mean_reach"] <= 1
 
+    def test_distribution_fields(self, mesh):
+        """std/p5/p50 must describe the per-trial reach distribution."""
+        (point,) = loss_degradation(mesh, (6, 4), [0.2], trials=8, seed=1)
+        assert point.min_reachability <= point.p5_reach \
+            <= point.p50_reach <= 1.0
+        assert point.std_reach > 0  # lossy trials genuinely vary
+        row = point.as_row()
+        assert {"std_reach", "p5_reach", "p50_reach"} <= set(row)
+
+    def test_point_backward_compatible_positional(self):
+        """Pre-existing positional constructions (without the new
+        distribution fields) must keep working."""
+        p = RobustnessPoint(0.1, 4, 0.9, 0.8, 30.0)
+        assert p.std_reach == 0.0
+        assert p.p5_reach == 0.0
+        assert p.p50_reach == 0.0
+
 
 class TestFailureDegradation:
     def test_zero_failures_full_reach(self, mesh):
@@ -199,3 +218,135 @@ class TestFailureDegradation:
         points = failure_degradation(mesh, (6, 4), [3], trials=5,
                                      recompile=True, seed=3)
         assert points[0].min_reachability >= 0.97
+
+
+class TestFanOut:
+    """Process fan-out sizing (regression: idle workers for short sweeps)."""
+
+    def test_chunk_empty_items(self):
+        assert _chunk([], 4) == []
+
+    def test_chunk_fewer_items_than_workers(self):
+        chunks = _chunk([1, 2], 8)
+        assert all(chunks)  # no empty chunks to spawn processes for
+        assert sorted(x for c in chunks for x in c) == [1, 2]
+
+    def test_pool_capped_at_chunk_count(self, monkeypatch):
+        """Asking for more workers than sweep points must not size the
+        pool beyond the actual chunk count."""
+        import repro.analysis.robustness as rob
+        seen = {}
+
+        class FakePool:
+            def __init__(self, max_workers):
+                seen["max_workers"] = max_workers
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, jobs):
+                return [fn(job) for job in jobs]
+
+        monkeypatch.setattr(rob, "ProcessPoolExecutor", FakePool)
+        out = _fan_out(lambda p: p, [10, 20], workers=8,
+                       job_builder=lambda chunk: chunk,
+                       worker_fn=lambda chunk: chunk)
+        assert sorted(out) == [10, 20]
+        assert seen["max_workers"] <= 2
+
+
+class TestRecoveryThreading:
+    """RecoveryPolicy flows through the degradation sweeps and engines."""
+
+    POLICY = RecoveryPolicy(timeout=2, max_retries=2, backoff=1,
+                            suppression_k=2, election=False)
+
+    def test_recovery_improves_loss_curve(self, mesh):
+        kw = dict(trials=4, seed=6)
+        bare = loss_degradation(mesh, (6, 4), [0.25], **kw)
+        rec = loss_degradation(mesh, (6, 4), [0.25],
+                               recovery=self.POLICY, **kw)
+        assert rec[0].mean_reachability > bare[0].mean_reachability
+
+    def test_recovery_engines_agree(self, mesh):
+        kw = dict(trials=4, seed=6, recovery=self.POLICY)
+        assert loss_degradation(mesh, (6, 4), [0.1, 0.3],
+                                engine="batch", **kw) == \
+            loss_degradation(mesh, (6, 4), [0.1, 0.3],
+                             engine="serial", **kw)
+        assert failure_degradation(mesh, (6, 4), [0, 5],
+                                   engine="batch", **kw) == \
+            failure_degradation(mesh, (6, 4), [0, 5],
+                                engine="serial", **kw)
+
+    def test_recovery_improves_static_failure_curve(self, mesh):
+        kw = dict(trials=4, seed=1, recompile=False)
+        bare = failure_degradation(mesh, (6, 4), [8], **kw)
+        rec = failure_degradation(mesh, (6, 4), [8],
+                                  recovery=self.POLICY, **kw)
+        assert rec[0].mean_reachability >= bare[0].mean_reachability
+
+
+class TestRecoveryFrontier:
+    def frontier(self, mesh, **kw):
+        defaults = dict(loss_rates=[0.2], failure_counts=[0], trials=6,
+                        seed=3)
+        defaults.update(kw)
+        return recovery_frontier(mesh, (6, 4), **defaults)
+
+    def test_strategy_roster(self, mesh):
+        points = self.frontier(mesh, hardening=[0, 2],
+                               policies=[self.policy()])
+        assert [p.strategy for p in points] == \
+            ["blind-r0", "blind-r2", self.policy().label()]
+
+    def policy(self):
+        return RecoveryPolicy(timeout=2, max_retries=2, backoff=1,
+                              suppression_k=2, election=False)
+
+    def test_engines_agree(self, mesh):
+        kw = dict(hardening=[0, 2], policies=[self.policy()], trials=4)
+        assert self.frontier(mesh, engine="batch", **kw) == \
+            self.frontier(mesh, engine="serial", **kw)
+
+    def test_workers_do_not_change_points(self, mesh):
+        kw = dict(loss_rates=[0.1, 0.2], hardening=[0, 1],
+                  policies=[self.policy()], trials=4)
+        assert self.frontier(mesh, **kw) == \
+            self.frontier(mesh, workers=2, **kw)
+
+    def test_pareto_marks_within_cell(self, mesh):
+        points = self.frontier(mesh)
+        assert any(p.pareto for p in points)
+        # no pareto point may be dominated inside its cell
+        for a in points:
+            if not a.pareto:
+                continue
+            for b in points:
+                if b is a:
+                    continue
+                dominates = (
+                    b.mean_reachability >= a.mean_reachability
+                    and b.mean_energy_j <= a.mean_energy_j
+                    and (b.mean_reachability > a.mean_reachability
+                         or b.mean_energy_j < a.mean_energy_j))
+                assert not dominates
+
+    def test_blind_r0_is_baseline_cost(self, mesh):
+        """blind-r0 must be the cheapest strategy of each cell — every
+        other strategy adds transmissions."""
+        points = self.frontier(mesh)
+        base = next(p for p in points if p.strategy == "blind-r0")
+        for p in points:
+            assert p.mean_energy_j >= base.mean_energy_j
+
+    def test_rows_roundtrip(self, mesh):
+        (point,) = self.frontier(mesh, hardening=[1], policies=[],
+                                 loss_rates=[0.1])
+        row = point.as_row()
+        assert row["strategy"] == "blind-r1"
+        assert row["loss_rate"] == 0.1
+        assert isinstance(row["pareto"], bool)
