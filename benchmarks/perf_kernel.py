@@ -1,0 +1,293 @@
+"""Engine-tier throughput benchmark: serial / batch / packed / compiled.
+
+Times the slot-resolve tiers (:mod:`repro.sim.backend`) on two
+workloads and writes ``BENCH_kernel.json`` (repo root by default):
+
+* ``sweep`` — the BENCH_robustness reference workload (2D-4 32x16 loss
+  degradation, 8 rates x 32 trials) run through every engine plus a
+  trial-sharded pass, so the tier numbers are directly comparable to
+  the committed robustness baseline.
+* ``large_grid`` — one 256-trial Monte-Carlo cell on a 64x64 lattice,
+  where the bit-packed word resolve (64 nodes per uint64 op), the
+  pair-sparse loss draws, and the optional cffi/C kernel separate from
+  the dense gather + full-matrix Bernoulli draws.  This is the cell
+  the ``packed_speedup_vs_batch`` acceptance floor is measured on.
+* ``recovery_grid`` — the same lattice with the closed-loop recovery
+  layer enabled.  Reported without a floor: the recovery update is the
+  same vectorised numpy for every tier (only slot resolve is tiered),
+  so by Amdahl's law the tier speedups converge as the recovery share
+  grows.
+
+Every engine's results are asserted **bit-identical** to the batch
+engine, and a forced multi-shard pass (``run_reactive_batch_sharded``
+with explicit worker counts, so the check runs even on one CPU) is
+asserted bit-identical to the unsharded run, before anything is
+written — the speedups are only meaningful because the tiers are
+exactly equivalent.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/perf_kernel.py
+    PYTHONPATH=src python benchmarks/perf_kernel.py \
+        --grid-shape 48 48 --grid-trials 64 --profile
+
+``--profile`` additionally captures per-phase timings (CSR gather,
+bincount, word resolve, loss RNG, recovery update, commit) for the
+batch and packed engines via :mod:`repro.profiling` and records them
+under ``"profile"``; profiles are captured with sharding disabled
+(the accumulator is per-process).
+
+``tests/test_bench_artifact.py`` validates the committed artefact's
+schema in tier 1; ``tests/test_perf_smoke.py`` keeps a tiny-budget
+engine-agreement run inside tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import profiling
+from repro.analysis.robustness import loss_degradation
+from repro.radio.impairments import BernoulliBatchLoss, trial_seeds
+from repro.sim import (native_available, native_reason,
+                       run_reactive_batch, run_reactive_batch_sharded)
+from repro.sim.recovery import RecoveryPolicy
+from repro.topology.builder import make_topology
+
+SCHEMA = "repro-wsn/bench-kernel/v1"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+DEFAULT_LOSS_RATES = (0.0, 0.02, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3)
+
+
+def _engines() -> List[str]:
+    tiers = ["batch", "packed"]
+    if native_available():
+        tiers.append("compiled")
+    return tiers
+
+
+def _summaries_equal(a, b) -> bool:
+    return (np.array_equal(a.first_rx, b.first_rx)
+            and np.array_equal(a.tx_count, b.tx_count)
+            and np.array_equal(a.rx_count, b.rx_count)
+            and np.array_equal(a.collisions, b.collisions))
+
+
+def run_sweep(topology_label: str = "2D-4",
+              shape: Sequence[int] = (32, 16),
+              loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+              trials: int = 32,
+              workers: int = 2,
+              seed: int = 0,
+              repeats: int = 1) -> dict:
+    """BENCH_robustness reference workload through every engine tier."""
+    topology = make_topology(topology_label, shape=tuple(shape))
+    source = tuple(max(1, s // 2) for s in shape)
+    n_sims = len(loss_rates) * trials
+
+    entries = {}
+    reference = None
+    modes = [("serial", dict(engine="serial"))]
+    modes += [(e, dict(engine=e)) for e in _engines()]
+    modes.append(("sharded", dict(engine="packed", workers=workers)))
+    for label, kwargs in modes:
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            points = loss_degradation(topology, source, loss_rates,
+                                      trials=trials, seed=seed, **kwargs)
+            secs = time.perf_counter() - t0
+            if best is None or secs < best[1]:
+                best = (points, secs)
+        points, secs = best
+        if reference is None:
+            reference = points
+        else:
+            assert points == reference, (
+                f"{label} degradation curve diverged from serial")
+        entries[label] = {
+            "seconds": round(secs, 4),
+            "simulations_per_second": round(n_sims / secs, 1),
+        }
+    return {
+        "topology": topology_label,
+        "shape": list(shape),
+        "loss_rates": list(loss_rates),
+        "trials": trials,
+        "simulations": n_sims,
+        "workers": workers,
+        "entries": entries,
+    }
+
+
+def run_large_grid(topology_label: str = "2D-4",
+                   shape: Sequence[int] = (64, 64),
+                   trials: int = 256,
+                   loss_rate: float = 0.2,
+                   recovery: bool = False,
+                   workers: int = 2,
+                   seed: int = 0,
+                   repeats: int = 1,
+                   profile: bool = False) -> dict:
+    """One Monte-Carlo cell on a large lattice, per engine tier."""
+    topology = make_topology(topology_label, shape=tuple(shape))
+    source = topology.index(tuple(s // 2 for s in shape))
+    relay = np.ones(topology.num_nodes, dtype=bool)
+    policy = (RecoveryPolicy(timeout=2, max_retries=2, backoff=1,
+                             suppression_k=2) if recovery else None)
+    loss = BernoulliBatchLoss(loss_rate, trial_seeds(seed, loss_rate,
+                                                     trials))
+    common = dict(loss=loss, trials=trials, recovery=policy, summary=True)
+
+    entries = {}
+    profiles = {}
+    reference = None
+    for engine in _engines():
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            summary = run_reactive_batch(topology, source, relay,
+                                         engine=engine, **common)
+            secs = time.perf_counter() - t0
+            if best is None or secs < best[1]:
+                best = (summary, secs)
+        summary, secs = best
+        if reference is None:
+            reference = summary
+        else:
+            assert _summaries_equal(summary, reference), (
+                f"{engine} diverged from batch on the large grid")
+        entries[engine] = {
+            "seconds": round(secs, 4),
+            "simulations_per_second": round(trials / secs, 1),
+        }
+        if profile:
+            profiling.start()
+            run_reactive_batch(topology, source, relay, engine=engine,
+                               **common)
+            profiles[engine] = {k: round(v, 4) for k, v in
+                                sorted(profiling.stop().items())}
+
+    # Forced multi-shard equivalence: explicit worker counts spin up
+    # real process pools regardless of visible CPU count.
+    for w in (2, workers):
+        sharded = run_reactive_batch_sharded(topology, source, relay,
+                                             engine="packed", workers=w,
+                                             **common)
+        assert _summaries_equal(sharded, reference), (
+            f"workers={w} shard merge diverged from the unsharded run")
+
+    out = {
+        "topology": topology_label,
+        "shape": list(shape),
+        "nodes": topology.num_nodes,
+        "trials": trials,
+        "loss_rate": loss_rate,
+        "recovery": ({"timeout": 2, "max_retries": 2, "backoff": 1,
+                      "suppression_k": 2} if recovery else None),
+        "entries": entries,
+        "packed_speedup_vs_batch": round(
+            entries["batch"]["seconds"] / entries["packed"]["seconds"], 2),
+    }
+    if "compiled" in entries:
+        out["compiled_speedup_vs_batch"] = round(
+            entries["batch"]["seconds"] / entries["compiled"]["seconds"], 2)
+    if profile:
+        out["profile"] = profiles
+    return out
+
+
+def run_benchmark(sweep_shape: Sequence[int] = (32, 16),
+                  grid_shape: Sequence[int] = (64, 64),
+                  grid_trials: int = 256,
+                  recovery_trials: int = 64,
+                  trials: int = 32,
+                  workers: int = 2,
+                  seed: int = 0,
+                  repeats: int = 1,
+                  profile: bool = False) -> dict:
+    sweep = run_sweep(shape=sweep_shape, trials=trials, workers=workers,
+                      seed=seed, repeats=repeats)
+    grid = run_large_grid(shape=grid_shape, trials=grid_trials,
+                          workers=workers, seed=seed, repeats=repeats,
+                          profile=profile)
+    recovery_grid = run_large_grid(shape=grid_shape,
+                                   trials=recovery_trials, recovery=True,
+                                   workers=workers, seed=seed,
+                                   repeats=repeats, profile=profile)
+    return {
+        "schema": SCHEMA,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "native_available": native_available(),
+        "native_reason": None if native_available() else native_reason(),
+        "engines_equal": True,     # asserted in run_sweep/run_large_grid
+        "shard_invariant": True,   # asserted in run_large_grid
+        "sweep": sweep,
+        "large_grid": grid,
+        "recovery_grid": recovery_grid,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sweep-shape", type=int, nargs=2,
+                        default=[32, 16])
+    parser.add_argument("--grid-shape", type=int, nargs=2,
+                        default=[64, 64])
+    parser.add_argument("--grid-trials", type=int, default=256)
+    parser.add_argument("--recovery-trials", type=int, default=64)
+    parser.add_argument("--trials", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--profile", action="store_true",
+                        help="capture per-phase timings (gather, "
+                             "bincount, resolve, loss-rng, recovery-"
+                             "update, commit) for each engine")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        sweep_shape=args.sweep_shape, grid_shape=args.grid_shape,
+        grid_trials=args.grid_trials,
+        recovery_trials=args.recovery_trials, trials=args.trials,
+        workers=args.workers, seed=args.seed, repeats=args.repeats,
+        profile=args.profile)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print("sweep (vs BENCH_robustness workload):")
+    for label, entry in payload["sweep"]["entries"].items():
+        print(f"{label:>9}: {entry['seconds']:8.3f}s "
+              f"({entry['simulations_per_second']:9.1f} sims/s)")
+    for section in ("large_grid", "recovery_grid"):
+        grid = payload[section]
+        rec = " + recovery" if grid["recovery"] else ""
+        print(f"{section} ({grid['nodes']} nodes, {grid['trials']} "
+              f"trials{rec}):")
+        for label, entry in grid["entries"].items():
+            print(f"{label:>9}: {entry['seconds']:8.3f}s "
+                  f"({entry['simulations_per_second']:9.1f} sims/s)")
+        print(f"  packed speedup vs batch: "
+              f"{grid['packed_speedup_vs_batch']}x")
+        if "compiled_speedup_vs_batch" in grid:
+            print(f"  compiled speedup vs batch: "
+                  f"{grid['compiled_speedup_vs_batch']}x")
+        for engine, phases in grid.get("profile", {}).items():
+            print(f"  profile[{engine}]: " + ", ".join(
+                f"{k}={v:.3f}s" for k, v in phases.items()))
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import profiling
 from repro.analysis.robustness import recovery_frontier
 from repro.topology.builder import make_topology
 
@@ -105,11 +106,15 @@ def run_benchmark(topology_label: str = "2D-4",
                   loss_rate: float = 0.2,
                   trials: int = 64,
                   seed: int = 0,
-                  repeats: int = 1) -> dict:
+                  repeats: int = 1,
+                  profile: bool = False) -> dict:
     """Time the frontier in both engines; return the payload.
 
     *repeats* > 1 re-times each engine and keeps the fastest run; the
-    batched == serial equality check runs on the first pass.
+    batched == serial equality check runs on the first pass.  With
+    *profile* the batched engine is re-run once under
+    :mod:`repro.profiling` (sharding disabled — the accumulator is
+    per-process) and the per-phase seconds land under ``"profile"``.
     """
     topology = make_topology(topology_label, shape=tuple(shape))
     source = tuple(max(1, s // 2) for s in shape)
@@ -138,11 +143,20 @@ def run_benchmark(topology_label: str = "2D-4",
             "simulations_per_second": round(n_sims / secs, 1),
         }
 
+    prof = None
+    if profile:
+        profiling.start()
+        recovery_frontier(topology, source, engine="batch", workers=1,
+                          **sweep)
+        prof = {k: round(v, 4) for k, v in
+                sorted(profiling.stop().items())}
+
     return {
         "schema": SCHEMA,
         "topology": topology_label,
         "shape": list(shape),
         "source": list(source),
+        "profile": prof,
         "loss_rate": loss_rate,
         "trials": trials,
         "seed": seed,
@@ -167,13 +181,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trials", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--profile", action="store_true",
+                        help="capture per-phase batched-engine timings "
+                             "(gather, bincount, loss-rng, recovery-"
+                             "update, commit) into the payload")
     parser.add_argument("--out", default=str(DEFAULT_OUT))
     args = parser.parse_args(argv)
 
     payload = run_benchmark(
         topology_label=args.topology, shape=args.shape,
         loss_rate=args.loss_rate, trials=args.trials,
-        seed=args.seed, repeats=args.repeats)
+        seed=args.seed, repeats=args.repeats, profile=args.profile)
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     for label, entry in payload["entries"].items():
         print(f"{label:>9}: {entry['seconds']:8.3f}s "
@@ -185,6 +203,9 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{acc['energy_saving_vs_blind_r2']:.1%} lower energy")
     print(f"batched speedup vs serial: "
           f"{payload['batched_speedup_vs_serial']}x")
+    if payload["profile"]:
+        print("profile[batched]: " + ", ".join(
+            f"{k}={v:.3f}s" for k, v in payload["profile"].items()))
     print(f"written: {args.out}")
     return 0
 

@@ -40,6 +40,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import profiling
 from repro.analysis.robustness import loss_degradation
 from repro.topology.builder import make_topology
 
@@ -61,12 +62,16 @@ def run_benchmark(topology_label: str = "2D-4",
                   trials: int = 32,
                   workers: int = 2,
                   seed: int = 0,
-                  repeats: int = 1) -> dict:
+                  repeats: int = 1,
+                  profile: bool = False) -> dict:
     """Time the three sweep modes; return the BENCH_robustness.json
     payload.
 
     *repeats* > 1 re-times each mode and keeps the fastest run; the
-    batched == serial equality check runs on the first pass.
+    batched == serial equality check runs on the first pass.  With
+    *profile* the batched engine is re-run once under
+    :mod:`repro.profiling` (sharding disabled — the accumulator is
+    per-process) and the per-phase seconds land under ``"profile"``.
     """
     topology = make_topology(topology_label, shape=tuple(shape))
     source = tuple(max(1, s // 2) for s in shape)
@@ -99,8 +104,17 @@ def run_benchmark(topology_label: str = "2D-4",
             "simulations_per_second": round(n_sims / secs, 1),
         }
 
+    prof = None
+    if profile:
+        profiling.start()
+        loss_degradation(topology, source, loss_rates, trials=trials,
+                         seed=seed, engine="batch", workers=1)
+        prof = {k: round(v, 4) for k, v in
+                sorted(profiling.stop().items())}
+
     return {
         "schema": SCHEMA,
+        "profile": prof,
         "topology": topology_label,
         "shape": list(shape),
         "loss_rates": list(loss_rates),
@@ -130,13 +144,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--profile", action="store_true",
+                        help="capture per-phase batched-engine timings "
+                             "(gather, bincount, loss-rng, commit) "
+                             "into the payload")
     parser.add_argument("--out", default=str(DEFAULT_OUT))
     args = parser.parse_args(argv)
 
     payload = run_benchmark(
         topology_label=args.topology, shape=args.shape,
         loss_rates=args.loss_rates, trials=args.trials,
-        workers=args.workers, seed=args.seed, repeats=args.repeats)
+        workers=args.workers, seed=args.seed, repeats=args.repeats,
+        profile=args.profile)
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     for label, entry in payload["entries"].items():
         print(f"{label:>9}: {entry['seconds']:8.3f}s "
@@ -145,6 +164,9 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{payload['batched_speedup_vs_serial']}x")
     print(f"parallel speedup vs serial: "
           f"{payload['parallel_speedup_vs_serial']}x")
+    if payload["profile"]:
+        print("profile[batched]: " + ", ".join(
+            f"{k}={v:.3f}s" for k, v in payload["profile"].items()))
     print(f"written: {args.out}")
     return 0
 

@@ -71,7 +71,8 @@ def per_node_round_energy(topology: Topology, source,
                           cache: Optional[ScheduleCache] = None,
                           loss_rate: Optional[float] = None,
                           loss_trials: int = 16,
-                          seed: int = 0) -> np.ndarray:
+                          seed: int = 0,
+                          engine: str = "batch") -> np.ndarray:
     """Energy each node spends in one broadcast from *source* (joules).
 
     With *loss_rate* set, the compiled schedule is replayed under that
@@ -79,7 +80,8 @@ def per_node_round_energy(topology: Topology, source,
     (:func:`~repro.sim.engine.replay_batch`) and the *expected* per-node
     cost is returned: lossy rounds are cheaper in Tx (uninformed nodes
     cannot forward) but buy correspondingly less coverage.  *cache* is
-    the schedule cache used for the compilation.
+    the schedule cache used for the compilation; *engine* selects the
+    slot-resolve tier of the lossy replay (see :mod:`repro.sim.backend`).
     """
     if protocol is None:
         protocol = protocol_for(topology)
@@ -92,7 +94,7 @@ def per_node_round_energy(topology: Topology, source,
         s = replay_batch(topology, compiled.schedule,
                          topology.index(source),
                          loss=BernoulliBatchLoss(loss_rate, seeds),
-                         summary=True)
+                         summary=True, engine=engine)
         tx_counts = s.tx_count.mean(axis=0)
         rx_counts = s.rx_count.mean(axis=0)
     e_tx = model.tx_energy(packet_bits, topology.tx_range())
@@ -103,12 +105,13 @@ def per_node_round_energy(topology: Topology, source,
 def _round_energy_job(job) -> np.ndarray:
     """Worker-process entry point: cost vector of one distinct source."""
     (topology, src, protocol, model, packet_bits, cache_path,
-     loss_rate, loss_trials, seed) = job
+     loss_rate, loss_trials, seed, engine) = job
     cache = None if cache_path is None else ScheduleCache(cache_path)
     return per_node_round_energy(topology, src, protocol, model,
                                  packet_bits, cache=cache,
                                  loss_rate=loss_rate,
-                                 loss_trials=loss_trials, seed=seed)
+                                 loss_trials=loss_trials, seed=seed,
+                                 engine=engine)
 
 
 def simulate_lifetime(
@@ -124,6 +127,7 @@ def simulate_lifetime(
     loss_rate: Optional[float] = None,
     loss_trials: int = 16,
     seed: int = 0,
+    engine: str = "batch",
 ) -> LifetimeResult:
     """Run broadcast rounds until the first node dies or *max_rounds*.
 
@@ -133,7 +137,8 @@ def simulate_lifetime(
     (sharing the disk tier of *cache*, like
     :func:`~repro.analysis.sweep.sweep_sources`); *loss_rate* switches
     the per-round cost to the batched Monte-Carlo expectation under a
-    Bernoulli channel (see :func:`per_node_round_energy`).
+    Bernoulli channel (see :func:`per_node_round_energy`), and *engine*
+    the slot-resolve tier of that replay.
     """
     if battery_j <= 0:
         raise ValueError("battery_j must be positive")
@@ -151,7 +156,7 @@ def simulate_lifetime(
     if workers is not None and workers > 1 and len(distinct) > 1:
         cache_path = None if cache is None else str(cache.path)
         jobs = [(topology, src, protocol, model, packet_bits, cache_path,
-                 loss_rate, loss_trials, seed) for src in distinct]
+                 loss_rate, loss_trials, seed, engine) for src in distinct]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for src, cost in zip(distinct, pool.map(_round_energy_job,
                                                     jobs)):
@@ -160,7 +165,8 @@ def simulate_lifetime(
         for src in distinct:
             costs[tuple(src)] = per_node_round_energy(
                 topology, src, protocol, model, packet_bits, cache=cache,
-                loss_rate=loss_rate, loss_trials=loss_trials, seed=seed)
+                loss_rate=loss_rate, loss_trials=loss_trials, seed=seed,
+                engine=engine)
 
     residual = np.full(topology.num_nodes, battery_j, dtype=np.float64)
     spent = np.zeros(topology.num_nodes, dtype=np.float64)

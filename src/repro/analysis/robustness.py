@@ -44,12 +44,18 @@ from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
                             PAPER_SPACING_M)
 from ..radio.impairments import (BernoulliBatchLoss, CounterBernoulliLoss,
                                  random_dead_mask, trial_seeds)
-from ..sim.engine import (replay, replay_batch, run_reactive,
-                          run_reactive_batch)
+from ..sim.engine import replay, run_reactive
 from ..sim.recovery import RecoveryPolicy
+from ..sim.shard import replay_batch_sharded, run_reactive_batch_sharded
 from ..topology.base import Topology
+from .sweep import effective_workers
 
-_ENGINES = ("batch", "serial")
+#: ``batch`` / ``packed`` / ``compiled`` / ``auto`` select the
+#: slot-resolve tier of the batched engine (see
+#: :mod:`repro.sim.backend`); ``serial`` runs the identical per-trial
+#: seeds through the one-trial engine.  All five produce identical
+#: curves — the differential suite asserts it.
+_ENGINES = ("batch", "packed", "compiled", "auto", "serial")
 
 
 @dataclass(frozen=True)
@@ -161,22 +167,23 @@ def _fan_out(points_fn, parameters: Sequence, workers: Optional[int],
 
 def _loss_point(topology: Topology, src: int, plan: RelayPlan,
                 p: float, trials: int, seed: int, engine: str,
-                recovery: Optional[RecoveryPolicy] = None
-                ) -> RobustnessPoint:
+                recovery: Optional[RecoveryPolicy] = None,
+                shards: int = 1) -> RobustnessPoint:
     """One loss-rate point: *trials* Bernoulli channels, batched or not.
 
     The per-trial seeds mix the loss rate into the stream
     (:func:`~repro.radio.impairments.trial_seeds`), so every point of the
-    curve draws independent randomness.
+    curve draws independent randomness.  Batched engines split the trial
+    dimension over *shards* processes (bit-identical for any count).
     """
     seeds = trial_seeds(seed, p, trials)
-    if engine == "batch":
-        s = run_reactive_batch(
+    if engine != "serial":
+        s = run_reactive_batch_sharded(
             topology, src, plan.relay_mask,
             extra_delay=plan.extra_delay,
             repeat_offsets=plan.repeat_offsets,
             loss=BernoulliBatchLoss(p, seeds), summary=True,
-            recovery=recovery)
+            recovery=recovery, engine=engine, workers=shards)
         return _point(p, s.reachability, s.num_tx)
     reaches = np.empty(trials)
     txs = np.empty(trials)
@@ -224,15 +231,25 @@ def loss_degradation(
 
     All trials of one loss rate run as one batch through
     :func:`~repro.sim.engine.run_reactive_batch` (``engine="batch"``,
-    the default); ``engine="serial"`` runs the identical per-trial seeds
-    through the one-trial engine and yields the same points.  ``workers``
-    fans the loss rates out over processes, order-preserving.
+    the default; ``"packed"`` / ``"compiled"`` select the faster
+    slot-resolve tiers); ``engine="serial"`` runs the identical
+    per-trial seeds through the one-trial engine and yields the same
+    points.  ``workers`` splits the **trial dimension** of each point
+    over processes for the batched engines (and falls back to fanning
+    the loss rates out, order-preserving, for ``serial``); either way
+    the curve is identical for any worker count.
     """
     _check_engine(engine)
     if protocol is None:
         protocol = protocol_for(topology)
     plan = harden_plan(protocol.relay_plan(topology, source), harden)
     src = topology.index(source)
+
+    if engine != "serial":
+        shards = effective_workers(workers, trials)
+        return [_loss_point(topology, src, plan, p, trials, seed, engine,
+                            recovery, shards)
+                for p in loss_rates]
 
     def job_builder(chunk):
         return (topology, src, plan, chunk, trials, seed, engine, recovery)
@@ -261,8 +278,8 @@ def _failure_point(topology: Topology, source, src: int,
                    baseline_schedule, plan: Optional[RelayPlan],
                    k: int, trials: int, seed: int, recompile: bool,
                    engine: str,
-                   recovery: Optional[RecoveryPolicy] = None
-                   ) -> RobustnessPoint:
+                   recovery: Optional[RecoveryPolicy] = None,
+                   shards: int = 1) -> RobustnessPoint:
     dead_masks = _failure_dead_masks(topology, k, trials, seed, src)
     live = ~dead_masks
     if recompile:
@@ -278,10 +295,11 @@ def _failure_point(topology: Topology, source, src: int,
             reaches[b] = float(reached.sum()) / float(live[b].sum())
             txs[b] = compiled.trace.num_tx
         return _point(k, reaches, txs)
-    if engine == "batch":
-        s = replay_batch(topology, baseline_schedule, src,
-                         dead_masks=dead_masks, summary=True,
-                         recovery=recovery)
+    if engine != "serial":
+        s = replay_batch_sharded(topology, baseline_schedule, src,
+                                 dead_masks=dead_masks, summary=True,
+                                 recovery=recovery, engine=engine,
+                                 workers=shards)
         return _point(k, s.live_reachability(dead_masks), s.num_tx)
     reaches = np.empty(trials)
     txs = np.empty(trials)
@@ -343,6 +361,13 @@ def failure_degradation(
         plan = None
         baseline_schedule = protocol.compile(topology, source,
                                              cache=cache).schedule
+
+    if engine != "serial" and not recompile:
+        shards = effective_workers(workers, trials)
+        return [_failure_point(topology, source, src, baseline_schedule,
+                               plan, k, trials, seed, recompile, engine,
+                               recovery, shards)
+                for k in failure_counts]
 
     def job_builder(chunk):
         return (topology, source, src, baseline_schedule, plan, chunk,
@@ -434,7 +459,7 @@ def _frontier_seeds(seed: int, p: float, k: int, trials: int) -> np.ndarray:
 
 def _frontier_cell(topology: Topology, src: int,
                    strategies, p: float, k: int, trials: int, seed: int,
-                   engine: str) -> List[FrontierPoint]:
+                   engine: str, shards: int = 1) -> List[FrontierPoint]:
     """All strategies of one (loss rate, failure count) cell."""
     seeds = _frontier_seeds(seed, p, k, trials)
     dead_masks = (_failure_dead_masks(topology, k, trials, seed, src)
@@ -443,14 +468,15 @@ def _frontier_cell(topology: Topology, src: int,
     rx_e = PAPER_RADIO_MODEL.rx_energy(PAPER_PACKET_BITS)
     out = []
     for label, plan, policy in strategies:
-        if engine == "batch":
-            s = run_reactive_batch(
+        if engine != "serial":
+            s = run_reactive_batch_sharded(
                 topology, src, plan.relay_mask,
                 extra_delay=plan.extra_delay,
                 repeat_offsets=plan.repeat_offsets,
                 dead_masks=dead_masks,
                 loss=BernoulliBatchLoss(p, seeds) if p > 0 else None,
-                trials=trials, summary=True, recovery=policy)
+                trials=trials, summary=True, recovery=policy,
+                engine=engine, workers=shards)
             reaches = (s.live_reachability(dead_masks)
                        if dead_masks is not None else s.reachability)
             txs, rxs = s.num_tx.astype(float), s.num_rx.astype(float)
@@ -549,6 +575,13 @@ def recovery_frontier(
          for r in hardening]
         + [(pol.label(), base_plan, pol) for pol in policies])
     cells = [(float(p), int(k)) for p in loss_rates for k in failure_counts]
+
+    if engine != "serial":
+        shards = effective_workers(workers, trials)
+        cell_lists = [_frontier_cell(topology, src, strategies, p, k,
+                                     trials, seed, engine, shards)
+                      for p, k in cells]
+        return [point for cell in cell_lists for point in cell]
 
     def job_builder(chunk):
         return (topology, src, strategies, chunk, trials, seed, engine)

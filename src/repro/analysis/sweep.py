@@ -42,7 +42,8 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def effective_workers(workers: Optional[int]) -> int:
+def effective_workers(workers: Optional[int],
+                      tasks: Optional[int] = None) -> int:
     """Worker count actually used for a requested *workers* value.
 
     Single-CPU hosts degrade to serial: process fan-out only adds fork +
@@ -51,12 +52,19 @@ def effective_workers(workers: Optional[int]) -> int:
     record this effective count next to the requested one and next to the
     raw ``os.cpu_count`` (which, unlike :func:`available_cpus`, ignores
     the affinity mask the process actually runs under).
+
+    *tasks*, when given, caps the answer at the number of units there
+    are to distribute — trial-sharded runs pass the batch size so a
+    128-worker request over 32 trials does not fork 96 idle processes.
     """
     if workers is None or workers <= 1:
         return 1
     if available_cpus() <= 1:
         return 1
-    return int(workers)
+    workers = int(workers)
+    if tasks is not None:
+        workers = min(workers, max(1, int(tasks)))
+    return workers
 
 
 @dataclass

@@ -234,7 +234,8 @@ def cmd_lifetime(args) -> int:
         topo, sources, battery_j=args.battery,
         max_rounds=args.max_rounds, workers=args.workers,
         cache=_schedule_cache_from_args(args),
-        loss_rate=args.loss, loss_trials=args.trials, seed=args.seed)
+        loss_rate=args.loss, loss_trials=args.trials, seed=args.seed,
+        engine=args.engine)
     channel = ("perfect" if args.loss is None
                else f"Bernoulli p={args.loss} ({args.trials} trials)")
     print(analysis.render_kv([
@@ -369,13 +370,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--harden", type=int, default=0)
     p.add_argument("--recompile", action="store_true")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine", choices=["batch", "serial"],
+    p.add_argument("--engine",
+                   choices=["batch", "packed", "compiled", "auto",
+                            "serial"],
                    default="batch",
-                   help="trial execution: batched Monte-Carlo (default) or "
-                        "the equivalent serial per-trial loop")
+                   help="trial execution: batched Monte-Carlo (default), "
+                        "its bit-packed / compiled slot-resolve tiers "
+                        "(auto = best available), or the equivalent "
+                        "serial per-trial loop — all "
+                        "produce identical curves")
     p.add_argument("--workers", type=int, default=None,
-                   help="fan sweep points out over processes (results "
-                        "identical to serial)")
+                   help="processes: batched engines shard the trial "
+                        "dimension of each point, serial fans sweep "
+                        "points out (results identical either way)")
     p.add_argument("--cache", metavar="DIR", default=None,
                    help="schedule-cache directory shared across runs")
     _add_recovery_flags(p)
@@ -394,13 +401,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hardening", type=int, nargs="+", default=[0, 1, 2, 3],
                    help="blind repetition budgets r to compare against")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine", choices=["batch", "serial"],
+    p.add_argument("--engine",
+                   choices=["batch", "packed", "compiled", "auto",
+                            "serial"],
                    default="batch",
-                   help="trial execution: batched Monte-Carlo (default) or "
-                        "the equivalent serial per-trial loop")
+                   help="trial execution: batched Monte-Carlo (default), "
+                        "its bit-packed / compiled slot-resolve tiers "
+                        "(auto = best available), or the equivalent "
+                        "serial per-trial loop — all "
+                        "produce identical points")
     p.add_argument("--workers", type=int, default=None,
-                   help="fan (loss, failure) cells out over processes "
-                        "(results identical to serial)")
+                   help="processes: batched engines shard the trial "
+                        "dimension of each cell, serial fans (loss, "
+                        "failure) cells out (results identical either "
+                        "way)")
     p.set_defaults(func=cmd_frontier)
 
     p = sub.add_parser("lifetime",
@@ -420,6 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=16,
                    help="Monte-Carlo trials per source when --loss is set")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine",
+                   choices=["batch", "packed", "compiled", "auto"],
+                   default="batch",
+                   help="slot-resolve tier of the lossy replay (all "
+                        "tiers produce identical expectations)")
     p.add_argument("--workers", type=int, default=None,
                    help="compile distinct sources in parallel processes")
     p.add_argument("--cache", metavar="DIR", default=None,

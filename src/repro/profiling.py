@@ -1,0 +1,59 @@
+"""Opt-in per-phase timing of the simulation hot path.
+
+The benchmark scripts' ``--profile`` flag needs to know where the slot
+budget goes (CSR gather vs counting vs loss RNG vs recovery update vs
+shard merge) without slowing down normal runs.  This module keeps one
+module-level accumulator that is ``None`` unless a profile capture is
+active; the hot-path hooks reduce to a single attribute check when
+profiling is off, so the engine pays nothing in the common case.
+
+Not thread-safe, and deliberately not process-aware: a sharded run
+profiles only the parent process (per-shard phases happen in workers),
+which is why the benchmarks capture profiles with sharding disabled.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, Optional
+
+_times: Optional[Dict[str, float]] = None
+
+
+def enabled() -> bool:
+    """True while a capture is active (hot-path guard)."""
+    return _times is not None
+
+
+def start() -> None:
+    """Begin a capture, discarding any previous one."""
+    global _times
+    _times = {}
+
+
+def stop() -> Dict[str, float]:
+    """End the capture and return ``{phase: seconds}``."""
+    global _times
+    out = _times or {}
+    _times = None
+    return dict(out)
+
+
+def add(phase: str, seconds: float) -> None:
+    """Accumulate *seconds* into *phase* (no-op when not capturing)."""
+    if _times is not None:
+        _times[phase] = _times.get(phase, 0.0) + seconds
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time a block into *name*; free when no capture is active."""
+    if _times is None:
+        yield
+        return
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        add(name, perf_counter() - t0)

@@ -18,10 +18,13 @@ one sparse mat-vec per slot, as recommended by the HPC guides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy import sparse
+
+from .. import profiling
+from . import bitpack
 
 
 @dataclass(frozen=True)
@@ -94,9 +97,18 @@ class SlotKernel:
         self.num_nodes = int(adjacency.shape[0])
         self._indptr = adjacency.indptr.astype(np.int64)
         self._indices = adjacency.indices.astype(np.int64)
+        self.max_degree = (int(np.diff(self._indptr).max())
+                           if self.num_nodes else 0)
         # Scratch buffers reused across resolve()/resolve_batch() calls.
         self._senders = np.empty(self.num_nodes, dtype=np.int64)
         self._batch_senders = None
+        # Flat (trials * n) outcome buffers of resolve_batch, reset
+        # sparsely via the previous call's touched-cell list.
+        self._batch_heard = None
+        self._batch_received = None
+        self._batch_collided = None
+        self._batch_touched = np.empty(0, dtype=np.int64)
+        self._packed: Optional["bitpack.PackedSlotKernel"] = None
 
     @property
     def indptr(self) -> np.ndarray:
@@ -154,6 +166,37 @@ class SlotKernel:
         collided[tx_nodes] = False
         return heard, received, collided, senders
 
+    def packed(self) -> "bitpack.PackedSlotKernel":
+        """Lazily built bit-packed kernel sharing this CSR adjacency
+        (see :mod:`repro.radio.bitpack`).  Raises on big-endian hosts;
+        callers gate on :func:`repro.radio.bitpack.packing_supported`.
+        """
+        if self._packed is None:
+            self._packed = bitpack.PackedSlotKernel(
+                self._indptr, self._indices, self.num_nodes)
+        return self._packed
+
+    def _batch_buffers(self, trials: int
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray]:
+        """(Re)build the per-batch scratch, keyed on the full ``(trials,
+        n)`` shape: two kernels of different ``n`` can interleave calls
+        with the same trial count without corrupting each other."""
+        n = self.num_nodes
+        senders = self._batch_senders
+        if senders is None or senders.shape != (trials, n):
+            # Narrower-than-int64 heard accumulator where the degree
+            # bound permits: counts are capped by max_degree, so uint8
+            # is exact on every lattice the paper uses (degree <= 26).
+            heard_dtype = np.uint8 if self.max_degree < 255 else np.int64
+            self._batch_senders = np.empty((trials, n), dtype=np.int64)
+            self._batch_heard = np.zeros(trials * n, dtype=heard_dtype)
+            self._batch_received = np.zeros(trials * n, dtype=bool)
+            self._batch_collided = np.zeros(trials * n, dtype=bool)
+            self._batch_touched = np.empty(0, dtype=np.int64)
+        return (self._batch_senders, self._batch_heard,
+                self._batch_received, self._batch_collided)
+
     def resolve_batch(self, tx_nodes: np.ndarray, tx_trials: np.ndarray,
                       trials: int
                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
@@ -163,45 +206,70 @@ class SlotKernel:
         ``(tx_trials[i], tx_nodes[i])`` are the (trial, node) transmission
         pairs of the slot across the whole batch.  The physics is the same
         as :meth:`resolve` applied per trial, but all trials share a
-        single CSR row gather and a single flattened 2-D ``bincount``: a
-        neighbour hit of trial *b* lands in bin ``b * n + neighbour``, so
-        the reshaped ``(B, n)`` counts keep every trial's airspace
-        independent.
+        single CSR row gather; a neighbour hit of trial *b* lands in flat
+        cell ``b * n + neighbour``, so every trial's airspace stays
+        independent.  Counting is sparse — unique hit cells with
+        multiplicities — and lands in a reused narrow accumulator that is
+        reset cell-by-cell from the previous slot's touched list, so no
+        dense ``(B, n)`` int64 array is zeroed, written, or compared per
+        slot.  A single transmission pair (wave tails, repair rounds)
+        skips counting entirely: every neighbour decodes.
 
         Returns ``(heard, received, collided, senders)``, each of shape
-        ``(trials, num_nodes)``.  As with :meth:`resolve`, ``senders`` is
-        only meaningful where ``received`` is True and is a scratch buffer
-        reused by the next ``resolve_batch`` call of the same batch size.
+        ``(trials, num_nodes)``.  All four are scratch buffers reused by
+        the next ``resolve_batch`` call (and keyed on the full
+        ``(trials, num_nodes)`` shape), so consumers must finish with a
+        slot before resolving the next; ``senders`` is only meaningful
+        where ``received`` is True.
         """
         tx_nodes = np.asarray(tx_nodes, dtype=np.int64)
         tx_trials = np.asarray(tx_trials, dtype=np.int64)
         n = self.num_nodes
-        senders = self._batch_senders
-        if senders is None or senders.shape[0] != trials:
-            senders = np.empty((trials, n), dtype=np.int64)
-            self._batch_senders = senders
-        starts = self._indptr[tx_nodes]
-        counts = self._indptr[tx_nodes + 1] - starts
-        total = int(counts.sum())
-        if total:
-            out_starts = counts.cumsum() - counts
-            pos = (np.arange(total, dtype=np.int64)
-                   - out_starts.repeat(counts)
-                   + starts.repeat(counts))
-            nbrs = self._indices[pos]
-            rows = tx_trials.repeat(counts)
-            heard = np.bincount(rows * n + nbrs,
-                                minlength=trials * n).reshape(trials, n)
-            # heard == 1 cells have exactly one writer: the unique sender.
-            senders[rows, nbrs] = tx_nodes.repeat(counts)
+        senders, heard, received, collided = self._batch_buffers(trials)
+        prev = self._batch_touched
+        if len(prev):
+            heard[prev] = 0
+            received[prev] = False
+            collided[prev] = False
+        if len(tx_nodes) == 1:
+            # Single-transmitter fast path: one CSR row, no counting —
+            # every neighbour decodes and attributes the same sender.
+            v = int(tx_nodes[0])
+            nbrs = self._indices[self._indptr[v]:self._indptr[v + 1]]
+            cells = int(tx_trials[0]) * n + nbrs
+            heard[cells] = 1
+            received[cells] = True
+            senders[int(tx_trials[0]), nbrs] = v
+            self._batch_touched = cells
         else:
-            heard = np.zeros((trials, n), dtype=np.int64)
-        received = heard == 1
-        collided = heard >= 2
-        # Half-duplex: transmitters hear nothing in their own trial.
-        received[tx_trials, tx_nodes] = False
-        collided[tx_trials, tx_nodes] = False
-        return heard, received, collided, senders
+            with profiling.phase("gather"):
+                starts = self._indptr[tx_nodes]
+                counts = self._indptr[tx_nodes + 1] - starts
+                total = int(counts.sum())
+                if total:
+                    out_starts = counts.cumsum() - counts
+                    pos = (np.arange(total, dtype=np.int64)
+                           - out_starts.repeat(counts)
+                           + starts.repeat(counts))
+                    nbrs = self._indices[pos]
+                    keys = tx_trials.repeat(counts) * n + nbrs
+            if total:
+                with profiling.phase("bincount"):
+                    uniq, cnt = np.unique(keys, return_counts=True)
+                    heard[uniq] = cnt
+                    received[uniq[cnt == 1]] = True
+                    collided[uniq[cnt >= 2]] = True
+                # heard == 1 cells have exactly one writer: the sender.
+                senders.reshape(-1)[keys] = tx_nodes.repeat(counts)
+                # Half-duplex: transmitters hear nothing in their trial.
+                tx_cells = tx_trials * n + tx_nodes
+                received[tx_cells] = False
+                collided[tx_cells] = False
+                self._batch_touched = uniq
+            else:
+                self._batch_touched = np.empty(0, dtype=np.int64)
+        return (heard.reshape(trials, n), received.reshape(trials, n),
+                collided.reshape(trials, n), senders)
 
 
 def unique_transmitter(adjacency: sparse.csr_matrix,

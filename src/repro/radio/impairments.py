@@ -124,6 +124,41 @@ def _as_u64(value: int) -> np.uint64:
     return _U64(int(value) & _MASK64)
 
 
+def counter_slot_keys(seeds, slot: int) -> np.ndarray:
+    """Per-trial stream keys of one slot: ``splitmix64(splitmix64(seed)
+    ^ slot)``.  This is the exact intermediate of
+    :func:`counter_uniforms`; the bit-packed and compiled engine tiers
+    use it to draw the same uniforms word-by-word."""
+    seeds_arr = np.atleast_1d(np.asarray(seeds))
+    if seeds_arr.dtype != np.uint64:
+        seeds_arr = (seeds_arr.astype(object) & _MASK64).astype(np.uint64)
+    return _splitmix64(_splitmix64(seeds_arr) ^ _as_u64(slot))
+
+
+def bernoulli_threshold(p: float) -> int:
+    """Smallest integer T with ``T * 2**-53 >= p``.
+
+    :func:`counter_uniforms` produces ``u = k * 2**-53`` for an integer
+    ``k < 2**53``; every such product is exact in float64, so the float
+    comparison ``u >= p`` is equivalent to the integer comparison
+    ``k >= T``.  The packed/compiled loss paths use the integer form and
+    stay bit-identical to the numpy tier.  ``T == 2**53`` means no draw
+    survives (p too close to 1); ``T == 0`` means every draw survives.
+    """
+    if p <= 0.0:
+        return 0
+    t = int(np.ceil(p * float(1 << 53)))
+    if t > (1 << 53):
+        return 1 << 53
+    # Float rounding in the ceil can land one off in either direction;
+    # nudge with exact comparisons.
+    while t > 0 and (t - 1) * _INV_2_53 >= p:
+        t -= 1
+    while t < (1 << 53) and t * _INV_2_53 < p:
+        t += 1
+    return t
+
+
 def counter_uniforms(seeds, slot: int, count: int) -> np.ndarray:
     """Uniforms in [0, 1) for every ``(seed, slot, index)`` triple.
 
@@ -134,10 +169,7 @@ def counter_uniforms(seeds, slot: int, count: int) -> np.ndarray:
     numbers — the property that makes batched trials exactly reproduce
     serial ones.
     """
-    seeds_arr = np.atleast_1d(np.asarray(seeds))
-    if seeds_arr.dtype != np.uint64:
-        seeds_arr = (seeds_arr.astype(object) & _MASK64).astype(np.uint64)
-    key = _splitmix64(_splitmix64(seeds_arr) ^ _as_u64(slot))
+    key = counter_slot_keys(seeds, slot)
     idx = np.arange(count, dtype=np.uint64)
     bits = _splitmix64(key[:, None] ^ idx[None, :])
     u = (bits >> _U64(11)).astype(np.float64) * _INV_2_53
@@ -242,6 +274,17 @@ class BatchLoss(abc.ABC):
     def trial_loss(self, trial: int) -> LossProcess:
         """The serial :class:`LossProcess` equivalent of one trial's row."""
 
+    def slice_trials(self, lo: int, hi: int) -> "BatchLoss":
+        """The sub-batch covering trial rows ``lo:hi``.
+
+        Used by trial-dimension sharding: because the counter RNG keys
+        every draw by the trial's own seed (not its batch position),
+        slicing the seed array yields shard results bit-identical to the
+        unsharded run.  Subclasses without a slice stay shard-ineligible.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support trial slicing")
+
 
 class BernoulliBatchLoss(BatchLoss):
     """B independent Bernoulli channels, one vectorised draw per slot.
@@ -268,6 +311,9 @@ class BernoulliBatchLoss(BatchLoss):
 
     def trial_loss(self, trial: int) -> LossProcess:
         return CounterBernoulliLoss(self.p, int(self.seeds[trial]))
+
+    def slice_trials(self, lo: int, hi: int) -> "BernoulliBatchLoss":
+        return BernoulliBatchLoss(self.p, self.seeds[lo:hi])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<BernoulliBatchLoss p={self.p} trials={self.trials}>"
@@ -297,14 +343,28 @@ class BurstBatchLoss(BatchLoss):
     def apply_batch(self, slot: int, received: np.ndarray) -> np.ndarray:
         if self.p == 0.0:
             return received
+        return received & self.slot_survival(slot)[:, None]
+
+    def slot_survival(self, slot: int) -> np.ndarray:
+        """``(B,)`` True where the trial's slot is *not* blacked out.
+
+        Shared by the dense tier (broadcast over columns) and the
+        packed/compiled tiers (zero the trial's word rows), so every
+        tier draws the identical burst pattern.
+        """
         survive = np.ones(self.trials, dtype=bool)
+        if self.p == 0.0:
+            return survive
         for s in range(max(1, slot - self.length + 1), slot + 1):
             u = counter_uniforms(self.seeds, s, 1)
             survive &= u[:, 0] >= self.p
-        return received & survive[:, None]
+        return survive
 
     def trial_loss(self, trial: int) -> LossProcess:
         return CounterBurstLoss(self.p, int(self.seeds[trial]), self.length)
+
+    def slice_trials(self, lo: int, hi: int) -> "BurstBatchLoss":
+        return BurstBatchLoss(self.p, self.seeds[lo:hi], self.length)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<BurstBatchLoss p={self.p} trials={self.trials} "
@@ -333,6 +393,9 @@ class PerTrialBatchLoss(BatchLoss):
 
     def trial_loss(self, trial: int) -> LossProcess:
         return self.losses[trial]
+
+    def slice_trials(self, lo: int, hi: int) -> "PerTrialBatchLoss":
+        return PerTrialBatchLoss(self.losses[lo:hi])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<PerTrialBatchLoss trials={self.trials}>"

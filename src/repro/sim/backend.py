@@ -1,0 +1,295 @@
+"""Slot-resolve backend dispatch: the ``engine=`` tiers above "batch".
+
+:func:`~repro.sim.engine.run_reactive_batch` and
+:func:`~repro.sim.engine.replay_batch` accept ``engine`` in
+
+* ``"batch"`` — the dense CSR kernel
+  (:meth:`~repro.radio.channel.SlotKernel.resolve_batch`), always
+  available, the default;
+* ``"packed"`` — bit-packed word-space resolve
+  (:class:`~repro.radio.bitpack.PackedSlotKernel`), pure numpy;
+* ``"compiled"`` — the cffi/C kernel (:mod:`repro.sim.native`),
+  fastest, optional dependency;
+* ``"auto"`` — best available: compiled, else packed, else batch.
+
+A backend consumes the slot's deduplicated, (trial, node)-sorted
+transmission pairs and produces **sparse** outcomes — received pairs
+with sender attribution plus either collision pairs (trace mode) or
+per-trial collision counts (summary mode) — in the exact (trial,
+node)-sorted order of the dense path, bit for bit (loss draws use the
+same counter RNG stream via the integer threshold of
+:func:`~repro.radio.impairments.bernoulli_threshold`).
+
+Fallback rules (silent, by design — callers ask for a *tier*, not a
+hard requirement): losses other than ``None`` /
+:class:`~repro.radio.impairments.BernoulliBatchLoss` /
+:class:`~repro.radio.impairments.BurstBatchLoss` cannot be applied in
+word space, node counts beyond
+:data:`~repro.radio.bitpack.MAX_PACKED_NODES` would blow up the packed
+neighbour table, and big-endian hosts break the packing layout — each
+of these degrades to the dense kernel; a missing native build degrades
+``"compiled"`` to ``"packed"``.  :func:`resolve_engine` reports the
+tier that would actually run, for benchmarks and CLI output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .. import profiling
+from ..radio import bitpack
+from ..radio.channel import SlotKernel
+from ..radio.impairments import (BatchLoss, BernoulliBatchLoss,
+                                 BurstBatchLoss, _splitmix64,
+                                 bernoulli_threshold, counter_slot_keys)
+from . import native
+
+__all__ = ["ENGINES", "make_backend", "resolve_engine"]
+
+#: Engine names accepted by the batched entry points.
+ENGINES = ("batch", "packed", "compiled", "auto")
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: Loss classes the word-space tiers can draw directly (exact types:
+#: a subclass may override semantics the tiers do not replicate).
+_WORD_LOSSES = (BernoulliBatchLoss, BurstBatchLoss)
+
+
+def check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def _packable(num_nodes: int, loss: Optional[BatchLoss]) -> bool:
+    return (bitpack.packing_supported()
+            and 0 < num_nodes <= bitpack.MAX_PACKED_NODES
+            and (loss is None or type(loss) in _WORD_LOSSES))
+
+
+def resolve_engine(engine: str, num_nodes: int,
+                   loss: Optional[BatchLoss] = None) -> str:
+    """The tier that would actually run for this request.
+
+    Applies the fallback rules without building anything heavier than
+    the native-availability probe.
+    """
+    check_engine(engine)
+    if engine == "batch" or not _packable(num_nodes, loss):
+        return "batch"
+    if engine == "packed":
+        return "packed"
+    # "compiled" or "auto": take the native tier when it builds.
+    return "compiled" if native.native_available() else "packed"
+
+
+class _LossSpec:
+    """Word-space view of the slot loss: kind 0 none / 1 Bernoulli /
+    2 whole-slot blackout."""
+
+    def __init__(self, loss: Optional[BatchLoss]) -> None:
+        self.kind = 0
+        self.seeds = None
+        self.threshold = 0
+        self.burst: Optional[BurstBatchLoss] = None
+        if type(loss) is BernoulliBatchLoss:
+            threshold = bernoulli_threshold(loss.p)
+            if threshold:
+                self.kind = 1
+                self.seeds = np.ascontiguousarray(loss.seeds,
+                                                  dtype=np.uint64)
+                self.threshold = threshold
+        elif type(loss) is BurstBatchLoss:
+            self.kind = 2
+            self.burst = loss
+
+
+class PackedBackend:
+    """Pure-numpy word-space tier (``engine="packed"``)."""
+
+    name = "packed"
+
+    def __init__(self, kernel: SlotKernel, batch: int,
+                 loss: Optional[BatchLoss],
+                 alive_masks: Optional[np.ndarray],
+                 need_senders: bool, need_coll_pairs: bool) -> None:
+        self._pk = kernel.packed()
+        self._loss = _LossSpec(loss)
+        self._alive_words = (None if alive_masks is None
+                             else bitpack.pack_bool_matrix(alive_masks))
+        self._batch = batch
+        self._need_senders = need_senders
+        self._need_coll_pairs = need_coll_pairs
+
+    def resolve(self, t: int, tr: np.ndarray, nd: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray],
+                           Union[np.ndarray,
+                                 Tuple[np.ndarray, np.ndarray]]]:
+        """Resolve one slot; pairs must be (trial, node)-sorted unique.
+
+        Returns ``(rt, rn, sv, coll)``: received pairs in (trial,
+        node) order, their senders (or ``None`` when not requested),
+        and collisions as ``(ct, cn)`` pairs or per-trial counts.
+        """
+        pk = self._pk
+        with profiling.phase("resolve"):
+            active, received, collided, txw = pk.resolve_words(nd, tr)
+            if self._alive_words is not None:
+                aw = self._alive_words[active]
+                received &= aw
+                collided &= aw
+            rt, rn = bitpack.words_to_pairs(active, received)
+        spec = self._loss
+        if spec.kind and len(rt):
+            with profiling.phase("loss-rng"):
+                if spec.kind == 1:
+                    keys = counter_slot_keys(spec.seeds, t)
+                    bits = _splitmix64(keys[rt] ^ rn.astype(np.uint64))
+                    keep = (bits >> np.uint64(11)) >= np.uint64(
+                        spec.threshold)
+                else:
+                    keep = spec.burst.slot_survival(t)[rt]
+                rt, rn = rt[keep], rn[keep]
+        sv = None
+        if self._need_senders:
+            sv = pk.attribute_senders(rt, rn, active, txw)
+        if self._need_coll_pairs:
+            coll = bitpack.words_to_pairs(active, collided)
+        else:
+            counts = np.zeros(self._batch, dtype=np.int64)
+            counts[active] = bitpack.popcount(collided).sum(
+                axis=1, dtype=np.int64)
+            coll = counts
+        return rt, rn, sv, coll
+
+
+class NativeBackend:
+    """cffi/C tier (``engine="compiled"``); same contract as
+    :class:`PackedBackend`, one fused C pass per slot."""
+
+    name = "compiled"
+
+    def __init__(self, kernel: SlotKernel, batch: int,
+                 loss: Optional[BatchLoss],
+                 alive_masks: Optional[np.ndarray],
+                 need_senders: bool, need_coll_pairs: bool) -> None:
+        module = native.native_kernel()
+        if module is None:  # pragma: no cover - guarded by make_backend
+            raise RuntimeError(f"native tier unavailable: "
+                               f"{native.native_reason()}")
+        self._ffi, self._lib = module.ffi, module.lib
+        pk = kernel.packed()
+        self._n = kernel.num_nodes
+        self._words = pk.words
+        self._max_degree = max(kernel.max_degree, 1)
+        self._loss = _LossSpec(loss)
+        self._batch = batch
+        self._need_senders = need_senders
+        self._need_coll_pairs = need_coll_pairs
+        ffi = self._ffi
+
+        def keep(array, ctype):
+            # from_buffer pins the array; stash both so neither the
+            # ndarray nor the cdata is collected mid-run.
+            return array, ffi.cast(ctype, ffi.from_buffer(array))
+
+        self._indptr = keep(kernel.indptr, "int64_t *")
+        self._indices = keep(kernel.indices, "int64_t *")
+        self._nbr_words = keep(pk.nbr_words, "uint64_t *")
+        if alive_masks is None:
+            self._alive = (None, ffi.NULL)
+        else:
+            self._alive = keep(bitpack.pack_bool_matrix(alive_masks),
+                               "uint64_t *")
+        shape = (batch, self._words)
+        self._ones = keep(np.zeros(shape, dtype=np.uint64), "uint64_t *")
+        self._twos = keep(np.zeros(shape, dtype=np.uint64), "uint64_t *")
+        self._txw = keep(np.zeros(shape, dtype=np.uint64), "uint64_t *")
+        self._coll_counts = keep(np.zeros(batch, dtype=np.int64),
+                                 "int64_t *")
+        self._out_counts = keep(np.zeros(2, dtype=np.int64), "int64_t *")
+        self._cap = 0
+        self._grow(64)
+
+    def _grow(self, cap: int) -> None:
+        if cap <= self._cap:
+            return
+        keep = lambda a: (a, self._ffi.cast("int64_t *",
+                                            self._ffi.from_buffer(a)))
+        self._rx_tr = keep(np.empty(cap, dtype=np.int64))
+        self._rx_nd = keep(np.empty(cap, dtype=np.int64))
+        self._rx_sv = keep(np.empty(cap, dtype=np.int64))
+        self._coll_tr = keep(np.empty(cap, dtype=np.int64))
+        self._coll_nd = keep(np.empty(cap, dtype=np.int64))
+        self._cap = cap
+
+    def resolve(self, t: int, tr: np.ndarray, nd: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray],
+                           Union[np.ndarray,
+                                 Tuple[np.ndarray, np.ndarray]]]:
+        """See :meth:`PackedBackend.resolve`; returned arrays are views
+        into reused scratch, valid until the next call."""
+        ffi, lib = self._ffi, self._lib
+        tr = np.ascontiguousarray(tr, dtype=np.int64)
+        nd = np.ascontiguousarray(nd, dtype=np.int64)
+        # Every rx/collision is a neighbour of some transmitter.
+        self._grow(len(nd) * self._max_degree + 1)
+        spec = self._loss
+        keys_ptr = surv_ptr = ffi.NULL
+        keys = surv = None  # keep buffers alive across the C call
+        with profiling.phase("loss-rng"):
+            if spec.kind == 1:
+                keys = np.ascontiguousarray(
+                    counter_slot_keys(spec.seeds, t))
+                keys_ptr = ffi.cast("uint64_t *", ffi.from_buffer(keys))
+            elif spec.kind == 2:
+                surv = spec.burst.slot_survival(t).astype(np.uint8)
+                surv_ptr = ffi.cast("uint8_t *", ffi.from_buffer(surv))
+        counts = self._coll_counts[0]
+        if not self._need_coll_pairs:
+            counts[:] = 0
+        with profiling.phase("resolve"):
+            lib.resolve_slot(
+                self._n, self._words,
+                self._indptr[1], self._indices[1], self._nbr_words[1],
+                ffi.cast("int64_t *", ffi.from_buffer(tr)),
+                ffi.cast("int64_t *", ffi.from_buffer(nd)), len(nd),
+                self._alive[1],
+                spec.kind, keys_ptr, spec.threshold, surv_ptr,
+                int(self._need_senders), int(self._need_coll_pairs),
+                self._ones[1], self._twos[1], self._txw[1],
+                self._rx_tr[1], self._rx_nd[1], self._rx_sv[1],
+                self._coll_tr[1], self._coll_nd[1],
+                self._coll_counts[1], self._out_counts[1])
+        n_rx, n_coll = map(int, self._out_counts[0])
+        rt = self._rx_tr[0][:n_rx]
+        rn = self._rx_nd[0][:n_rx]
+        sv = self._rx_sv[0][:n_rx] if self._need_senders else None
+        if self._need_coll_pairs:
+            coll = (self._coll_tr[0][:n_coll], self._coll_nd[0][:n_coll])
+        else:
+            coll = counts
+        return rt, rn, sv, coll
+
+
+def make_backend(kernel: SlotKernel, batch: int, engine: str,
+                 loss: Optional[BatchLoss],
+                 alive_masks: Optional[np.ndarray],
+                 need_senders: bool, need_coll_pairs: bool
+                 ) -> Optional[Union[PackedBackend, NativeBackend]]:
+    """Build the backend for *engine*, or ``None`` for the dense tier.
+
+    ``None`` (i.e. "use :meth:`~repro.radio.channel.SlotKernel.
+    resolve_batch`") is returned both for ``engine="batch"`` and for
+    any request the word-space tiers cannot serve — see the module
+    docstring for the fallback rules.
+    """
+    tier = resolve_engine(engine, kernel.num_nodes, loss)
+    if tier == "batch":
+        return None
+    cls = NativeBackend if tier == "compiled" else PackedBackend
+    return cls(kernel, batch, loss, alive_masks,
+               need_senders, need_coll_pairs)

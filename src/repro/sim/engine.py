@@ -46,8 +46,10 @@ from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Set,
 
 import numpy as np
 
+from .. import profiling
 from ..radio.impairments import BatchLoss, LossProcess
 from ..topology.base import Topology
+from .backend import check_engine, make_backend
 from .recovery import (BatchRecoveryState, RecoveryPolicy, RecoveryState,
                        relay_like_from_schedule, relay_like_mask)
 from .schedule import BroadcastSchedule
@@ -397,9 +399,11 @@ class _BatchState:
     def commit_slot(self, t: int, tr: np.ndarray, nd: np.ndarray,
                     received: np.ndarray, collided: np.ndarray,
                     senders: np.ndarray
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Log one resolved slot; returns the newly informed (trial, node)
-        pairs (row-major, i.e. sorted by trial then node)."""
+                    ) -> Tuple[np.ndarray, np.ndarray,
+                               np.ndarray, np.ndarray]:
+        """Log one dense-resolved slot; returns ``(rt, rn, nt, nn)``:
+        the received and the newly informed (trial, node) pairs, both
+        row-major, i.e. sorted by trial then node."""
         rt, rn = received.nonzero()
         if self.summary:
             # (tr, nd) and (rt, rn) pairs are unique within a slot, so
@@ -412,6 +416,33 @@ class _BatchState:
             ct, cn = collided.nonzero()
             self.coll_log.extend(t, ct, cn)
             self.rx_log.extend(t, rt, rn, senders[rt, rn])
+        new = self.first_rx[rt, rn] < 0
+        nt, nn = rt[new], rn[new]
+        self.first_rx[nt, nn] = t
+        return rt, rn, nt, nn
+
+    def commit_sparse(self, t: int, tr: np.ndarray, nd: np.ndarray,
+                      rt: np.ndarray, rn: np.ndarray,
+                      sv: Optional[np.ndarray],
+                      coll: Union[np.ndarray,
+                                  Tuple[np.ndarray, np.ndarray]]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Log one backend-resolved slot from sparse outcomes.
+
+        ``(rt, rn)`` are the received pairs in (trial, node) order with
+        senders *sv* (required in trace mode); *coll* is the per-trial
+        collision-count vector (summary mode) or ``(ct, cn)`` collision
+        pairs (trace mode).  Returns the newly informed pairs.
+        """
+        if self.summary:
+            self.tx_count[tr, nd] += 1
+            self.rx_count[rt, rn] += 1
+            self.collisions += coll
+        else:
+            self.tx_log.extend(t, tr, nd)
+            ct, cn = coll
+            self.coll_log.extend(t, ct, cn)
+            self.rx_log.extend(t, rt, rn, sv)
         new = self.first_rx[rt, rn] < 0
         nt, nn = rt[new], rn[new]
         self.first_rx[nt, nn] = t
@@ -462,6 +493,7 @@ def run_reactive_batch(
     trials: Optional[int] = None,
     summary: bool = False,
     recovery: Optional[RecoveryPolicy] = None,
+    engine: str = "batch",
 ) -> Union[TraceSummary, List[BroadcastTrace]]:
     """Run B independent reactive relay waves batched slot-by-slot.
 
@@ -480,7 +512,12 @@ def run_reactive_batch(
     :class:`~repro.sim.trace.BroadcastTrace`; with ``summary=True`` a
     :class:`~repro.sim.summary.TraceSummary` holding only the aggregate
     arrays (no per-event tuples are materialised).
+
+    *engine* selects the slot-resolve tier (see :mod:`repro.sim.
+    backend`): ``"batch"`` (dense, default), ``"packed"``,
+    ``"compiled"``, or ``"auto"`` — all bit-identical.
     """
+    check_engine(engine)
     n = topology.num_nodes
     if not 0 <= source < n:
         raise ValueError(f"source index {source} out of range")
@@ -516,6 +553,10 @@ def run_reactive_batch(
     kernel = topology.slot_kernel
     state = _BatchState(n, source, batch, summary)
     alive_masks = None if dead_masks is None else ~dead_masks
+    backend = make_backend(kernel, batch, engine, loss, alive_masks,
+                           need_senders=not summary
+                           or recovery is not None,
+                           need_coll_pairs=not summary)
 
     pending: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
     horizon = max(forced, default=0)
@@ -564,6 +605,9 @@ def run_reactive_batch(
             nd = np.concatenate([e[1] for e in entries])
         else:
             tr, nd = _EMPTY, _EMPTY
+        # Each pending entry is a subset of a sorted-unique commit, so
+        # a lone entry needs no dedup pass below.
+        segments = len(entries) if entries else 0
         forced_now = forced.pop(t, None)
         if forced_now:
             fv = np.fromiter(sorted(forced_now), count=len(forced_now),
@@ -573,6 +617,7 @@ def run_reactive_batch(
             ok_t, ok_j = ok.nonzero()
             tr = np.concatenate([tr, ok_t])
             nd = np.concatenate([nd, fv[ok_j]])
+            segments += 1
             for b, j in zip(*(~ok).nonzero()):
                 state.dropped_forced[b].append((t, int(fv[j])))
         if rec is not None:
@@ -580,26 +625,40 @@ def run_reactive_batch(
             if len(r_nd):
                 tr = np.concatenate([tr, r_tr])
                 nd = np.concatenate([nd, r_nd])
+                # Recovery pairs carry no sortedness guarantee of their
+                # own, so they always force the dedup pass.
+                segments += 2
         if len(nd) == 0:
             continue
-        # A node can be both pending and forced in the same slot; the
-        # serial engine's per-slot *set* collapses that, so dedup here.
-        # np.unique also yields the (trial, node)-sorted order the event
-        # logs rely on.
-        key = np.unique(tr * n + nd)
-        tr, nd = key // n, key % n
+        if segments > 1:
+            # A node can be both pending and forced in the same slot;
+            # the serial engine's per-slot *set* collapses that, so
+            # dedup here.  np.unique also yields the (trial, node)-
+            # sorted order the event logs rely on.
+            key = np.unique(tr * n + nd)
+            tr, nd = key // n, key % n
         if dead_masks is not None:
             keep = ~dead_masks[tr, nd]
             tr, nd = tr[keep], nd[keep]
         if len(nd) == 0:
             continue
-        _, received, collided, senders = kernel.resolve_batch(nd, tr, batch)
-        if alive_masks is not None:
-            received &= alive_masks
-            collided &= alive_masks
-        if loss is not None:
-            received = loss.apply_batch(t, received)
-        nt, nn = state.commit_slot(t, tr, nd, received, collided, senders)
+        if backend is not None:
+            rt, rn, sv, coll = backend.resolve(t, tr, nd)
+            with profiling.phase("commit"):
+                nt, nn = state.commit_sparse(t, tr, nd, rt, rn, sv, coll)
+        else:
+            _, received, collided, senders = kernel.resolve_batch(
+                nd, tr, batch)
+            if alive_masks is not None:
+                received &= alive_masks
+                collided &= alive_masks
+            if loss is not None:
+                with profiling.phase("loss-rng"):
+                    received = loss.apply_batch(t, received)
+            with profiling.phase("commit"):
+                rt, rn, nt, nn = state.commit_slot(
+                    t, tr, nd, received, collided, senders)
+            sv = senders[rt, rn] if rec is not None else None
         if len(nn):
             rel = relay_mask[nn]
             if rel.any():
@@ -607,7 +666,8 @@ def run_reactive_batch(
                 schedule_pairs(rel_t, rel_n,
                                t + 1 + extra_delay[rel_n])
         if rec is not None:
-            rec.post_slot(t, tr, nd, received, senders, nt, nn)
+            with profiling.phase("recovery-update"):
+                rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
     return state.finish()
 
 
@@ -767,7 +827,8 @@ def run_reactive_multi(
         key = np.unique(tr * n + nd)
         tr, nd = key // n, key % n
         _, received, collided, senders = kernel.resolve_batch(nd, tr, batch)
-        nt, nn = state.commit_slot(t, tr, nd, received, collided, senders)
+        _, _, nt, nn = state.commit_slot(t, tr, nd, received, collided,
+                                         senders)
         if len(nn):
             rel = relay_masks[nt, nn]
             if rel.any():
@@ -787,15 +848,17 @@ def replay_batch(
     summary: bool = False,
     recovery: Optional[RecoveryPolicy] = None,
     max_slots: Optional[int] = None,
+    engine: str = "batch",
 ) -> Union[TraceSummary, List[BroadcastTrace]]:
     """Execute a fixed schedule for B fault realisations batched together.
 
     Trial *b* is trace-for-trace identical to
     ``replay(topology, schedule, source, dead_mask=dead_masks[b],
     loss=loss.trial_loss(b), recovery=recovery)``; see
-    :func:`run_reactive_batch` for the batch-size and output conventions
-    and :func:`replay` for the recovery semantics.
+    :func:`run_reactive_batch` for the batch-size, output and *engine*
+    conventions and :func:`replay` for the recovery semantics.
     """
+    check_engine(engine)
     n = topology.num_nodes
     if not 0 <= source < n:
         raise ValueError(f"source index {source} out of range")
@@ -803,6 +866,10 @@ def replay_batch(
     kernel = topology.slot_kernel
     state = _BatchState(n, source, batch, summary)
     alive_masks = None if dead_masks is None else ~dead_masks
+    backend = make_backend(kernel, batch, engine, loss, alive_masks,
+                           need_senders=not summary
+                           or recovery is not None,
+                           need_coll_pairs=not summary)
     faulty = dead_masks is not None or loss is not None
     all_trials = np.arange(batch, dtype=np.int64)
     rec = None
@@ -841,15 +908,26 @@ def replay_batch(
                 tr, nd = key // n, key % n
         if len(nd) == 0:
             continue
-        _, received, collided, senders = kernel.resolve_batch(nd, tr, batch)
-        if alive_masks is not None:
-            received &= alive_masks
-            collided &= alive_masks
-        if loss is not None:
-            received = loss.apply_batch(t, received)
-        nt, nn = state.commit_slot(t, tr, nd, received, collided, senders)
+        if backend is not None:
+            rt, rn, sv, coll = backend.resolve(t, tr, nd)
+            with profiling.phase("commit"):
+                nt, nn = state.commit_sparse(t, tr, nd, rt, rn, sv, coll)
+        else:
+            _, received, collided, senders = kernel.resolve_batch(
+                nd, tr, batch)
+            if alive_masks is not None:
+                received &= alive_masks
+                collided &= alive_masks
+            if loss is not None:
+                with profiling.phase("loss-rng"):
+                    received = loss.apply_batch(t, received)
+            with profiling.phase("commit"):
+                rt, rn, nt, nn = state.commit_slot(
+                    t, tr, nd, received, collided, senders)
+            sv = senders[rt, rn] if rec is not None else None
         if rec is not None:
-            rec.post_slot(t, tr, nd, received, senders, nt, nn)
+            with profiling.phase("recovery-update"):
+                rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
     return state.finish()
 
 

@@ -1,0 +1,245 @@
+"""Optional compiled slot kernel (C via cffi), ``engine="compiled"``.
+
+The bit-packed numpy tier (:mod:`repro.radio.bitpack`) removes the
+dense per-slot arrays but still pays one python-level numpy call per
+carry-save layer and per extraction step.  This module compiles the
+same word-space algorithm to a small C kernel that fuses the whole slot
+— accumulate, half-duplex, alive mask, counter-RNG loss, sparse
+extraction, sender attribution — into one pass over the packed words,
+drawing Bernoulli erasures with the identical splitmix64 stream and the
+integer threshold of
+:func:`~repro.radio.impairments.bernoulli_threshold`, so its output is
+bit-identical to the numpy tiers (the differential suite runs the full
+``reference == serial == batch == packed == compiled`` chain).
+
+The dependency handling is deliberately soft:
+
+* nothing here is imported at package import time except by the engine
+  dispatcher, which calls :func:`native_kernel` inside a fallback;
+* the C source is compiled **lazily, at first use**, with :mod:`cffi`
+  and the system C compiler; the build directory lives inside the
+  repository (``.native_build/``, git-ignored) and the module name
+  embeds a source hash, so rebuilds happen only when the kernel
+  changes;
+* any failure — cffi missing, no compiler, unwritable build dir —
+  is recorded as :func:`native_reason` and the engine silently falls
+  back to the pure-numpy tiers; the environment variable
+  ``REPRO_NO_NATIVE=1`` forces that path (the test suite uses it to
+  cover dependency-absent hosts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+__all__ = ["native_available", "native_kernel", "native_reason"]
+
+_CDEF = """
+void resolve_slot(
+    int64_t n, int64_t words,
+    const int64_t *indptr, const int64_t *indices,
+    const uint64_t *nbr_words,
+    const int64_t *tx_tr, const int64_t *tx_nd, int64_t npairs,
+    const uint64_t *alive_words,
+    int loss_kind, const uint64_t *loss_keys, uint64_t loss_threshold,
+    const uint8_t *slot_survive,
+    int need_senders, int need_coll_pairs,
+    uint64_t *ones, uint64_t *twos, uint64_t *txw,
+    int64_t *rx_tr, int64_t *rx_nd, int64_t *rx_sv,
+    int64_t *coll_tr, int64_t *coll_nd, int64_t *coll_counts,
+    int64_t *out_counts);
+"""
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* splitmix64 finalizer -- must match repro.radio.impairments exactly */
+static inline uint64_t sm64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/* One collision slot over bit-packed trial state.
+ *
+ * Pairs (tx_tr[i], tx_nd[i]) are sorted by (trial, node) and unique.
+ * ones/twos/txw are (B, words) caller-owned scratch; the rows of the
+ * trials active in THIS call are zeroed here before use, so stale rows
+ * of other trials are never read.  Loss kinds: 0 none, 1 Bernoulli
+ * (survive iff (sm64(key ^ node) >> 11) >= threshold), 2 whole-slot
+ * blackout where slot_survive[b] == 0.  Extraction order is (trial,
+ * node) ascending: pairs group trials in ascending order, words ascend
+ * within a row, and bits are pulled lowest-first.
+ */
+void resolve_slot(
+    int64_t n, int64_t words,
+    const int64_t *indptr, const int64_t *indices,
+    const uint64_t *nbr_words,
+    const int64_t *tx_tr, const int64_t *tx_nd, int64_t npairs,
+    const uint64_t *alive_words,
+    int loss_kind, const uint64_t *loss_keys, uint64_t loss_threshold,
+    const uint8_t *slot_survive,
+    int need_senders, int need_coll_pairs,
+    uint64_t *ones, uint64_t *twos, uint64_t *txw,
+    int64_t *rx_tr, int64_t *rx_nd, int64_t *rx_sv,
+    int64_t *coll_tr, int64_t *coll_nd, int64_t *coll_counts,
+    int64_t *out_counts)
+{
+    int64_t n_rx = 0, n_coll = 0;
+    size_t row_bytes = (size_t)words * sizeof(uint64_t);
+
+    for (int64_t i = 0; i < npairs; i++) {
+        int64_t b = tx_tr[i];
+        uint64_t *o = ones + b * words;
+        uint64_t *t2 = twos + b * words;
+        uint64_t *tx = txw + b * words;
+        if (i == 0 || tx_tr[i - 1] != b) {
+            memset(o, 0, row_bytes);
+            memset(t2, 0, row_bytes);
+            memset(tx, 0, row_bytes);
+        }
+        const uint64_t *row = nbr_words + tx_nd[i] * words;
+        for (int64_t w = 0; w < words; w++) {
+            t2[w] |= o[w] & row[w];
+            o[w] |= row[w];
+        }
+        tx[tx_nd[i] >> 6] |= 1ULL << (tx_nd[i] & 63);
+    }
+
+    for (int64_t i = 0; i < npairs; i++) {
+        int64_t b = tx_tr[i];
+        if (i > 0 && tx_tr[i - 1] == b)
+            continue;                       /* one pass per active trial */
+        const uint64_t *o = ones + b * words;
+        const uint64_t *t2 = twos + b * words;
+        const uint64_t *tx = txw + b * words;
+        const uint64_t *alive =
+            alive_words ? alive_words + b * words : 0;
+        uint64_t key = loss_keys ? loss_keys[b] : 0;
+        int blackout = (loss_kind == 2 && !slot_survive[b]);
+        for (int64_t w = 0; w < words; w++) {
+            uint64_t quiet = ~tx[w];
+            uint64_t rx = o[w] & ~t2[w] & quiet;
+            uint64_t cl = t2[w] & quiet;
+            if (alive) {
+                rx &= alive[w];
+                cl &= alive[w];
+            }
+            if (rx) {
+                if (blackout) {
+                    rx = 0;
+                } else if (loss_kind == 1 && loss_threshold) {
+                    uint64_t m = rx;
+                    while (m) {
+                        int j = __builtin_ctzll(m);
+                        m &= m - 1;
+                        uint64_t node = (uint64_t)(w << 6) + j;
+                        if ((sm64(key ^ node) >> 11) < loss_threshold)
+                            rx &= ~(1ULL << j);
+                    }
+                }
+            }
+            uint64_t m = rx;
+            while (m) {
+                int j = __builtin_ctzll(m);
+                m &= m - 1;
+                int64_t node = (w << 6) + j;
+                rx_tr[n_rx] = b;
+                rx_nd[n_rx] = node;
+                if (need_senders) {
+                    int64_t sv = -1;
+                    for (int64_t e = indptr[node];
+                         e < indptr[node + 1]; e++) {
+                        int64_t u = indices[e];
+                        if (tx[u >> 6] & (1ULL << (u & 63))) {
+                            sv = u;
+                            break;          /* heard == 1: unique hit */
+                        }
+                    }
+                    rx_sv[n_rx] = sv;
+                }
+                n_rx++;
+            }
+            if (need_coll_pairs) {
+                m = cl;
+                while (m) {
+                    int j = __builtin_ctzll(m);
+                    m &= m - 1;
+                    coll_tr[n_coll] = b;
+                    coll_nd[n_coll] = (w << 6) + j;
+                    n_coll++;
+                }
+            } else {
+                coll_counts[b] += __builtin_popcountll(cl);
+            }
+        }
+    }
+    out_counts[0] = n_rx;
+    out_counts[1] = n_coll;
+}
+"""
+
+_state: Optional[Tuple[Optional[object], Optional[str]]] = None
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+def _build() -> object:
+    import cffi
+
+    digest = hashlib.sha1((_CDEF + _SOURCE).encode()).hexdigest()[:12]
+    modname = f"_repro_native_{digest}"
+    build_dir = _repo_root() / ".native_build"
+    build_dir.mkdir(exist_ok=True)
+    existing = sorted(build_dir.glob(f"{modname}*.so"))
+    if not existing:
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        ffi.set_source(modname, _SOURCE,
+                       extra_compile_args=["-O3"])
+        ffi.compile(tmpdir=str(build_dir))
+        existing = sorted(build_dir.glob(f"{modname}*.so"))
+    if not existing:
+        raise RuntimeError("cffi compile produced no extension module")
+    spec = importlib.util.spec_from_file_location(modname, existing[0])
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def native_kernel():
+    """The compiled kernel module (``.lib`` / ``.ffi``), or ``None``.
+
+    The first call builds (or reloads) the extension; the outcome —
+    including any failure reason — is cached for the process lifetime.
+    """
+    global _state
+    if _state is None:
+        if os.environ.get("REPRO_NO_NATIVE"):
+            _state = (None, "disabled via REPRO_NO_NATIVE")
+        else:
+            try:
+                _state = (_build(), None)
+            except Exception as exc:  # soft dependency: never hard-fail
+                _state = (None, f"{type(exc).__name__}: {exc}")
+    return _state[0]
+
+
+def native_available() -> bool:
+    """True when the compiled tier can run on this host."""
+    return native_kernel() is not None
+
+
+def native_reason() -> Optional[str]:
+    """Why the compiled tier is unavailable (``None`` when it is)."""
+    native_kernel()
+    return _state[1]

@@ -359,15 +359,19 @@ class BatchRecoveryState:
         return np.concatenate(out_tr), np.concatenate(out_nd)
 
     def post_slot(self, t: int, tr: np.ndarray, nd: np.ndarray,
-                  received: np.ndarray, senders: np.ndarray,
+                  rt: np.ndarray, rn: np.ndarray, sv: np.ndarray,
                   nt: np.ndarray, nn: np.ndarray) -> None:
         """Account one resolved batch slot (mirrors
-        :meth:`RecoveryState.post_slot` trial-by-trial)."""
+        :meth:`RecoveryState.post_slot` trial-by-trial).
+
+        The slot outcome arrives sparse — received pairs ``(rt, rn)``
+        with their delivering senders *sv* — so the update cost scales
+        with the slot's event count, not with ``B * n``.
+        """
         pol = self.policy
-        self.heard_total += received
-        rt, rn = received.nonzero()
         if len(rn):
-            w = senders[rt, rn]
+            self.heard_total[rt, rn] += 1
+            w = sv
             self.known[rt, self._edge_pos(w, rn)] = True   # ACK
             self.known[rt, self._edge_pos(rn, w)] = True   # overhear
         fresh = ~self.has_tx[tr, nd]

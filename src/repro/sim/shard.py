@@ -1,0 +1,136 @@
+"""Trial-dimension sharding of the batched Monte-Carlo entry points.
+
+A batch of B trials has no cross-trial coupling anywhere in the engine
+— pending transmissions, loss draws, failure masks and recovery state
+are all per-trial rows — so the batch splits into contiguous trial
+slices that run in separate processes and merge back with
+:func:`~repro.sim.summary.merge_summaries` (summaries) or plain list
+concatenation (traces).
+
+Bit-identity of the sharded run rests on two properties the lower
+layers provide:
+
+* the counter RNG keys every draw on the trial's **seed value**
+  (:func:`~repro.radio.impairments.counter_slot_keys`), never on its
+  row index, so :meth:`~repro.radio.impairments.BatchLoss.slice_trials`
+  yields exactly the rows the unsharded run would have drawn;
+* the shared ``max_slots`` horizon default depends only on the plan,
+  not the batch size, so every shard simulates the same slot window.
+
+The shard-invariance property test pins down that ``workers=1`` and
+``workers=k`` produce identical results.
+
+Workers are plain ``ProcessPoolExecutor`` processes (the same
+fan-out machinery as the analysis layers); callers pick the count —
+the analysis layers pass it through
+:func:`~repro.analysis.sweep.effective_workers`, which degrades to
+serial on single-CPU hosts and caps at the trial count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from .engine import replay_batch, run_reactive_batch
+from .summary import TraceSummary, merge_summaries
+from .trace import BroadcastTrace
+
+__all__ = ["replay_batch_sharded", "run_reactive_batch_sharded",
+           "shard_ranges"]
+
+
+def shard_ranges(trials: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` trial ranges splitting *trials* as evenly
+    as possible over at most *shards* non-empty parts."""
+    shards = max(1, min(int(shards), int(trials)))
+    bounds = np.linspace(0, trials, shards + 1).astype(int)
+    return [(int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+
+def _slice_kwargs(kwargs: dict, lo: int, hi: int) -> dict:
+    """The keyword set of the shard covering trial rows ``lo:hi``."""
+    kw = dict(kwargs)
+    kw["trials"] = hi - lo
+    dead = kw.get("dead_masks")
+    if dead is not None:
+        kw["dead_masks"] = dead[lo:hi]
+    loss = kw.get("loss")
+    if loss is not None:
+        kw["loss"] = loss.slice_trials(lo, hi)
+    return kw
+
+
+def _reactive_worker(args):
+    topology, source, relay_mask, kw = args
+    return run_reactive_batch(topology, source, relay_mask, **kw)
+
+
+def _replay_worker(args):
+    topology, schedule, source, kw = args
+    return replay_batch(topology, schedule, source, **kw)
+
+
+def _fan_out(worker, jobs, workers: int):
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, jobs))
+
+
+def _merge(parts) -> Union[TraceSummary, List[BroadcastTrace]]:
+    if isinstance(parts[0], TraceSummary):
+        return merge_summaries(parts)
+    out: List[BroadcastTrace] = []
+    for p in parts:
+        out.extend(p)
+    return out
+
+
+def _resolve_batch_size(kwargs: dict) -> int:
+    trials = kwargs.get("trials")
+    if trials is not None:
+        return int(trials)
+    loss = kwargs.get("loss")
+    if loss is not None:
+        return loss.trials
+    dead = kwargs.get("dead_masks")
+    if dead is not None:
+        return int(np.asarray(dead).shape[0])
+    raise ValueError("cannot infer the batch size: pass trials=, "
+                     "loss= or dead_masks=")
+
+
+def run_reactive_batch_sharded(
+    topology, source: int, relay_mask, *, workers: Optional[int] = None,
+    **kwargs) -> Union[TraceSummary, List[BroadcastTrace]]:
+    """:func:`~repro.sim.engine.run_reactive_batch` with the trial
+    dimension split over *workers* processes.
+
+    Accepts every keyword of the unsharded entry point and returns a
+    bit-identical result for any *workers* value; ``workers=None`` or
+    ``1`` (or a single-trial batch) runs in-process.
+    """
+    batch = _resolve_batch_size(kwargs)
+    ranges = shard_ranges(batch, workers or 1)
+    if len(ranges) <= 1:
+        return run_reactive_batch(topology, source, relay_mask, **kwargs)
+    jobs = [(topology, source, relay_mask, _slice_kwargs(kwargs, lo, hi))
+            for lo, hi in ranges]
+    return _merge(_fan_out(_reactive_worker, jobs, len(ranges)))
+
+
+def replay_batch_sharded(
+    topology, schedule, source: int, *, workers: Optional[int] = None,
+    **kwargs) -> Union[TraceSummary, List[BroadcastTrace]]:
+    """:func:`~repro.sim.engine.replay_batch` with the trial dimension
+    split over *workers* processes; see
+    :func:`run_reactive_batch_sharded`."""
+    batch = _resolve_batch_size(kwargs)
+    ranges = shard_ranges(batch, workers or 1)
+    if len(ranges) <= 1:
+        return replay_batch(topology, schedule, source, **kwargs)
+    jobs = [(topology, schedule, source, _slice_kwargs(kwargs, lo, hi))
+            for lo, hi in ranges]
+    return _merge(_fan_out(_replay_worker, jobs, len(ranges)))

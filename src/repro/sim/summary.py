@@ -15,7 +15,7 @@ laid out trial-major so statistics are single numpy reductions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -95,3 +95,40 @@ class TraceSummary:
         return (f"<TraceSummary trials={self.trials} "
                 f"mean_reach={float(reach.mean()):.3f} "
                 f"mean_tx={float(self.num_tx.mean()):.1f}>")
+
+
+def merge_summaries(parts: Sequence[TraceSummary]) -> TraceSummary:
+    """Concatenate contiguous trial shards of one run back together.
+
+    *parts* must be the shards of a single batch in trial order (the
+    output of :mod:`repro.sim.shard`); the merge stacks the per-trial
+    arrays, so the result is bit-identical to the unsharded run's
+    summary.  Per-trial sources (``run_reactive_multi``) concatenate;
+    a shared scalar source must agree across shards.
+    """
+    if not parts:
+        raise ValueError("merge_summaries needs at least one shard")
+    if len(parts) == 1:
+        return parts[0]
+    head = parts[0]
+    if any(p.num_nodes != head.num_nodes for p in parts):
+        raise ValueError("shards disagree on num_nodes")
+    if np.ndim(head.source) == 0:
+        if any(np.ndim(p.source) != 0 or p.source != head.source
+               for p in parts):
+            raise ValueError("shards disagree on the source")
+        source = head.source
+    else:
+        source = np.concatenate([p.source for p in parts])
+    dropped: List[List[Tuple[int, int]]] = []
+    for p in parts:
+        dropped.extend(p.dropped_forced)
+    return TraceSummary(
+        num_nodes=head.num_nodes,
+        source=source,
+        trials=sum(p.trials for p in parts),
+        first_rx=np.vstack([p.first_rx for p in parts]),
+        tx_count=np.vstack([p.tx_count for p in parts]),
+        rx_count=np.vstack([p.rx_count for p in parts]),
+        collisions=np.concatenate([p.collisions for p in parts]),
+        dropped_forced=dropped)

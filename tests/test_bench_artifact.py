@@ -1,10 +1,17 @@
 """The committed benchmark artefacts must stay well-formed.
 
-``benchmarks/perf_sweep.py`` / ``benchmarks/perf_robustness.py`` /
-``benchmarks/perf_scaling.py`` regenerate the artefacts; these tier-1
-checks only validate their structure (cheap, no timing), so a
-hand-edited or truncated file is caught before it misleads anyone
-reading the numbers.
+``benchmarks/perf_sweep.py`` / ``perf_robustness.py`` /
+``perf_scaling.py`` / ``perf_recovery.py`` / ``perf_symmetry.py`` /
+``perf_kernel.py`` regenerate the artefacts; these tier-1 checks only
+validate their structure (cheap, no timing), so a hand-edited or
+truncated file is caught before it misleads anyone reading the
+numbers.
+
+Every validator is keyed by the artefact's declared ``schema`` string
+in :data:`VALIDATORS`; ``test_every_bench_artifact_has_validator``
+globs ``BENCH_*.json`` so a future artefact committed without a
+matching validator (or with a typo'd schema) fails tier 1 instead of
+silently riding along unchecked.
 """
 
 import json
@@ -18,13 +25,10 @@ ROBUSTNESS_ARTIFACT = _ROOT / "BENCH_robustness.json"
 SCALING_ARTIFACT = _ROOT / "BENCH_scaling.json"
 SYMMETRY_ARTIFACT = _ROOT / "BENCH_symmetry.json"
 RECOVERY_ARTIFACT = _ROOT / "BENCH_recovery.json"
+KERNEL_ARTIFACT = _ROOT / "BENCH_kernel.json"
 
 
-@pytest.mark.skipif(not SWEEP_ARTIFACT.exists(),
-                    reason="BENCH_sweep.json not generated")
-def test_bench_sweep_artifact_well_formed():
-    payload = json.loads(SWEEP_ARTIFACT.read_text())
-    assert payload["schema"] == "repro-wsn/bench-sweep/v1"
+def _validate_sweep(payload):
     assert payload["parallel_matches_serial"] is True
     assert set(payload["entries"]) == {"serial", "cold", "warm", "parallel"}
     for label, entry in payload["entries"].items():
@@ -34,11 +38,7 @@ def test_bench_sweep_artifact_well_formed():
     assert isinstance(payload["workers"], int) and payload["workers"] >= 1
 
 
-@pytest.mark.skipif(not ROBUSTNESS_ARTIFACT.exists(),
-                    reason="BENCH_robustness.json not generated")
-def test_bench_robustness_artifact_well_formed():
-    payload = json.loads(ROBUSTNESS_ARTIFACT.read_text())
-    assert payload["schema"] == "repro-wsn/bench-robustness/v1"
+def _validate_robustness(payload):
     assert payload["batched_matches_serial"] is True
     assert set(payload["entries"]) == {"serial", "batched", "parallel"}
     for label, entry in payload["entries"].items():
@@ -52,11 +52,7 @@ def test_bench_robustness_artifact_well_formed():
     assert payload["batched_speedup_vs_serial"] >= 3.0
 
 
-@pytest.mark.skipif(not SYMMETRY_ARTIFACT.exists(),
-                    reason="BENCH_symmetry.json not generated")
-def test_bench_symmetry_artifact_well_formed():
-    payload = json.loads(SYMMETRY_ARTIFACT.read_text())
-    assert payload["schema"] == "repro-wsn/bench-symmetry/v1"
+def _validate_symmetry(payload):
     # the hard equality gate: symmetry sweeps reproduced the direct
     # sweeps' metrics exactly before the artefact was written
     assert payload["metrics_equal"] is True
@@ -85,11 +81,7 @@ def test_bench_symmetry_artifact_well_formed():
     assert mesh2d4["speedup"] > 1.0
 
 
-@pytest.mark.skipif(not RECOVERY_ARTIFACT.exists(),
-                    reason="BENCH_recovery.json not generated")
-def test_bench_recovery_artifact_well_formed():
-    payload = json.loads(RECOVERY_ARTIFACT.read_text())
-    assert payload["schema"] == "repro-wsn/bench-recovery/v1"
+def _validate_recovery(payload):
     assert payload["batched_matches_serial"] is True
     assert set(payload["entries"]) == {"serial", "batched"}
     for label, entry in payload["entries"].items():
@@ -113,11 +105,7 @@ def test_bench_recovery_artifact_well_formed():
     assert acc["energy_saving_vs_blind_r2"] >= 0.25
 
 
-@pytest.mark.skipif(not SCALING_ARTIFACT.exists(),
-                    reason="BENCH_scaling.json not generated")
-def test_bench_scaling_artifact_well_formed():
-    payload = json.loads(SCALING_ARTIFACT.read_text())
-    assert payload["schema"] == "repro-wsn/bench-scaling/v1"
+def _validate_scaling(payload):
     assert payload["dense_gate_respected"] is True
     assert payload["adjacency_equal_everywhere"] is True
     assert payload["workers_effective"] >= 1
@@ -136,3 +124,88 @@ def test_bench_scaling_artifact_well_formed():
     assert big["compile_s"] is not None
     assert big["simulate_s"] is not None
     assert big["reachability"] == 1.0
+
+
+def _validate_kernel(payload):
+    # the hard equality gates: every tier and every shard count
+    # reproduced the batch engine's results exactly before the
+    # artefact was written
+    assert payload["engines_equal"] is True
+    assert payload["shard_invariant"] is True
+    if not payload["native_available"]:
+        assert payload["native_reason"]
+    sweep = payload["sweep"]
+    assert {"serial", "batch", "packed", "sharded"} <= set(sweep["entries"])
+    for label, entry in sweep["entries"].items():
+        assert entry["seconds"] > 0, label
+        assert entry["simulations_per_second"] > 0, label
+    assert sweep["simulations"] == \
+        len(sweep["loss_rates"]) * sweep["trials"]
+    # comparable to BENCH_robustness: same reference workload floors
+    assert len(sweep["loss_rates"]) >= 8
+    assert sweep["trials"] >= 32
+    for section in ("large_grid", "recovery_grid"):
+        grid = payload[section]
+        assert grid["nodes"] == grid["shape"][0] * grid["shape"][1]
+        assert {"batch", "packed"} <= set(grid["entries"])
+        for label, entry in grid["entries"].items():
+            assert entry["seconds"] > 0, label
+            assert entry["simulations_per_second"] > 0, label
+    grid = payload["large_grid"]
+    assert grid["nodes"] >= 4096
+    assert grid["trials"] >= 256
+    assert grid["recovery"] is None
+    assert payload["recovery_grid"]["recovery"] is not None
+    # the ISSUE's acceptance floor: >= 3x over the dense batch engine
+    # on one CPU from the packed word resolve alone (no sharding)
+    assert grid["packed_speedup_vs_batch"] >= 3.0
+    if payload["native_available"]:
+        assert grid["compiled_speedup_vs_batch"] >= 3.0
+
+
+#: Declared-schema string -> structural validator.  The glob guard
+#: below keeps this registry complete.
+VALIDATORS = {
+    "repro-wsn/bench-sweep/v1": _validate_sweep,
+    "repro-wsn/bench-robustness/v1": _validate_robustness,
+    "repro-wsn/bench-symmetry/v1": _validate_symmetry,
+    "repro-wsn/bench-recovery/v1": _validate_recovery,
+    "repro-wsn/bench-scaling/v1": _validate_scaling,
+    "repro-wsn/bench-kernel/v1": _validate_kernel,
+}
+
+_ARTIFACTS = [
+    (SWEEP_ARTIFACT, "repro-wsn/bench-sweep/v1"),
+    (ROBUSTNESS_ARTIFACT, "repro-wsn/bench-robustness/v1"),
+    (SYMMETRY_ARTIFACT, "repro-wsn/bench-symmetry/v1"),
+    (RECOVERY_ARTIFACT, "repro-wsn/bench-recovery/v1"),
+    (SCALING_ARTIFACT, "repro-wsn/bench-scaling/v1"),
+    (KERNEL_ARTIFACT, "repro-wsn/bench-kernel/v1"),
+]
+
+
+@pytest.mark.parametrize("path,schema", _ARTIFACTS,
+                         ids=[p.name for p, _ in _ARTIFACTS])
+def test_bench_artifact_well_formed(path, schema):
+    if not path.exists():
+        pytest.skip(f"{path.name} not generated")
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == schema
+    VALIDATORS[schema](payload)
+
+
+def test_every_bench_artifact_has_validator():
+    """Any committed BENCH_*.json must declare a schema this suite
+    knows how to validate — a new artefact cannot ride along
+    unchecked, and a schema bump must update the validator."""
+    found = sorted(_ROOT.glob("BENCH_*.json"))
+    assert found, "no benchmark artefacts committed?"
+    known_paths = {p for p, _ in _ARTIFACTS}
+    for path in found:
+        payload = json.loads(path.read_text())
+        schema = payload.get("schema")
+        assert schema in VALIDATORS, (
+            f"{path.name} declares unknown schema {schema!r}")
+        assert path in known_paths, (
+            f"{path.name} is not wired into the per-artifact test")
+        VALIDATORS[schema](payload)

@@ -1,0 +1,130 @@
+"""Bit-packed word-space kernel vs the dense CSR kernel.
+
+The packed tier's value is entirely conditional on being *exactly* the
+dense kernel 64x denser — these tests pin the pack/unpack layout, the
+popcount accounting, the carry-save collision resolve, the sparse
+(trial, node) extraction order, and the sender attribution against the
+dense reference, plus the integer-threshold Bernoulli equivalence the
+packed/compiled loss draws rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import bitpack
+from repro.radio.impairments import (bernoulli_threshold, counter_slot_keys,
+                                     counter_uniforms, trial_seeds)
+from repro.topology import Mesh2D3, Mesh2D4, Mesh2D8, Mesh3D6
+
+pytestmark = pytest.mark.skipif(not bitpack.packing_supported(),
+                                reason="big-endian host")
+
+MESHES = [(Mesh2D4, (5, 4)), (Mesh2D8, (4, 4)),
+          (Mesh2D3, (5, 4)), (Mesh3D6, (3, 3, 3))]
+
+
+class TestPacking:
+    def test_num_words(self):
+        assert bitpack.num_words(1) == 1
+        assert bitpack.num_words(64) == 1
+        assert bitpack.num_words(65) == 2
+        assert bitpack.num_words(4096) == 64
+
+    @given(st.integers(0, 2**32), st.integers(1, 150), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, seed, n, b):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((b, n)) < 0.4
+        words = bitpack.pack_bool_matrix(mask)
+        assert words.shape == (b, bitpack.num_words(n))
+        assert np.array_equal(bitpack.unpack_word_matrix(words, n), mask)
+        # popcount over words == row sums of the boolean matrix
+        assert np.array_equal(
+            bitpack.popcount(words).sum(axis=1),
+            mask.sum(axis=1))
+
+    def test_bit_layout(self):
+        # Node v must be bit (v & 63) of word (v >> 6) — the layout the
+        # C kernel and words_to_pairs hard-code.
+        mask = np.zeros((1, 130), dtype=bool)
+        mask[0, [0, 63, 64, 129]] = True
+        w = bitpack.pack_bool_matrix(mask)[0]
+        assert w[0] == (1 | (1 << 63))
+        assert w[1] == 1
+        assert w[2] == 2
+
+    def test_words_to_pairs_sorted(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((4, 100)) < 0.3
+        words = bitpack.pack_bool_matrix(mask)
+        active = np.array([2, 5, 7, 11], dtype=np.int64)
+        tr, nd = bitpack.words_to_pairs(active, words)
+        et, en = mask.nonzero()
+        assert np.array_equal(tr, active[et])
+        assert np.array_equal(nd, en)
+
+
+class TestPackedResolve:
+    @pytest.mark.parametrize("cls,shape", MESHES)
+    def test_matches_dense_kernel(self, cls, shape):
+        mesh = cls(*shape)
+        kernel = mesh.slot_kernel
+        packed = kernel.packed()
+        n = mesh.num_nodes
+        rng = np.random.default_rng(42)
+        for trials in (1, 3, 6):
+            for _ in range(15):
+                pairs = {(int(rng.integers(trials)), int(rng.integers(n)))
+                         for _ in range(int(rng.integers(1, n)))}
+                arr = np.array(sorted(pairs), dtype=np.int64)
+                tr, nd = arr[:, 0].copy(), arr[:, 1].copy()
+                heard, received, collided, senders = kernel.resolve_batch(
+                    nd, tr, trials)
+                active, rx_w, cl_w, txw = packed.resolve_words(nd, tr)
+                assert np.array_equal(active, np.unique(tr))
+                rt, rn = bitpack.words_to_pairs(active, rx_w)
+                drt, drn = received.nonzero()
+                assert np.array_equal(rt, drt)
+                assert np.array_equal(rn, drn)
+                ct, cn = bitpack.words_to_pairs(active, cl_w)
+                dct, dcn = collided.nonzero()
+                assert np.array_equal(ct, dct)
+                assert np.array_equal(cn, dcn)
+                sv = packed.attribute_senders(rt, rn, active, txw)
+                assert np.array_equal(sv, senders[drt, drn])
+
+    def test_empty_slot(self):
+        mesh = Mesh2D4(4, 4)
+        packed = mesh.slot_kernel.packed()
+        e = np.empty(0, dtype=np.int64)
+        active, rx, cl, txw = packed.resolve_words(e, e)
+        assert len(active) == 0 and rx.shape[0] == 0
+        tr, nd = bitpack.words_to_pairs(active, rx)
+        assert len(tr) == 0
+        assert len(packed.attribute_senders(tr, nd, active, txw)) == 0
+
+
+class TestBernoulliThreshold:
+    @given(st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_exact(self, p):
+        """u >= p  <=>  (bits >> 11) >= threshold, for u = k * 2^-53."""
+        t = bernoulli_threshold(p)
+        inv = 2.0 ** -53
+        for k in (0, 1, t - 1, t, t + 1, (1 << 53) - 1):
+            if 0 <= k < (1 << 53):
+                assert (k * inv >= p) == (k >= t), (p, t, k)
+
+    def test_counter_keys_consistent(self):
+        """Drawing via slot keys reproduces counter_uniforms exactly."""
+        from repro.radio.impairments import _splitmix64
+        seeds = trial_seeds(7, 0.3, 5)
+        for slot in (1, 2, 9):
+            keys = counter_slot_keys(seeds, slot)
+            n = 40
+            nodes = np.arange(n, dtype=np.uint64)
+            bits = _splitmix64(keys[:, None] ^ nodes[None, :])
+            u = (bits >> np.uint64(11)).astype(np.float64) * 2.0 ** -53
+            assert np.array_equal(u, counter_uniforms(seeds, slot, n))

@@ -160,3 +160,36 @@ class TestSlotKernel:
         kernel.resolve(b)
         _, recv_a2, _, senders_a2 = kernel.resolve(a)
         assert (senders_a2[recv_a2] == senders_a_snapshot).all()
+
+    def test_batch_scratch_keyed_on_trials_and_nodes(self):
+        """Interleaving resolve_batch on kernels of different node
+        counts but equal trial counts must not cross-corrupt: the
+        scratch is keyed on the full (trials, n) shape, not trials
+        alone (regression for the trials-only cache key)."""
+        from repro.radio.channel import SlotKernel
+        from repro.topology import Mesh2D8
+        small = Mesh2D4(4, 4)
+        big = Mesh2D8(6, 6)
+        ks, kb = SlotKernel(small.adjacency), SlotKernel(big.adjacency)
+        rng = np.random.default_rng(13)
+        trials = 3
+        for _ in range(6):
+            for topo, kernel in ((small, ks), (big, kb)):
+                k = int(rng.integers(1, topo.num_nodes // 2))
+                nd = np.sort(rng.choice(topo.num_nodes, size=k,
+                                        replace=False)).astype(np.int64)
+                tr = np.sort(rng.integers(0, trials, size=k)
+                             ).astype(np.int64)
+                out = kernel.resolve_batch(nd, tr, trials)
+                # resolve() below reuses kernel scratch: snapshot first.
+                heard, received, collided, senders = (x.copy() for x in out)
+                assert heard.shape == (trials, topo.num_nodes)
+                # Per-trial reference via the unbatched resolver.
+                for b in range(trials):
+                    ref_h, ref_r, ref_c, ref_s = kernel.resolve(
+                        np.unique(nd[tr == b]))
+                    assert (heard[b] == ref_h).all()
+                    assert (received[b] == ref_r).all()
+                    assert (collided[b] == ref_c).all()
+                    rx = np.nonzero(ref_r)[0]
+                    assert (senders[b, rx] == ref_s[rx]).all()
