@@ -38,6 +38,18 @@ def _schedule_cache_from_args(args):
     return ScheduleCache(path)
 
 
+def _print_engine_decision(engine: str, topo) -> None:
+    """One line naming the tier that will actually run and why — the
+    fallback rules are silent by design, so surface the decision."""
+    if engine == "serial":
+        print("engine: serial (one-trial reference loop)")
+        return
+    from .sim import resolve_engine
+    tier, reason = resolve_engine(engine, topo.num_nodes, explain=True)
+    note = "" if tier == engine else f" (requested {engine})"
+    print(f"engine: {tier}{note} — {reason}")
+
+
 def cmd_topology(args) -> int:
     topo = _topology_from_args(args)
     report = analyze(topo)
@@ -171,6 +183,7 @@ def cmd_robustness(args) -> int:
     source = (tuple(args.source) if args.source
               else _default_center_source(topo))
     recovery = _recovery_from_args(args)
+    _print_engine_decision(args.engine, topo)
     rows = []
     for p in analysis.loss_degradation(
             topo, source, args.loss_rates, trials=args.trials,
@@ -200,6 +213,7 @@ def cmd_frontier(args) -> int:
     topo = _topology_from_args(args)
     source = (tuple(args.source) if args.source
               else _default_center_source(topo))
+    _print_engine_decision(args.engine, topo)
     points = analysis.recovery_frontier(
         topo, source, loss_rates=args.loss_rates,
         failure_counts=args.failures, trials=args.trials,
@@ -230,6 +244,7 @@ def cmd_lifetime(args) -> int:
     if args.rotate:
         sources = sources + [tuple(c)
                              for c in analysis.corner_sources(topo)]
+    _print_engine_decision(args.engine, topo)
     res = analysis.simulate_lifetime(
         topo, sources, battery_j=args.battery,
         max_rounds=args.max_rounds, workers=args.workers,

@@ -7,6 +7,14 @@ module-level accumulator that is ``None`` unless a profile capture is
 active; the hot-path hooks reduce to a single attribute check when
 profiling is off, so the engine pays nothing in the common case.
 
+Phases are free-form names; the engine currently emits ``resolve``,
+``commit``, ``loss-rng``, and — with a recovery policy active —
+``recovery-pre`` (due checks/elections before the slot),
+``recovery-post`` (ACK/overhear + episode accounting after it), and
+``recovery-election`` (the election bookkeeping *inside* the other two:
+a sub-phase, so its time is also counted by its parent — do not sum it
+with them).
+
 Not thread-safe, and deliberately not process-aware: a sharded run
 profiles only the parent process (per-shard phases happen in workers),
 which is why the benchmarks capture profiles with sharding disabled.

@@ -298,7 +298,8 @@ class PackedSlotKernel:
     def attribute_senders(self, rx_trials: np.ndarray,
                           rx_nodes: np.ndarray,
                           active: np.ndarray,
-                          txw: np.ndarray) -> np.ndarray:
+                          txw: np.ndarray,
+                          return_epos: bool = False):
         """Unique delivering neighbour of every clean decode.
 
         ``(rx_trials, rx_nodes)`` are received pairs (subset of the
@@ -306,9 +307,14 @@ class PackedSlotKernel:
         matrix of the same slot.  A received node heard exactly one
         transmitter, so the bit test over its CSR neighbour row has
         exactly one hit.
+
+        With ``return_epos`` the CSR data position of each (receiver ->
+        sender) edge comes back alongside the senders — the recovery
+        tier keys its packed known-edge bitset on exactly that index,
+        so attribution doubles as the edge lookup for free.
         """
         if len(rx_nodes) == 0:
-            return _EMPTY
+            return (_EMPTY, _EMPTY) if return_epos else _EMPTY
         starts = self._indptr[rx_nodes]
         counts = self._indptr[rx_nodes + 1] - starts
         total = int(counts.sum())
@@ -317,6 +323,8 @@ class PackedSlotKernel:
                - out_starts.repeat(counts) + starts.repeat(counts))
         nbrs = self._indices[pos]
         arow = np.searchsorted(active, rx_trials).repeat(counts)
-        hit = (txw[arow, nbrs >> 6] >> (nbrs & 63).astype(np.uint64)
-               ) & _U64(1)
-        return nbrs[hit.astype(bool)]
+        hit = ((txw[arow, nbrs >> 6] >> (nbrs & 63).astype(np.uint64)
+                ) & _U64(1)).astype(bool)
+        if return_epos:
+            return nbrs[hit], pos[hit]
+        return nbrs[hit]

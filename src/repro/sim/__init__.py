@@ -1,6 +1,7 @@
 """Slot-synchronous broadcast simulator."""
 
-from .backend import ENGINES, make_backend, resolve_engine
+from .backend import (ENGINES, make_backend, packed_max_nodes,
+                      resolve_engine)
 from .engine import (replay, replay_batch, run_reactive,
                      run_reactive_batch, run_reactive_multi)
 from .metrics import (BroadcastMetrics, compute_metrics,
@@ -8,6 +9,7 @@ from .metrics import (BroadcastMetrics, compute_metrics,
 from .native import native_available, native_reason
 from .recovery import (BatchRecoveryState, RecoveryPolicy, RecoveryState,
                        relay_like_from_schedule, relay_like_mask)
+from .recovery_packed import NativeRecoveryState, PackedRecoveryState
 from .shard import (replay_batch_sharded, run_reactive_batch_sharded,
                     shard_ranges)
 from .translate import (TranslationError, translate_compiled,
@@ -31,6 +33,7 @@ __all__ = [
     "merge_summaries",
     "native_available",
     "native_reason",
+    "packed_max_nodes",
     "replay",
     "replay_batch",
     "replay_batch_sharded",
@@ -43,6 +46,8 @@ __all__ = [
     "RecoveryPolicy",
     "RecoveryState",
     "BatchRecoveryState",
+    "PackedRecoveryState",
+    "NativeRecoveryState",
     "relay_like_mask",
     "relay_like_from_schedule",
     "TranslationError",

@@ -24,16 +24,27 @@ Fallback rules (silent, by design — callers ask for a *tier*, not a
 hard requirement): losses other than ``None`` /
 :class:`~repro.radio.impairments.BernoulliBatchLoss` /
 :class:`~repro.radio.impairments.BurstBatchLoss` cannot be applied in
-word space, node counts beyond
-:data:`~repro.radio.bitpack.MAX_PACKED_NODES` would blow up the packed
-neighbour table, and big-endian hosts break the packing layout — each
-of these degrades to the dense kernel; a missing native build degrades
-``"compiled"`` to ``"packed"``.  :func:`resolve_engine` reports the
-tier that would actually run, for benchmarks and CLI output.
+word space, node counts beyond :func:`packed_max_nodes` (default
+:data:`~repro.radio.bitpack.MAX_PACKED_NODES`, overridable via the
+``REPRO_PACKED_MAX_NODES`` environment variable) would blow up the
+packed neighbour table, and big-endian hosts break the packing layout —
+each of these degrades to the dense kernel; a missing native build
+degrades ``"compiled"`` to ``"packed"``.  :func:`resolve_engine`
+reports the tier that would actually run — and, with ``explain=True``,
+which rule decided it — for benchmarks and CLI output.
+
+The word-space backends also own the matching **recovery state tier**
+(:meth:`PackedBackend.make_recovery` /
+:meth:`NativeBackend.make_recovery`, see
+:mod:`repro.sim.recovery_packed`): each resolve with sender attribution
+additionally records the CSR edge positions of its decodes
+(``last_epos``), which the packed recovery update consumes directly
+instead of re-deriving them per slot.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -44,9 +55,13 @@ from ..radio.channel import SlotKernel
 from ..radio.impairments import (BatchLoss, BernoulliBatchLoss,
                                  BurstBatchLoss, _splitmix64,
                                  bernoulli_threshold, counter_slot_keys)
+from ..topology.base import Topology
 from . import native
+from .recovery import RecoveryPolicy
+from .recovery_packed import NativeRecoveryState, PackedRecoveryState
 
-__all__ = ["ENGINES", "make_backend", "resolve_engine"]
+__all__ = ["ENGINES", "make_backend", "packed_max_nodes",
+           "resolve_engine"]
 
 #: Engine names accepted by the batched entry points.
 ENGINES = ("batch", "packed", "compiled", "auto")
@@ -64,26 +79,69 @@ def check_engine(engine: str) -> None:
             f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 
-def _packable(num_nodes: int, loss: Optional[BatchLoss]) -> bool:
-    return (bitpack.packing_supported()
-            and 0 < num_nodes <= bitpack.MAX_PACKED_NODES
-            and (loss is None or type(loss) in _WORD_LOSSES))
+def packed_max_nodes() -> int:
+    """Node-count cutoff of the word-space tiers.
+
+    Defaults to :data:`~repro.radio.bitpack.MAX_PACKED_NODES` (the
+    packed neighbour table is ``n * ceil(n/64)`` words, quadratic-ish in
+    *n*); the environment variable ``REPRO_PACKED_MAX_NODES`` overrides
+    it for hosts where the memory/speed trade-off differs.  Read on
+    every call so tests and long-lived processes can retune it.
+    """
+    raw = os.environ.get("REPRO_PACKED_MAX_NODES")
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return bitpack.MAX_PACKED_NODES
+
+
+def _packable(num_nodes: int,
+              loss: Optional[BatchLoss]) -> Tuple[bool, str]:
+    """(word-space tiers can serve this request?, reason)."""
+    if not bitpack.packing_supported():
+        return False, "big-endian host: word packing unsupported"
+    cutoff = packed_max_nodes()
+    if num_nodes <= 0:
+        return False, "empty topology"
+    if num_nodes > cutoff:
+        return False, (f"n={num_nodes} exceeds packed cutoff {cutoff} "
+                       f"(override with REPRO_PACKED_MAX_NODES)")
+    if not (loss is None or type(loss) in _WORD_LOSSES):
+        return False, (f"loss type {type(loss).__name__} has no "
+                       f"word-space draw")
+    return True, "word-space tiers available"
 
 
 def resolve_engine(engine: str, num_nodes: int,
-                   loss: Optional[BatchLoss] = None) -> str:
+                   loss: Optional[BatchLoss] = None,
+                   explain: bool = False
+                   ) -> Union[str, Tuple[str, str]]:
     """The tier that would actually run for this request.
 
     Applies the fallback rules without building anything heavier than
-    the native-availability probe.
+    the native-availability probe.  With ``explain=True`` returns
+    ``(tier, reason)`` — the reason names which fallback rule (if any)
+    decided the tier, for CLI output and benchmarks.
     """
     check_engine(engine)
-    if engine == "batch" or not _packable(num_nodes, loss):
-        return "batch"
+
+    def result(tier: str, reason: str):
+        return (tier, reason) if explain else tier
+
+    if engine == "batch":
+        return result("batch", "batch tier requested")
+    ok, why = _packable(num_nodes, loss)
+    if not ok:
+        return result("batch", why)
     if engine == "packed":
-        return "packed"
+        return result("packed", "packed tier requested")
     # "compiled" or "auto": take the native tier when it builds.
-    return "compiled" if native.native_available() else "packed"
+    if native.native_available():
+        return result("compiled", "native kernel available")
+    return result("packed", f"native unavailable "
+                            f"({native.native_reason()})")
 
 
 class _LossSpec:
@@ -123,6 +181,16 @@ class PackedBackend:
         self._batch = batch
         self._need_senders = need_senders
         self._need_coll_pairs = need_coll_pairs
+        #: CSR positions of the last slot's (receiver -> sender) edges,
+        #: refreshed by every resolve with senders; feeds the packed
+        #: recovery state's known-edge bitset for free.
+        self.last_epos: Optional[np.ndarray] = None
+
+    def make_recovery(self, topology: Topology, policy: RecoveryPolicy,
+                      relay_like: np.ndarray,
+                      trials: int) -> PackedRecoveryState:
+        """The recovery state matching this tier (word-packed numpy)."""
+        return PackedRecoveryState(topology, policy, relay_like, trials)
 
     def resolve(self, t: int, tr: np.ndarray, nd: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray],
@@ -155,7 +223,8 @@ class PackedBackend:
                 rt, rn = rt[keep], rn[keep]
         sv = None
         if self._need_senders:
-            sv = pk.attribute_senders(rt, rn, active, txw)
+            sv, self.last_epos = pk.attribute_senders(
+                rt, rn, active, txw, return_epos=True)
         if self._need_coll_pairs:
             coll = bitpack.words_to_pairs(active, collided)
         else:
@@ -180,7 +249,9 @@ class NativeBackend:
         if module is None:  # pragma: no cover - guarded by make_backend
             raise RuntimeError(f"native tier unavailable: "
                                f"{native.native_reason()}")
+        self._module = module
         self._ffi, self._lib = module.ffi, module.lib
+        self.last_epos: Optional[np.ndarray] = None
         pk = kernel.packed()
         self._n = kernel.num_nodes
         self._words = pk.words
@@ -222,9 +293,17 @@ class NativeBackend:
         self._rx_tr = keep(np.empty(cap, dtype=np.int64))
         self._rx_nd = keep(np.empty(cap, dtype=np.int64))
         self._rx_sv = keep(np.empty(cap, dtype=np.int64))
+        self._rx_ep = keep(np.empty(cap, dtype=np.int64))
         self._coll_tr = keep(np.empty(cap, dtype=np.int64))
         self._coll_nd = keep(np.empty(cap, dtype=np.int64))
         self._cap = cap
+
+    def make_recovery(self, topology: Topology, policy: RecoveryPolicy,
+                      relay_like: np.ndarray,
+                      trials: int) -> NativeRecoveryState:
+        """The recovery state matching this tier (C inner loops)."""
+        return NativeRecoveryState(topology, policy, relay_like, trials,
+                                   self._module)
 
     def resolve(self, t: int, tr: np.ndarray, nd: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray],
@@ -262,12 +341,15 @@ class NativeBackend:
                 int(self._need_senders), int(self._need_coll_pairs),
                 self._ones[1], self._twos[1], self._txw[1],
                 self._rx_tr[1], self._rx_nd[1], self._rx_sv[1],
+                self._rx_ep[1],
                 self._coll_tr[1], self._coll_nd[1],
                 self._coll_counts[1], self._out_counts[1])
         n_rx, n_coll = map(int, self._out_counts[0])
         rt = self._rx_tr[0][:n_rx]
         rn = self._rx_nd[0][:n_rx]
         sv = self._rx_sv[0][:n_rx] if self._need_senders else None
+        self.last_epos = (self._rx_ep[0][:n_rx]
+                          if self._need_senders else None)
         if self._need_coll_pairs:
             coll = (self._coll_tr[0][:n_coll], self._coll_nd[0][:n_coll])
         else:

@@ -591,9 +591,15 @@ def run_reactive_batch(
 
     rec = None
     if recovery is not None:
-        rec = BatchRecoveryState(topology, recovery,
-                                 relay_like_mask(n, relay_mask, source),
-                                 batch)
+        relay_like = relay_like_mask(n, relay_mask, source)
+        if backend is not None:
+            # The word-space backends own a recovery tier matched to
+            # their resolve tier (bit-identical to BatchRecoveryState).
+            rec = backend.make_recovery(topology, recovery, relay_like,
+                                        batch)
+        else:
+            rec = BatchRecoveryState(topology, recovery, relay_like,
+                                     batch)
 
     t = 0
     while t < max_slots and (t < horizon
@@ -621,7 +627,8 @@ def run_reactive_batch(
             for b, j in zip(*(~ok).nonzero()):
                 state.dropped_forced[b].append((t, int(fv[j])))
         if rec is not None:
-            r_tr, r_nd = rec.pre_slot(t)
+            with profiling.phase("recovery-pre"):
+                r_tr, r_nd = rec.pre_slot(t)
             if len(r_nd):
                 tr = np.concatenate([tr, r_tr])
                 nd = np.concatenate([nd, r_nd])
@@ -666,8 +673,12 @@ def run_reactive_batch(
                 schedule_pairs(rel_t, rel_n,
                                t + 1 + extra_delay[rel_n])
         if rec is not None:
-            with profiling.phase("recovery-update"):
-                rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
+            with profiling.phase("recovery-post"):
+                if backend is not None:
+                    rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn,
+                                  epos=backend.last_epos)
+                else:
+                    rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
     return state.finish()
 
 
@@ -875,9 +886,13 @@ def replay_batch(
     rec = None
     slots: Iterable[int] = schedule.active_slots()
     if recovery is not None:
-        rec = BatchRecoveryState(topology, recovery,
-                                 relay_like_from_schedule(n, schedule),
-                                 batch)
+        relay_like = relay_like_from_schedule(n, schedule)
+        if backend is not None:
+            rec = backend.make_recovery(topology, recovery, relay_like,
+                                        batch)
+        else:
+            rec = BatchRecoveryState(topology, recovery, relay_like,
+                                     batch)
         if max_slots is None:
             max_slots = max(4 * n + 16, schedule.max_slot + 2)
         slots = _replay_recovery_slots(schedule.max_slot, max_slots, rec)
@@ -898,7 +913,8 @@ def replay_batch(
             tr = all_trials.repeat(len(base))
             nd = np.tile(base, batch)
         if rec is not None:
-            r_tr, r_nd = rec.pre_slot(t)
+            with profiling.phase("recovery-pre"):
+                r_tr, r_nd = rec.pre_slot(t)
             if len(r_nd):
                 # Recovery pairs can duplicate scheduled transmissions;
                 # the serial engine's per-slot set collapses that, so
@@ -926,8 +942,12 @@ def replay_batch(
                     t, tr, nd, received, collided, senders)
             sv = senders[rt, rn] if rec is not None else None
         if rec is not None:
-            with profiling.phase("recovery-update"):
-                rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
+            with profiling.phase("recovery-post"):
+                if backend is not None:
+                    rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn,
+                                  epos=backend.last_epos)
+                else:
+                    rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
     return state.finish()
 
 

@@ -49,8 +49,25 @@ void resolve_slot(
     const uint8_t *slot_survive,
     int need_senders, int need_coll_pairs,
     uint64_t *ones, uint64_t *twos, uint64_t *txw,
-    int64_t *rx_tr, int64_t *rx_nd, int64_t *rx_sv,
+    int64_t *rx_tr, int64_t *rx_nd, int64_t *rx_sv, int64_t *rx_ep,
     int64_t *coll_tr, int64_t *coll_nd, int64_t *coll_counts,
+    int64_t *out_counts);
+void recovery_post_slot(
+    int64_t nrx, const int64_t *rt, const int64_t *rn,
+    const int64_t *epos, const int64_t *rev_edge,
+    int64_t n, int64_t words_e,
+    uint64_t *known, int64_t *heard_total);
+void recovery_checks(
+    int64_t t, int64_t k,
+    const int64_t *bt, const int64_t *vt,
+    int64_t n, int64_t words_e, const int64_t *indptr,
+    const uint64_t *known,
+    int64_t *chk_slot, int64_t *chk_base,
+    int64_t *retries_used, const int64_t *heard_total,
+    int64_t timeout, int64_t max_retries, int64_t backoff,
+    int64_t suppression_k,
+    int64_t *fire_b, int64_t *fire_v,
+    int64_t *res_b, int64_t *res_v, int64_t *res_slot,
     int64_t *out_counts);
 """
 
@@ -88,7 +105,7 @@ void resolve_slot(
     const uint8_t *slot_survive,
     int need_senders, int need_coll_pairs,
     uint64_t *ones, uint64_t *twos, uint64_t *txw,
-    int64_t *rx_tr, int64_t *rx_nd, int64_t *rx_sv,
+    int64_t *rx_tr, int64_t *rx_nd, int64_t *rx_sv, int64_t *rx_ep,
     int64_t *coll_tr, int64_t *coll_nd, int64_t *coll_counts,
     int64_t *out_counts)
 {
@@ -154,16 +171,19 @@ void resolve_slot(
                 rx_tr[n_rx] = b;
                 rx_nd[n_rx] = node;
                 if (need_senders) {
-                    int64_t sv = -1;
+                    int64_t sv = -1, ep = -1;
                     for (int64_t e = indptr[node];
                          e < indptr[node + 1]; e++) {
                         int64_t u = indices[e];
                         if (tx[u >> 6] & (1ULL << (u & 63))) {
                             sv = u;
+                            ep = e;
                             break;          /* heard == 1: unique hit */
                         }
                     }
                     rx_sv[n_rx] = sv;
+                    if (rx_ep)
+                        rx_ep[n_rx] = ep;   /* CSR pos of (node -> sv) */
                 }
                 n_rx++;
             }
@@ -183,6 +203,104 @@ void resolve_slot(
     }
     out_counts[0] = n_rx;
     out_counts[1] = n_coll;
+}
+
+/* Recovery post-slot: per clean decode (trial rt[i], receiver rn[i])
+ * bump the heard counter and set both known-edge bits -- the overhear
+ * (receiver -> sender, CSR position epos[i]) and the ACK (sender ->
+ * receiver, its precomputed reverse position).  known is (B, words_e)
+ * uint64 over CSR edge positions: bit e & 63 of word e >> 6.
+ */
+void recovery_post_slot(
+    int64_t nrx, const int64_t *rt, const int64_t *rn,
+    const int64_t *epos, const int64_t *rev_edge,
+    int64_t n, int64_t words_e,
+    uint64_t *known, int64_t *heard_total)
+{
+    for (int64_t i = 0; i < nrx; i++) {
+        int64_t b = rt[i];
+        int64_t e = epos[i];
+        int64_t r = rev_edge[e];
+        uint64_t *row = known + b * words_e;
+        heard_total[b * n + rn[i]]++;
+        row[e >> 6] |= 1ULL << (e & 63);    /* overhear */
+        row[r >> 6] |= 1ULL << (r & 63);    /* ACK */
+    }
+}
+
+/* Recovery guardian checks due at slot t for pairs (bt[i], vt[i])
+ * whose chk_slot equals t (caller pre-filters staleness).  Mirrors
+ * BatchRecoveryState.pre_slot's check branch exactly: a covered node
+ * (every bit of its CSR row range [indptr[v], indptr[v+1]) set in
+ * known) clears its check without consuming a retry; otherwise the
+ * check consumes one retry, fires unless >= suppression_k decodes were
+ * overheard since the previous check, and reschedules at
+ * t + timeout * backoff^used while budget remains.  Outputs: firing
+ * pairs, rescheduled pairs + their slots (for the caller's due
+ * buckets), out_counts = {n_fire, n_res, max rescheduled slot}.
+ */
+void recovery_checks(
+    int64_t t, int64_t k,
+    const int64_t *bt, const int64_t *vt,
+    int64_t n, int64_t words_e, const int64_t *indptr,
+    const uint64_t *known,
+    int64_t *chk_slot, int64_t *chk_base,
+    int64_t *retries_used, const int64_t *heard_total,
+    int64_t timeout, int64_t max_retries, int64_t backoff,
+    int64_t suppression_k,
+    int64_t *fire_b, int64_t *fire_v,
+    int64_t *res_b, int64_t *res_v, int64_t *res_slot,
+    int64_t *out_counts)
+{
+    int64_t n_fire = 0, n_res = 0, max_slot = 0;
+    for (int64_t i = 0; i < k; i++) {
+        int64_t b = bt[i], v = vt[i];
+        const uint64_t *row = known + b * words_e;
+        int64_t s = indptr[v], e = indptr[v + 1];
+        int covered = 1;
+        for (int64_t w = s >> 6; covered && s < e && w <= (e - 1) >> 6;
+             w++) {
+            int64_t lo = s > (w << 6) ? s : (w << 6);
+            int64_t hi = e < ((w + 1) << 6) ? e : ((w + 1) << 6);
+            int64_t len = hi - lo;
+            uint64_t mask = (len >= 64 ? ~0ULL
+                             : ((1ULL << len) - 1)) << (lo & 63);
+            if ((row[w] & mask) != mask)
+                covered = 0;
+        }
+        if (covered) {
+            chk_slot[b * n + v] = 0;        /* episode done, no retry */
+            continue;
+        }
+        int64_t heard = heard_total[b * n + v];
+        if (suppression_k <= 0
+            || heard - chk_base[b * n + v] < suppression_k) {
+            fire_b[n_fire] = b;
+            fire_v[n_fire] = v;
+            n_fire++;
+        }
+        int64_t used = retries_used[b * n + v] + 1;
+        retries_used[b * n + v] = used;
+        chk_base[b * n + v] = heard;
+        if (used < max_retries) {
+            int64_t step = timeout;
+            for (int64_t j = 0; j < used; j++)
+                step *= backoff;
+            int64_t nxt = t + step;
+            chk_slot[b * n + v] = nxt;
+            res_b[n_res] = b;
+            res_v[n_res] = v;
+            res_slot[n_res] = nxt;
+            n_res++;
+            if (nxt > max_slot)
+                max_slot = nxt;
+        } else {
+            chk_slot[b * n + v] = 0;
+        }
+    }
+    out_counts[0] = n_fire;
+    out_counts[1] = n_res;
+    out_counts[2] = max_slot;
 }
 """
 

@@ -75,6 +75,7 @@ from typing import List, Set, Tuple
 
 import numpy as np
 
+from .. import profiling
 from ..topology.base import Topology
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -347,13 +348,14 @@ class BatchRecoveryState:
                     self.horizon = max(self.horizon, int(nxt[more].max()))
         bt, wt = (self.elec_slot == t).nonzero()
         if len(wt):
-            self.elec_slot[bt, wt] = 0            # one-shot
-            ok = ~self.known[bt, self.elec_pos[bt, wt]]
-            if pol.suppression_k > 0:
-                ok &= (self.heard_total[bt, wt] - self.elec_base[bt, wt]
-                       < pol.suppression_k)
-            out_tr.append(bt[ok])
-            out_nd.append(wt[ok])
+            with profiling.phase("recovery-election"):
+                self.elec_slot[bt, wt] = 0        # one-shot
+                ok = ~self.known[bt, self.elec_pos[bt, wt]]
+                if pol.suppression_k > 0:
+                    ok &= (self.heard_total[bt, wt]
+                           - self.elec_base[bt, wt] < pol.suppression_k)
+                out_tr.append(bt[ok])
+                out_nd.append(wt[ok])
         if not out_nd:
             return _EMPTY, _EMPTY
         return np.concatenate(out_tr), np.concatenate(out_nd)
@@ -384,20 +386,26 @@ class BatchRecoveryState:
                 self.retries_used[ft, fn] = 0
                 self.horizon = max(self.horizon, t + pol.timeout)
         if pol.election and len(nn):
-            sel = ~self.relay_like[nn]
-            et, en = nt[sel], nn[sel]
+            with profiling.phase("recovery-election"):
+                self._schedule_elections(t, nt, nn)
+
+    def _schedule_elections(self, t: int, nt: np.ndarray,
+                            nn: np.ndarray) -> None:
+        pol = self.policy
+        sel = ~self.relay_like[nn]
+        et, en = nt[sel], nn[sel]
+        if len(en):
+            nb = self._N[en]
+            cand = (self._V[en] & self._relay_ext[nb]
+                    & ~self.known[et[:, None], self._P[en]])
+            tgt = np.where(cand, nb, self.n).min(axis=1)
+            has = tgt < self.n
+            et, en, tgt = et[has], en[has], tgt[has]
             if len(en):
-                nb = self._N[en]
-                cand = (self._V[en] & self._relay_ext[nb]
-                        & ~self.known[et[:, None], self._P[en]])
-                tgt = np.where(cand, nb, self.n).min(axis=1)
-                has = tgt < self.n
-                et, en, tgt = et[has], en[has], tgt[has]
-                if len(en):
-                    rank = ((self._N[tgt] < en[:, None])
-                            & self._V[tgt]).sum(axis=1)
-                    slot = t + pol.election_delay + rank
-                    self.elec_slot[et, en] = slot
-                    self.elec_base[et, en] = self.heard_total[et, en]
-                    self.elec_pos[et, en] = self._edge_pos(en, tgt)
-                    self.horizon = max(self.horizon, int(slot.max()))
+                rank = ((self._N[tgt] < en[:, None])
+                        & self._V[tgt]).sum(axis=1)
+                slot = t + pol.election_delay + rank
+                self.elec_slot[et, en] = slot
+                self.elec_base[et, en] = self.heard_total[et, en]
+                self.elec_pos[et, en] = self._edge_pos(en, tgt)
+                self.horizon = max(self.horizon, int(slot.max()))

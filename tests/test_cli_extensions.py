@@ -56,13 +56,22 @@ class TestRobustnessCommand:
         assert "3D-6" in capsys.readouterr().out
 
     def test_engines_print_identical_tables(self, capsys):
+        def table(out):
+            # drop the per-run "engine: ..." decision line; the tables
+            # themselves must be identical across engines
+            return [ln for ln in out.splitlines()
+                    if not ln.startswith("engine:")]
+
         args = ["robustness", "2D-4", "--shape", "10", "6",
                 "--loss-rates", "0.1", "0.2", "--failures", "3",
                 "--trials", "3", "--seed", "5"]
         assert main(args + ["--engine", "batch"]) == 0
         batch_out = capsys.readouterr().out
+        assert "engine: batch" in batch_out
         assert main(args + ["--engine", "serial"]) == 0
-        assert capsys.readouterr().out == batch_out
+        serial_out = capsys.readouterr().out
+        assert "engine: serial" in serial_out
+        assert table(serial_out) == table(batch_out)
 
     def test_workers_and_cache_flags(self, tmp_path, capsys):
         assert main(["robustness", "2D-4", "--shape", "10", "6",
@@ -129,6 +138,10 @@ class TestFrontierCommand:
         assert a != b
 
     def test_engines_print_identical_tables(self, capsys):
+        def table(out):
+            return [ln for ln in out.splitlines()
+                    if not ln.startswith("engine:")]
+
         args = ["frontier", "2D-4", "--shape", "8", "6",
                 "--loss-rates", "0.2", "--trials", "2",
                 "--hardening", "0", "--seed", "3"]
@@ -136,7 +149,7 @@ class TestFrontierCommand:
         batch = capsys.readouterr().out
         assert main(args + ["--engine", "serial"]) == 0
         serial = capsys.readouterr().out
-        assert batch == serial
+        assert table(batch) == table(serial)
 
     def test_workers_flag(self, capsys):
         assert main(["frontier", "2D-4", "--shape", "8", "6",

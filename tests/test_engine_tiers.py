@@ -270,6 +270,38 @@ class TestFallbacks:
         with pytest.raises(ValueError):
             resolve_engine("warp", 20)
 
+    def test_resolve_engine_explain(self):
+        tier, reason = resolve_engine("batch", 20, explain=True)
+        assert tier == "batch" and "requested" in reason
+        if bitpack.packing_supported():
+            tier, reason = resolve_engine(
+                "packed", bitpack.MAX_PACKED_NODES + 1, explain=True)
+            assert tier == "batch"
+            assert "REPRO_PACKED_MAX_NODES" in reason
+            tier, reason = resolve_engine("packed", 20, explain=True)
+            assert tier == "packed" and "requested" in reason
+            # explain=False stays the bare-string contract.
+            assert resolve_engine("packed", 20) == "packed"
+
+    def test_packed_cutoff_env_override(self, monkeypatch):
+        if not bitpack.packing_supported():
+            pytest.skip("packing unsupported on this host")
+        from repro.sim.backend import packed_max_nodes
+        assert packed_max_nodes() == bitpack.MAX_PACKED_NODES
+        monkeypatch.setenv("REPRO_PACKED_MAX_NODES", "100")
+        assert packed_max_nodes() == 100
+        assert resolve_engine("packed", 101) == "batch"
+        tier, reason = resolve_engine("packed", 101, explain=True)
+        assert tier == "batch" and "cutoff 100" in reason
+        assert resolve_engine("packed", 100) == "packed"
+        # Raising the cutoff opens the packed tier past the default.
+        monkeypatch.setenv("REPRO_PACKED_MAX_NODES", "1000000")
+        assert resolve_engine(
+            "packed", bitpack.MAX_PACKED_NODES + 1) == "packed"
+        # Garbage values fall back to the baked-in default.
+        monkeypatch.setenv("REPRO_PACKED_MAX_NODES", "not-a-number")
+        assert packed_max_nodes() == bitpack.MAX_PACKED_NODES
+
     def test_compiled_request_without_native_dependency(self):
         """engine="compiled" must stay correct when the C tier cannot
         build: REPRO_NO_NATIVE forces the dependency-absent path in a

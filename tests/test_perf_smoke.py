@@ -15,20 +15,25 @@ import pytest
 
 from repro.analysis.robustness import loss_degradation
 from repro.radio import bitpack
-from repro.sim import native_available
+from repro.sim import RecoveryPolicy, native_available
 from repro.topology import Mesh2D4
 
 pytestmark = pytest.mark.perf_smoke
 
 
-def test_engine_tiers_agree_on_smoke_budget():
-    mesh = Mesh2D4(12, 10)
-    loss_rates = (0.0, 0.1, 0.2)
+def _tier_list():
     engines = ["batch"]
     if bitpack.packing_supported():
         engines.append("packed")
         if native_available():
             engines.append("compiled")
+    return engines
+
+
+def test_engine_tiers_agree_on_smoke_budget():
+    mesh = Mesh2D4(12, 10)
+    loss_rates = (0.0, 0.1, 0.2)
+    engines = _tier_list()
     curves = {}
     rates = {}
     sims = len(loss_rates) * 8
@@ -43,3 +48,21 @@ def test_engine_tiers_agree_on_smoke_budget():
     for engine, rate in rates.items():
         assert rate > 0, engine
     assert all(np.isfinite(r) for r in rates.values())
+
+
+def test_recovery_tiers_agree_on_smoke_budget():
+    """Miniature of BENCH_kernel's recovery cell: the packed/native
+    recovery states must match the batch oracle through the analysis
+    entry point, every tier-1 run."""
+    mesh = Mesh2D4(12, 10)
+    policy = RecoveryPolicy(timeout=2, max_retries=2, backoff=1,
+                            suppression_k=2, election=True)
+    curves = {}
+    for engine in _tier_list():
+        t0 = time.perf_counter()
+        curves[engine] = loss_degradation(mesh, (6, 5), (0.1, 0.25),
+                                          trials=6, seed=4, engine=engine,
+                                          recovery=policy)
+        assert np.isfinite(time.perf_counter() - t0)
+    for engine, curve in curves.items():
+        assert curve == curves["batch"], engine
