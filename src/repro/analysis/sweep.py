@@ -193,12 +193,24 @@ def sweep_sources(
                     progress(done, total)
         return result
     for done, src in enumerate(sources, start=1):
-        compiled = protocol.compile(topology, src, cache=cache)
-        result.metrics.append(
-            compute_metrics(compiled.trace, topology, model, packet_bits))
+        result.metrics.append(_source_metrics(
+            topology, protocol, src, model, packet_bits, cache))
         if progress is not None:
             progress(done, total)
     return result
+
+
+def _source_metrics(topology, protocol, src, model, packet_bits, cache):
+    """Metrics of one source: warm store counts when available (no
+    replay, no fixpoint — the sharded store persists them with each
+    entry), compile otherwise."""
+    if cache is not None:
+        metrics = cache.cached_metrics(
+            protocol, topology, src, model=model, packet_bits=packet_bits)
+        if metrics is not None:
+            return metrics
+    compiled = protocol.compile(topology, src, cache=cache)
+    return compute_metrics(compiled.trace, topology, model, packet_bits)
 
 
 def _sweep_symmetry(
@@ -307,9 +319,8 @@ def _sweep_chunk(job) -> List[BroadcastMetrics]:
     cache = None if cache_path is None else ScheduleCache(cache_path)
     out = []
     for src in chunk:
-        compiled = protocol.compile(topology, src, cache=cache)
-        out.append(
-            compute_metrics(compiled.trace, topology, model, packet_bits))
+        out.append(_source_metrics(
+            topology, protocol, src, model, packet_bits, cache))
     return out
 
 

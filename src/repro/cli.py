@@ -32,10 +32,38 @@ def _topology_from_args(args) -> object:
 
 def _schedule_cache_from_args(args):
     path = getattr(args, "cache", None)
-    if path is None:
+    cap = getattr(args, "cache_max_entries", None)
+    if (path is None and cap is None
+            and not getattr(args, "cache_stats", False)):
         return None
     from .core import ScheduleCache
-    return ScheduleCache(path)
+    return ScheduleCache(path, max_entries=cap)
+
+
+def _print_cache_stats(stats: dict) -> None:
+    """The ``--cache-stats`` line: one parseable counters row."""
+    cap = stats.get("max_entries")
+    parts = [f"hits={stats['hits']}", f"misses={stats['misses']}",
+             f"disk_hits={stats['disk_hits']}",
+             f"evictions={stats['evictions']}",
+             f"memory={stats['memory_entries']}"
+             + (f"/{cap}" if cap is not None else "")]
+    for key in ("queries", "batches", "coalesced", "compile_calls"):
+        if key in stats:
+            parts.append(f"{key}={stats[key]}")
+    print("cache-stats: " + " ".join(parts))
+
+
+def _warm_fleet(specs):
+    """Parse ``--warm LABEL:MxN`` specs into (label, shape) pairs."""
+    fleet = []
+    for spec in specs or []:
+        label, _, dims = spec.partition(":")
+        if not dims:
+            raise SystemExit(
+                f"--warm expects LABEL:MxN[xL], got {spec!r}")
+        fleet.append((label, tuple(int(d) for d in dims.split("x"))))
+    return fleet
 
 
 def _print_engine_decision(engine: str, topo) -> None:
@@ -73,9 +101,10 @@ def cmd_table(args) -> int:
             title="Table 2: ideal case (512 nodes)"))
         return 0
     if n in (3, 4, 5):
+        schedule_cache = _schedule_cache_from_args(args)
         cache = analysis.SweepCache.compute(
             stride=args.stride, workers=args.workers,
-            cache=_schedule_cache_from_args(args),
+            cache=schedule_cache,
             symmetry=args.symmetry)
         if n == 3:
             rows = analysis.table3_best(cache)
@@ -99,6 +128,8 @@ def cmd_table(args) -> int:
                 })
             rows = flat
         print(analysis.render_paper_comparison(rows, metrics, title=title))
+        if args.cache_stats and schedule_cache is not None:
+            _print_cache_stats(schedule_cache.stats())
         return 0
     print(f"unknown table {n}; the paper has tables 1-5", file=sys.stderr)
     return 2
@@ -298,9 +329,10 @@ def cmd_sweep(args) -> int:
     topo = _topology_from_args(args)
     sources = (None if args.stride == 1
                else analysis.strided_sources(topo, args.stride))
+    schedule_cache = _schedule_cache_from_args(args)
     sweep = analysis.sweep_sources(
         topo, sources=sources, workers=args.workers,
-        cache=_schedule_cache_from_args(args), symmetry=args.symmetry)
+        cache=schedule_cache, symmetry=args.symmetry)
     best = sweep.best_by_energy()
     worst = sweep.worst_by_energy()
     print(analysis.render_kv([
@@ -316,6 +348,57 @@ def cmd_sweep(args) -> int:
         ("max delay (slots)", sweep.max_delay()),
         ("mean tx", sweep.mean_tx()),
     ], title=f"source sweep: {topo.name}"))
+    if args.cache_stats and schedule_cache is not None:
+        _print_cache_stats(schedule_cache.stats())
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .service import Query, QueryEngine, SyncRuntime
+    kwargs = {}
+    if args.max_entries is not None:
+        kwargs["max_entries"] = args.max_entries or None
+    engine = QueryEngine(args.store, **kwargs)
+    runtime = SyncRuntime(engine)
+    query = Query(
+        topology=args.label,
+        source=tuple(args.source),
+        shape=tuple(args.shape) if args.shape else None,
+        protocol=args.protocol,
+        include_schedule=args.schedule)
+    result = runtime.query(query)
+    row = result.metrics.as_row()
+    pairs = [("via", result.via)]
+    pairs += [(key, value) for key, value in row.items()]
+    print(analysis.render_kv(
+        pairs, title=f"query: {query.topology} source {query.source}"))
+    if result.schedule is not None:
+        print(f"schedule ({len(result.schedule)} transmissions):")
+        for slot, node in result.schedule:
+            print(f"  slot {slot:4d}  node {node}")
+    if args.cache_stats:
+        _print_cache_stats(engine.stats())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import QueryEngine
+    from .service.server import run_server
+    kwargs = {}
+    if args.max_entries is not None:
+        kwargs["max_entries"] = args.max_entries or None
+    engine = QueryEngine(args.store, **kwargs)
+    fleet = _warm_fleet(args.warm)
+    if fleet:
+        if args.store is None:
+            raise SystemExit("--warm needs a persistent store (--store DIR)")
+        summary = engine.warm(fleet)
+        print(f"warmed {summary['entries']} entries across "
+              f"{summary['shapes']} shape(s): {summary['classes']} classes, "
+              f"{summary['compiles']} compiles")
+    print(f"serving NDJSON queries on {args.host}:{args.port} "
+          "(Ctrl-C to stop)")
+    run_server(engine, args.host, args.port)
     return 0
 
 
@@ -335,6 +418,16 @@ def cmd_selfcheck(args) -> int:
               f"delay={compiled.trace.delay_slots})")
     print("selfcheck:", "PASS" if failures == 0 else f"{failures} failures")
     return 1 if failures else 0
+
+
+def _add_cache_stat_flags(p) -> None:
+    p.add_argument("--cache-max-entries", type=int, default=None,
+                   metavar="N",
+                   help="LRU bound on in-memory cached schedules "
+                        "(oldest entries evicted beyond it)")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print a hit/miss/eviction counters line at the "
+                        "end of the run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -365,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "it whenever the protocol can group sources into "
                         "translation classes (identical results either "
                         "way)")
+    _add_cache_stat_flags(p)
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("figure", help="reproduce a paper figure (5-9)")
@@ -495,7 +589,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "it whenever the protocol can group sources into "
                         "translation classes (identical results either "
                         "way)")
+    _add_cache_stat_flags(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("query",
+                       help="answer one broadcast query through the "
+                            "service engine (store-warm hits skip "
+                            "compilation)")
+    p.add_argument("label", choices=sorted(TOPOLOGY_CLASSES))
+    p.add_argument("--source", type=int, nargs="+", required=True)
+    p.add_argument("--shape", type=int, nargs="+", default=None)
+    p.add_argument("--protocol", default=None,
+                   help="protocol name (default: the topology's paper "
+                        "protocol)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="artifact-store directory shared with sweeps and "
+                        "the server")
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="memory-tier LRU bound (0 = unbounded; default: "
+                        "engine default)")
+    p.add_argument("--schedule", action="store_true",
+                   help="also print the compiled transmission schedule")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print the engine counters line")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("serve",
+                       help="serve broadcast queries over NDJSON/TCP "
+                            "(asyncio, symmetry-coalescing)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="artifact-store directory (enables warm restarts "
+                        "and --warm)")
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="memory-tier LRU bound (0 = unbounded; default: "
+                        "engine default)")
+    p.add_argument("--warm", metavar="LABEL:MxN", action="append",
+                   default=None,
+                   help="precompute a fleet shape into the store before "
+                        "serving, e.g. --warm 2D-4:32x16 (repeatable)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("selfcheck", help="validate topologies and protocols")
     p.set_defaults(func=cmd_selfcheck)

@@ -16,6 +16,8 @@ from .base import BroadcastProtocol, CompiledBroadcast, RelayPlan
 from .cache import ScheduleCache, class_profile_key, schedule_cache_key
 from .compiler import (CompilationError, compile_broadcast,
                        compile_call_count)
+from .store import (STORE_FORMAT_VERSION, ArtifactStore, StoredEntry,
+                    shard_id)
 from .etr import (OPTIMAL_ETR, diagonal_vs_axis_etr, optimal_etr,
                   optimal_etr_fraction, trace_etrs, transmission_etr)
 from .ideal import (IdealCase, ideal_case, ideal_delay, ideal_max_delay,
@@ -42,6 +44,10 @@ __all__ = [
     "ScheduleCache",
     "schedule_cache_key",
     "class_profile_key",
+    "ArtifactStore",
+    "StoredEntry",
+    "STORE_FORMAT_VERSION",
+    "shard_id",
     "ClassMemberResult",
     "compile_class",
     "group_sources",

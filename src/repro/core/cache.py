@@ -1,4 +1,4 @@
-"""Compiled-schedule cache (in-memory + optional on-disk).
+"""Compiled-schedule cache (LRU-bounded memory tier + sharded disk store).
 
 Compilation is deterministic — the same ``(topology, source, protocol,
 options)`` always produces the same schedule — so sweeps that revisit the
@@ -15,38 +15,44 @@ change (shape, spacing, wrap-around...) invalidates them.
 
 Two tiers:
 
-* **in-memory** — per-:class:`ScheduleCache` dict holding the full
+* **in-memory** — per-:class:`ScheduleCache` LRU holding the full
   :class:`~repro.core.base.CompiledBroadcast` objects; hits are free.
-* **on-disk** (optional ``path=``) — one JSON file per entry under the
-  cache directory, written atomically (temp file + ``os.replace``).  Disk
-  entries store only the *schedule* plus compile metadata; on a hit the
-  trace is reconstructed by replaying the schedule through the simulation
-  engine, which for a valid compiled schedule reproduces the authoritative
-  trace exactly (replay executes the same transmitter sets in the same
-  slots under the same deterministic collision model).
+  ``max_entries`` bounds it so a long-lived process (``repro serve``)
+  does not grow without bound; evictions are counted.
+* **on-disk** (optional ``path=`` / ``store=``) — the fingerprint-sharded
+  :class:`~repro.core.store.ArtifactStore`: entries grouped into
+  per-(topology, protocol) shard files, schedules in a binary
+  memory-mapped layout, and precomputed broadcast *counts* persisted with
+  every entry.  A warm metrics query (:meth:`cached_metrics`) is answered
+  straight from the stored counts — no replay, no fixpoint; rebuilding a
+  full :class:`CompiledBroadcast` (when a caller needs the trace) replays
+  the stored schedule, which for a valid compiled schedule reproduces the
+  authoritative trace exactly and doubles as the differential
+  verification path for the stored counts.
 
-Worker processes of a parallel sweep can therefore share one disk cache:
-whichever worker compiles a source first persists it, and later runs (the
-"warm" path of ``benchmarks/perf_sweep.py``) skip compilation entirely.
+Worker processes of a parallel sweep share one store directory: whichever
+worker compiles a source first publishes it (atomic single-writer shard
+updates), and later runs — the "warm" path of ``benchmarks/perf_sweep.py``
+— skip compilation *and* replay entirely.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import os
-import tempfile
-from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
+from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
+                            FirstOrderRadioModel)
 from ..sim.engine import replay
-from ..sim.schedule import BroadcastSchedule
+from ..sim.metrics import BroadcastMetrics, compute_metrics
 from ..topology.base import Topology
 from .base import BroadcastProtocol, CompiledBroadcast
+from .store import ArtifactStore, class_profile_hash, trace_counts
 
-#: Bumped whenever the on-disk entry layout changes; stale-version files
-#: are ignored (treated as misses) rather than mis-parsed.
-DISK_FORMAT_VERSION = 1
+#: Kept for backward compatibility: the sharded store's format version.
+from .store import STORE_FORMAT_VERSION as DISK_FORMAT_VERSION  # noqa: F401
 
 
 def schedule_cache_key(topology: Topology, protocol_name: str,
@@ -66,11 +72,9 @@ def class_profile_key(topology: Topology, protocol_name: str,
                       completion: bool = True,
                       repair: bool = True) -> str:
     """Deterministic cache key for one source-equivalence-class profile."""
-    h = hashlib.sha256()
-    h.update(topology.fingerprint.encode("ascii"))
-    h.update(f"|{protocol_name}|class|{class_key!r}"
-             f"|c{int(completion)}|r{int(repair)}".encode("ascii"))
-    return h.hexdigest()
+    return class_profile_hash(topology.fingerprint, protocol_name,
+                              class_key, completion=completion,
+                              repair=repair)
 
 
 class ScheduleCache:
@@ -79,14 +83,21 @@ class ScheduleCache:
     Parameters
     ----------
     path:
-        Optional directory for the persistent tier.  Created on first
-        write; entries are one JSON file per key.
+        Optional directory for the persistent tier (a sharded
+        :class:`~repro.core.store.ArtifactStore`); created on first write.
+    store:
+        Alternatively, an already-open :class:`ArtifactStore` to share.
+    max_entries:
+        Optional cap on the in-memory tier; least-recently-used entries
+        are evicted once the cap is exceeded (``None`` = unbounded, the
+        right choice for one-shot sweeps; long-lived services pass a cap).
 
     Attributes
     ----------
-    hits / misses:
-        Counters over this instance's :meth:`get_or_compile` calls
-        (memory and disk hits both count as hits).
+    hits / misses / evictions:
+        Counters over this instance's lookups (memory and disk hits both
+        count as hits; ``disk_hits`` counts the subset served from the
+        store).
 
     Besides per-source compilations, the cache holds a *class-keyed tier*
     of compile profiles for symmetry-reduced sweeps
@@ -99,17 +110,28 @@ class ScheduleCache:
     wrong profile costs a fallback, not correctness.
     """
 
-    def __init__(self, path: Optional[os.PathLike] = None) -> None:
-        self.path: Optional[Path] = Path(path) if path is not None else None
-        if self.path is not None and self.path.exists() \
-                and not self.path.is_dir():
-            raise ValueError(
-                f"schedule cache path {self.path} exists and is not a "
-                f"directory")
-        self._mem: Dict[str, CompiledBroadcast] = {}
+    def __init__(self, path: Optional[os.PathLike] = None, *,
+                 store: Optional[ArtifactStore] = None,
+                 max_entries: Optional[int] = None) -> None:
+        if path is not None and store is not None:
+            raise ValueError("pass either path= or store=, not both")
+        self.store: Optional[ArtifactStore] = (
+            store if store is not None
+            else ArtifactStore(path) if path is not None else None)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._mem: "OrderedDict[str, CompiledBroadcast]" = OrderedDict()
         self._class_mem: Dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    @property
+    def path(self):
+        """Store directory (``None`` for a memory-only cache)."""
+        return None if self.store is None else self.store.path
 
     # -- public API -------------------------------------------------------
 
@@ -125,14 +147,17 @@ class ScheduleCache:
 
         cached = self._mem.get(key)
         if cached is not None:
+            self._mem.move_to_end(key)
             self.hits += 1
             return cached
 
-        if self.path is not None:
-            cached = self._load_disk(key, protocol, topology, source)
+        if self.store is not None:
+            cached = self._load_store(protocol, topology, source,
+                                      source_index, completion, repair)
             if cached is not None:
-                self._mem[key] = cached
+                self._remember(key, cached)
                 self.hits += 1
+                self.disk_hits += 1
                 return cached
 
         self.misses += 1
@@ -140,11 +165,80 @@ class ScheduleCache:
         # layer, so the delegation cannot recurse.
         compiled = protocol.compile(
             topology, source, completion=completion, repair=repair)
-        self._mem[key] = compiled
-        if self.path is not None:
-            self._store_disk(key, topology, protocol.name, source_index,
-                             completion, repair, compiled)
+        self._remember(key, compiled)
+        if self.store is not None:
+            self.store.put(
+                topology, protocol.name, source_index,
+                completion=completion, repair=repair,
+                schedule=compiled.schedule,
+                counts=trace_counts(compiled.trace),
+                completions=compiled.completions,
+                repairs=compiled.repairs, rounds=compiled.rounds)
         return compiled
+
+    def cached_metrics(self, protocol: BroadcastProtocol,
+                       topology: Topology, source, *,
+                       model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
+                       packet_bits: int = PAPER_PACKET_BITS,
+                       completion: bool = True,
+                       repair: bool = True) -> Optional[BroadcastMetrics]:
+        """Warm-hit metrics, or ``None`` when the source isn't cached.
+
+        This is the no-replay fast path: a memory hit reduces the cached
+        trace, a store hit rebuilds the metrics from the persisted counts
+        without touching the simulation engine at all.  Misses are *not*
+        counted here — the caller falls through to
+        :meth:`get_or_compile`, which counts them.
+        """
+        source_index = topology.index(source)
+        key = schedule_cache_key(
+            topology, protocol.name, source_index,
+            completion=completion, repair=repair)
+        cached = self._mem.get(key)
+        if cached is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return compute_metrics(cached.trace, topology, model,
+                                   packet_bits)
+        if self.store is None:
+            return None
+        entry = self.store.get(topology, protocol.name, source_index,
+                               completion=completion, repair=repair)
+        if entry is None:
+            return None
+        metrics = entry.metrics(topology, model, packet_bits)
+        if metrics is None:  # legacy import without counts
+            return None
+        self.hits += 1
+        self.disk_hits += 1
+        return metrics
+
+    def admit_member(self, protocol: BroadcastProtocol,
+                     topology: Topology, member) -> None:
+        """Persist one symmetry-class member result without a compile.
+
+        Members carrying a full :class:`CompiledBroadcast` (class
+        representatives, fixpoint/translated/fallback members) publish
+        schedule + counts; summary-mode members publish counts only —
+        enough to answer every metrics query warm.  No-op without a
+        store.
+        """
+        if self.store is None:
+            return
+        from .store import summary_counts
+        if member.compiled is not None:
+            compiled = member.compiled
+            self.store.put(
+                topology, protocol.name, compiled.source,
+                schedule=compiled.schedule,
+                counts=trace_counts(compiled.trace),
+                completions=compiled.completions,
+                repairs=compiled.repairs, rounds=compiled.rounds)
+        elif member.first_rx is not None:
+            self.store.put(
+                topology, protocol.name, member.source_index,
+                counts=summary_counts(member.first_rx, member.tx_count,
+                                      member.rx_count, member.collisions))
 
     def class_profile(self, topology: Topology, protocol_name: str,
                       class_key: Tuple, *,
@@ -156,19 +250,13 @@ class ScheduleCache:
         profile = self._class_mem.get(key)
         if profile is not None:
             return profile
-        if self.path is None:
+        if self.store is None:
             return None
-        try:
-            with open(self.path / f"class-{key}.json", "r",
-                      encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if (payload.get("version") != DISK_FORMAT_VERSION
-                or payload.get("key") != key):
-            return None
-        profile = payload["profile"]
-        self._class_mem[key] = profile
+        profile = self.store.class_profile(
+            topology, protocol_name, key,
+            completion=completion, repair=repair)
+        if profile is not None:
+            self._class_mem[key] = profile
         return profile
 
     def store_class_profile(self, topology: Topology, protocol_name: str,
@@ -179,29 +267,21 @@ class ScheduleCache:
         key = class_profile_key(topology, protocol_name, class_key,
                                 completion=completion, repair=repair)
         self._class_mem[key] = dict(profile)
-        if self.path is None:
-            return
-        payload = {
-            "version": DISK_FORMAT_VERSION,
-            "key": key,
-            "protocol": protocol_name,
-            "class_key": repr(class_key),
-            "profile": dict(profile),
+        if self.store is not None:
+            self.store.store_class_profile(
+                topology, protocol_name, key, profile,
+                completion=completion, repair=repair)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for ``--cache-stats`` style reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "memory_entries": len(self._mem),
+            "max_entries": self.max_entries,
         }
-        self.path.mkdir(parents=True, exist_ok=True)
-        target = self.path / f"class-{key}.json"
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.path), prefix=f".class-{key[:16]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-            os.replace(tmp, target)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (disk entries survive)."""
@@ -211,85 +291,38 @@ class ScheduleCache:
     def __len__(self) -> int:
         return len(self._mem)
 
-    # -- disk tier --------------------------------------------------------
+    # -- internals --------------------------------------------------------
 
-    def _entry_path(self, key: str) -> Path:
-        assert self.path is not None
-        return self.path / f"{key}.json"
+    def _remember(self, key: str, compiled: CompiledBroadcast) -> None:
+        self._mem[key] = compiled
+        self._mem.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._mem) > self.max_entries:
+                self._mem.popitem(last=False)
+                self.evictions += 1
 
-    def _store_disk(self, key: str, topology: Topology, protocol_name: str,
-                    source_index: int, completion: bool, repair: bool,
-                    compiled: CompiledBroadcast) -> None:
-        payload = {
-            "version": DISK_FORMAT_VERSION,
-            "key": key,
-            "topology": topology.name,
-            "fingerprint": topology.fingerprint,
-            "protocol": protocol_name,
-            "source_index": source_index,
-            "completion": completion,
-            "repair": repair,
-            "rounds": compiled.rounds,
-            "completions": [list(e) for e in compiled.completions],
-            "repairs": [list(e) for e in compiled.repairs],
-            "schedule": {
-                str(slot): sorted(compiled.schedule.transmitters(slot))
-                for slot in compiled.schedule.active_slots()
-            },
-        }
-        self.path.mkdir(parents=True, exist_ok=True)
-        target = self._entry_path(key)
-        # Atomic publish: concurrent writers (parallel sweep workers) race
-        # benignly — both write identical content, os.replace is atomic.
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.path), prefix=f".{key[:16]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
-            os.replace(tmp, target)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def _load_disk(self, key: str, protocol: BroadcastProtocol,
-                   topology: Topology, source) -> Optional[CompiledBroadcast]:
-        target = self._entry_path(key)
-        try:
-            with open(target, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+    def _load_store(self, protocol: BroadcastProtocol, topology: Topology,
+                    source, source_index: int, completion: bool,
+                    repair: bool) -> Optional[CompiledBroadcast]:
+        entry = self.store.get(topology, protocol.name, source_index,
+                               completion=completion, repair=repair)
+        if entry is None or not entry.has_schedule:
             return None
-        if (payload.get("version") != DISK_FORMAT_VERSION
-                or payload.get("key") != key
-                or payload.get("fingerprint") != topology.fingerprint):
-            return None
-
-        schedule = BroadcastSchedule()
-        for slot_str, nodes in payload["schedule"].items():
-            slot = int(slot_str)
-            for v in nodes:
-                schedule.add(slot, int(v))
-        source_index = int(payload["source_index"])
-        # Replaying the stored schedule reproduces the authoritative trace:
-        # identical transmitter sets per slot under the deterministic
-        # collision model yield identical events and first receptions.
+        schedule = entry.schedule()
+        # Replaying the stored schedule reproduces the authoritative
+        # trace: identical transmitter sets per slot under the
+        # deterministic collision model yield identical events and first
+        # receptions.  This is also the verification path for the stored
+        # counts (differentially tested in tests/test_store.py).
         trace = replay(topology, schedule, source_index)
         plan = protocol.relay_plan(topology, source)
         return CompiledBroadcast(
-            topology_name=payload["topology"],
+            topology_name=topology.name,
             source=source_index,
             schedule=schedule,
             trace=trace,
             plan=plan,
-            completions=[_pair(e) for e in payload["completions"]],
-            repairs=[_pair(e) for e in payload["repairs"]],
-            rounds=int(payload["rounds"]),
+            completions=list(entry.completions),
+            repairs=list(entry.repairs),
+            rounds=entry.rounds,
         )
-
-
-def _pair(entry: List[int]) -> Tuple[int, int]:
-    node, slot = entry
-    return (int(node), int(slot))

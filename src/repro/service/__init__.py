@@ -1,0 +1,45 @@
+"""Broadcast-as-a-service: a long-lived query layer over the artifact store.
+
+The paper's pipeline is one-shot: build a topology, compile a broadcast,
+print the tables.  This package turns the compiled artifact store into a
+*serving* system that answers ``(topology, shape, source, protocol,
+policy) -> schedule/metrics`` queries at high request rates:
+
+* :class:`~repro.service.engine.QueryEngine` — the sync core: LRU-bounded
+  memory tier over the fingerprint-sharded
+  :class:`~repro.core.store.ArtifactStore`, with *single-flight
+  symmetry-class coalescing*: a batch of queries that map to the same
+  source-equivalence class triggers exactly one representative compile
+  and derives the members through the batched class engine;
+* :mod:`~repro.service.runtime` — the runtime split (after doeff's
+  ``AsyncRuntime`` / ``SyncRuntime`` / ``SimulationRuntime``): the same
+  engine serves an asyncio front end (``repro-wsn serve``), the sync CLI
+  (``repro-wsn query``), and deterministic in-process tests with a
+  virtual clock;
+* :mod:`~repro.service.wire` / :mod:`~repro.service.server` — the
+  newline-delimited-JSON protocol and the asyncio TCP server.
+
+Steady-state cost is cache warmth, not compile speed: a warmed store
+answers metrics queries from persisted counts without replaying or
+recompiling anything (see ``benchmarks/perf_service.py``).
+"""
+
+from .engine import DEFAULT_MAX_ENTRIES, Query, QueryEngine, QueryResult
+from .runtime import AsyncRuntime, Runtime, SimulationRuntime, SyncRuntime
+from .server import serve
+from .wire import query_from_dict, query_to_dict, result_to_dict
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "Runtime",
+    "AsyncRuntime",
+    "SyncRuntime",
+    "SimulationRuntime",
+    "serve",
+    "query_from_dict",
+    "query_to_dict",
+    "result_to_dict",
+]

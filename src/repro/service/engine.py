@@ -1,0 +1,283 @@
+"""The query engine: (topology, shape, source, protocol) -> metrics.
+
+This is the synchronous core every runtime wraps.  A query resolves in
+tiers, cheapest first:
+
+1. **memory** — the LRU-bounded :class:`~repro.core.cache.ScheduleCache`
+   tier holds full compilations; metrics are one reduction away;
+2. **store** — the sharded :class:`~repro.core.store.ArtifactStore`
+   persists model-independent broadcast counts with every entry, so a
+   warm hit rebuilds exact metrics without replaying the schedule;
+3. **compile** — the ordinary fixpoint compiler, publishing its result
+   to both tiers on the way out.
+
+Batched queries additionally *coalesce*: sources that map to the same
+symmetry class (:meth:`~repro.core.base.BroadcastProtocol
+.source_class_key`) share one representative compile, with the members
+derived through the batched class engine
+(:func:`~repro.core.symmetry.compile_class`) — the engine-level
+equivalent of the symmetry-reduced sweep, applied to whatever mixture of
+queries happens to be in flight.  Coalescing is single-flight across
+batches too: the first batch persists the class *profile*, so a later
+batch hitting the same class issues zero further ``compile_broadcast``
+calls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cache import ScheduleCache
+from ..core.registry import protocol_for
+from ..core.store import ArtifactStore
+from ..core.symmetry import compile_class
+from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
+                            FirstOrderRadioModel)
+from ..sim.metrics import BroadcastMetrics, compute_metrics
+from ..topology.builder import make_topology
+
+#: Default memory-tier bound of a service engine: enough for several
+#: full paper-scale sweeps, small enough that a long-lived process
+#: doesn't grow without bound.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Bound on the per-engine topology cache (adjacency + kernels are the
+#: heavy part of a topology; a serving fleet uses a handful of shapes).
+MAX_TOPOLOGIES = 32
+
+
+@dataclass(frozen=True)
+class Query:
+    """One service request.
+
+    ``source`` and ``shape`` are tuples (1-based source coordinate, grid
+    shape); ``shape=None`` means the paper's 512-node evaluation shape.
+    ``protocol=None`` selects the paper protocol of the topology.
+    ``include_schedule`` additionally returns the compiled transmission
+    schedule as ``(slot, node)`` pairs.
+    """
+
+    topology: str
+    source: Tuple[int, ...]
+    shape: Optional[Tuple[int, ...]] = None
+    protocol: Optional[str] = None
+    completion: bool = True
+    repair: bool = True
+    include_schedule: bool = False
+
+
+@dataclass
+class QueryResult:
+    """Answer to one :class:`Query`.
+
+    ``via`` records the serving tier: ``"memory"`` / ``"store"`` (warm
+    hits), ``"compile"`` (cold fixpoint), or ``"class:<mode>"`` for
+    batch-coalesced members (``mode`` is the class engine's execution
+    path, e.g. ``summary`` or ``representative``).
+    """
+
+    query: Query
+    metrics: BroadcastMetrics
+    via: str
+    schedule: Optional[List[Tuple[int, int]]] = None
+
+
+@dataclass
+class _Group:
+    """Batch bookkeeping: positions of one (topology, protocol, options)
+    family inside the request list."""
+
+    topology: object
+    protocol: object
+    positions: List[int] = field(default_factory=list)
+
+
+class QueryEngine:
+    """Long-lived broadcast query service core.
+
+    Thread-compatibility: the engine is plain single-threaded code; the
+    async runtime serialises access through one dispatcher task.
+    """
+
+    def __init__(self, store_path=None, *,
+                 store: Optional[ArtifactStore] = None,
+                 max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+                 model: FirstOrderRadioModel = PAPER_RADIO_MODEL,
+                 packet_bits: int = PAPER_PACKET_BITS) -> None:
+        self.cache = ScheduleCache(store_path, store=store,
+                                   max_entries=max_entries)
+        self.model = model
+        self.packet_bits = packet_bits
+        self._topologies: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.queries = 0
+        self.batches = 0
+        self.coalesced = 0
+
+    # -- resolution -------------------------------------------------------
+
+    def topology(self, label: str, shape: Optional[Tuple[int, ...]]):
+        """Resolve (and LRU-cache) a topology instance."""
+        key = (label, None if shape is None else tuple(shape))
+        topo = self._topologies.get(key)
+        if topo is None:
+            topo = make_topology(label, shape=key[1])
+            self._topologies[key] = topo
+            while len(self._topologies) > MAX_TOPOLOGIES:
+                self._topologies.popitem(last=False)
+        else:
+            self._topologies.move_to_end(key)
+        return topo
+
+    def _protocol(self, query: Query, topology):
+        if query.protocol is None:
+            return protocol_for(topology)
+        return protocol_for(query.protocol)
+
+    # -- single queries ---------------------------------------------------
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer one query through the cheapest available tier."""
+        self.queries += 1
+        topology = self.topology(query.topology, query.shape)
+        protocol = self._protocol(query, topology)
+        if not query.include_schedule:
+            d0 = self.cache.disk_hits
+            metrics = self.cache.cached_metrics(
+                protocol, topology, query.source, model=self.model,
+                packet_bits=self.packet_bits, completion=query.completion,
+                repair=query.repair)
+            if metrics is not None:
+                via = "store" if self.cache.disk_hits > d0 else "memory"
+                return QueryResult(query=query, metrics=metrics, via=via)
+        m0, d0 = self.cache.misses, self.cache.disk_hits
+        compiled = protocol.compile(
+            topology, query.source, cache=self.cache,
+            completion=query.completion, repair=query.repair)
+        if self.cache.misses > m0:
+            via = "compile"
+        elif self.cache.disk_hits > d0:
+            via = "store"
+        else:
+            via = "memory"
+        metrics = compute_metrics(compiled.trace, topology, self.model,
+                                  self.packet_bits)
+        schedule = None
+        if query.include_schedule:
+            slots, nodes = compiled.schedule.to_arrays()
+            schedule = list(zip(slots.tolist(), nodes.tolist()))
+        return QueryResult(query=query, metrics=metrics, via=via,
+                           schedule=schedule)
+
+    # -- batched queries (symmetry-class coalescing) ----------------------
+
+    def query_batch(self, queries: Sequence[Query]) -> List[QueryResult]:
+        """Answer a batch, coalescing same-class cold queries.
+
+        Results align with the input order.  Warm queries are served
+        tier-first exactly like :meth:`query`; the *cold* remainder is
+        grouped by symmetry class and each class compiles once —
+        ``compile_call_count`` moves by the number of distinct cold
+        classes, not the number of queries.
+        """
+        self.batches += 1
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        groups: Dict[Tuple, _Group] = {}
+        for pos, query in enumerate(queries):
+            if query.include_schedule:
+                results[pos] = self.query(query)  # schedule => full path
+                continue
+            gkey = (query.topology,
+                    None if query.shape is None else tuple(query.shape),
+                    query.protocol, query.completion, query.repair)
+            group = groups.get(gkey)
+            if group is None:
+                topology = self.topology(query.topology, query.shape)
+                group = _Group(topology=topology,
+                               protocol=self._protocol(query, topology))
+                groups[gkey] = group
+            group.positions.append(pos)
+        for group in groups.values():
+            self._serve_group(queries, results, group)
+        return results
+
+    def _serve_group(self, queries, results, group: _Group) -> None:
+        topology, protocol = group.topology, group.protocol
+        cold: List[int] = []
+        for pos in group.positions:
+            query = queries[pos]
+            self.queries += 1
+            d0 = self.cache.disk_hits
+            metrics = self.cache.cached_metrics(
+                protocol, topology, query.source, model=self.model,
+                packet_bits=self.packet_bits,
+                completion=query.completion, repair=query.repair)
+            if metrics is not None:
+                via = "store" if self.cache.disk_hits > d0 else "memory"
+                results[pos] = QueryResult(query=query, metrics=metrics,
+                                           via=via)
+            else:
+                cold.append(pos)
+        if not cold:
+            return
+        # Group the cold remainder by symmetry class; each class costs at
+        # most one representative compile for the whole batch.
+        by_class: Dict[Tuple, List[int]] = {}
+        direct: List[int] = []
+        for pos in cold:
+            key = protocol.source_class_key(topology, queries[pos].source)
+            if key is None:
+                direct.append(pos)
+            else:
+                by_class.setdefault(key, []).append(pos)
+        for class_key, positions in by_class.items():
+            # Distinct sources only: duplicates ride the first answer.
+            coords: List[Tuple] = []
+            coord_pos: Dict[Tuple, List[int]] = {}
+            for pos in positions:
+                coord = tuple(queries[pos].source)
+                if coord not in coord_pos:
+                    coords.append(coord)
+                coord_pos[coord] = coord_pos.get(coord, []) + [pos]
+            members = compile_class(topology, protocol, class_key,
+                                    coords, cache=self.cache)
+            self.coalesced += len(positions) - 1
+            for coord, member in zip(coords, members):
+                self.cache.admit_member(protocol, topology, member)
+                metrics = member.metrics(topology, self.model,
+                                         self.packet_bits)
+                for pos in coord_pos[coord]:
+                    results[pos] = QueryResult(
+                        query=queries[pos], metrics=metrics,
+                        via=f"class:{member.via}")
+        for pos in direct:
+            self.queries -= 1  # self.query() recounts it
+            results[pos] = self.query(queries[pos])
+
+    # -- warmup and stats -------------------------------------------------
+
+    def warm(self, shapes, protocols: Optional[Sequence[str]] = None
+             ) -> Dict[str, int]:
+        """Precompute the store for a fleet of ``(label, shape)`` pairs.
+
+        Requires a persistent store; see
+        :meth:`repro.core.store.ArtifactStore.warm`.
+        """
+        if self.cache.store is None:
+            raise ValueError("warm() needs an engine with a store "
+                             "(pass store_path=)")
+        return self.cache.store.warm(shapes, protocols=protocols)
+
+    def stats(self) -> Dict[str, object]:
+        """Engine + cache counter snapshot (the ``--cache-stats`` line)."""
+        from ..core.compiler import compile_call_count
+        out = {
+            "queries": self.queries,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "compile_calls": compile_call_count(),
+            "topologies": len(self._topologies),
+        }
+        out.update(self.cache.stats())
+        return out

@@ -1,0 +1,203 @@
+"""Runtime variants: the same query engine under three execution models.
+
+Following the ``AsyncRuntime`` / ``SyncRuntime`` / ``SimulationRuntime``
+split of the doeff CESK runtime (SNIPPETS.md snippet 3), the protocol /
+store / engine code never touches a clock or an event loop itself — a
+*runtime* decides how queries execute and what "time" means:
+
+=====================  ==========================  =======================
+Runtime                execution model             use case
+=====================  ==========================  =======================
+:class:`AsyncRuntime`  asyncio, micro-batching     ``repro-wsn serve``
+:class:`SyncRuntime`   direct calls, wall clock    ``repro-wsn query`` CLI
+:class:`SimulationRuntime`  virtual clock, instant  deterministic tests
+=====================  ==========================  =======================
+
+All three expose the same surface — ``query`` / ``query_batch`` /
+``now`` — so service code (and its tests) is runtime-agnostic; only
+:class:`AsyncRuntime`'s methods are coroutines.
+
+The async runtime is where request coalescing becomes *temporal*:
+queries issued by concurrent tasks funnel through one dispatcher, which
+drains everything currently queued into a single
+:meth:`~repro.service.engine.QueryEngine.query_batch` call — so N
+same-class queries in flight cost one representative compile, and later
+stragglers ride the persisted class profile (zero further compiles).
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from .engine import Query, QueryEngine, QueryResult
+
+#: Upper bound on one async dispatch batch (bounds per-tick latency).
+MAX_BATCH = 1024
+
+
+class Runtime(abc.ABC):
+    """Common surface of the three runtimes."""
+
+    name: str = "runtime"
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (wall-clock or virtual)."""
+
+    def stats(self):
+        return self.engine.stats()
+
+
+class SyncRuntime(Runtime):
+    """Direct synchronous execution on the caller's thread.
+
+    The CLI runtime: no event loop, no virtual clock — a query is a
+    function call.
+    """
+
+    name = "sync"
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def query(self, query: Query) -> QueryResult:
+        return self.engine.query(query)
+
+    def query_batch(self, queries: Sequence[Query]) -> List[QueryResult]:
+        return self.engine.query_batch(queries)
+
+
+class SimulationRuntime(Runtime):
+    """Deterministic in-process runtime with a virtual clock.
+
+    Queries execute immediately (simulated time does not flow while the
+    engine works); the clock only moves through :meth:`advance`.  Every
+    answered query is appended to :attr:`timeline` as ``(virtual_time,
+    via)`` so tests can assert on serving-tier sequences without
+    touching wall-clock timing or sockets.
+    """
+
+    name = "simulation"
+
+    def __init__(self, engine: QueryEngine) -> None:
+        super().__init__(engine)
+        self.time = 0.0
+        self.timeline: List[Tuple[float, str]] = []
+
+    def now(self) -> float:
+        return self.time
+
+    def advance(self, seconds: float) -> None:
+        """Move the virtual clock forward (never backwards)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} s")
+        self.time += seconds
+
+    def query(self, query: Query) -> QueryResult:
+        result = self.engine.query(query)
+        self.timeline.append((self.time, result.via))
+        return result
+
+    def query_batch(self, queries: Sequence[Query]) -> List[QueryResult]:
+        results = self.engine.query_batch(queries)
+        for result in results:
+            self.timeline.append((self.time, result.via))
+        return results
+
+
+class AsyncRuntime(Runtime):
+    """Asyncio runtime with micro-batching single-flight dispatch.
+
+    Concurrent ``await runtime.query(...)`` calls enqueue onto one
+    dispatcher task, which drains the queue into a single
+    ``query_batch`` per tick (run on the default executor so the event
+    loop stays responsive while the engine compiles).  This serialises
+    all engine access — the sync engine needs no locks — and gives
+    symmetry-class coalescing across whatever requests are concurrently
+    in flight.
+    """
+
+    name = "async"
+
+    def __init__(self, engine: QueryEngine, *,
+                 max_batch: int = MAX_BATCH) -> None:
+        super().__init__(engine)
+        self.max_batch = max_batch
+        self._queue: Optional[asyncio.Queue] = None
+        self._task: Optional[asyncio.Task] = None
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def __aenter__(self) -> "AsyncRuntime":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        if self._task is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._task = asyncio.create_task(self._dispatch(),
+                                         name="repro-query-dispatch")
+
+    async def close(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task, self._queue = None, None
+
+    async def query(self, query: Query) -> QueryResult:
+        """Answer one query (coalesced with everything else in flight)."""
+        if self._task is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        await self._queue.put((query, future))
+        return await future
+
+    async def query_batch(self, queries: Sequence[Query]
+                          ) -> List[QueryResult]:
+        return list(await asyncio.gather(
+            *(self.query(q) for q in queries)))
+
+    async def _dispatch(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            # One cooperative tick so tasks that became runnable in the
+            # same burst get their queries enqueued before we drain.
+            await asyncio.sleep(0)
+            while (not self._queue.empty()
+                   and len(batch) < self.max_batch):
+                batch.append(self._queue.get_nowait())
+            queries = [q for q, _ in batch]
+            try:
+                results = await loop.run_in_executor(
+                    None, self.engine.query_batch, queries)
+            except BaseException as exc:  # propagate to every waiter
+                if isinstance(exc, asyncio.CancelledError):
+                    for _, future in batch:
+                        if not future.done():
+                            future.cancel()
+                    raise
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_, future), result in zip(batch, results):
+                if not future.done():
+                    future.set_result(result)

@@ -1,0 +1,106 @@
+"""Asyncio NDJSON front end: ``repro-wsn serve``.
+
+A thin TCP server over :class:`~repro.service.runtime.AsyncRuntime`:
+each connection streams newline-delimited JSON requests
+(:mod:`repro.service.wire`); every line becomes a task awaiting the
+shared dispatcher, so concurrent requests — across lines *and* across
+connections — coalesce into batched, symmetry-reduced engine calls.
+
+Responses are written in completion order, tagged with nothing but their
+content — clients that pipeline requests and need request/response
+pairing should send an ``include_schedule``-free query per line and
+match on ``source`` (or run one request per connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from .engine import QueryEngine
+from .runtime import AsyncRuntime
+from .wire import error_to_dict, query_from_dict, result_to_dict
+
+MAX_LINE_BYTES = 1 << 20
+
+
+async def _handle_line(runtime: AsyncRuntime, line: bytes,
+                       writer: asyncio.StreamWriter,
+                       lock: asyncio.Lock) -> None:
+    try:
+        query = query_from_dict(json.loads(line))
+        result = await runtime.query(query)
+        payload = result_to_dict(result)
+    except asyncio.CancelledError:
+        raise
+    except Exception as exc:
+        payload = error_to_dict(f"{type(exc).__name__}: {exc}")
+    blob = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+    async with lock:  # interleaving-safe writes per connection
+        writer.write(blob)
+        await writer.drain()
+
+
+async def _handle_connection(runtime: AsyncRuntime,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    lock = asyncio.Lock()
+    pending = set()
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, asyncio.LimitOverrunError):
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.create_task(
+                _handle_line(runtime, line, writer, lock))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    finally:
+        for task in pending:
+            task.cancel()
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def serve(engine: QueryEngine, host: str = "127.0.0.1",
+                port: int = 8765, *,
+                ready: Optional[asyncio.Event] = None) -> None:
+    """Run the NDJSON query server until cancelled.
+
+    *ready*, when given, is set once the socket is listening (tests use
+    it to avoid polling); the bound port is published as
+    ``serve.bound_port`` on the event for ``port=0`` runs.
+    """
+    runtime = AsyncRuntime(engine)
+    await runtime.start()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(runtime, r, w),
+        host=host, port=port, limit=MAX_LINE_BYTES)
+    try:
+        if ready is not None:
+            ready.bound_port = server.sockets[0].getsockname()[1]
+            ready.set()
+        async with server:
+            await server.serve_forever()
+    finally:
+        await runtime.close()
+
+
+def run_server(engine: QueryEngine, host: str = "127.0.0.1",
+               port: int = 8765) -> None:
+    """Blocking entry point for the CLI (Ctrl-C to stop)."""
+    try:
+        asyncio.run(serve(engine, host, port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass

@@ -1,0 +1,100 @@
+"""Newline-delimited-JSON wire format of the query service.
+
+One request per line, one response per line; a request is a JSON object
+mirroring :class:`~repro.service.engine.Query`::
+
+    {"topology": "2D-4", "shape": [32, 16], "source": [5, 5]}
+    {"topology": "2D-8", "source": [7, 7], "include_schedule": true}
+
+and a response carries the metrics row (the same fields as
+:meth:`~repro.sim.metrics.BroadcastMetrics.as_row`), the serving tier,
+and optionally the schedule::
+
+    {"ok": true, "via": "store", "metrics": {...}, "schedule": [[1, 17], ...]}
+
+Malformed requests produce ``{"ok": false, "error": "..."}`` instead of
+tearing down the connection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .engine import Query, QueryResult
+
+#: Request fields accepted on the wire (anything else is an error — a
+#: typo'd option silently ignored would be worse than a rejection).
+_QUERY_FIELDS = {"topology", "source", "shape", "protocol",
+                 "completion", "repair", "include_schedule"}
+
+
+def _int_tuple(value, name: str) -> Tuple[int, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ValueError(f"{name!r} must be a non-empty list of ints")
+    return tuple(int(v) for v in value)
+
+
+def query_from_dict(payload: dict) -> Query:
+    """Parse one request object into a :class:`Query` (raises ValueError
+    on malformed input)."""
+    if not isinstance(payload, dict):
+        raise ValueError("request must be a JSON object")
+    unknown = set(payload) - _QUERY_FIELDS
+    if unknown:
+        raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    if "topology" not in payload or "source" not in payload:
+        raise ValueError("request needs 'topology' and 'source'")
+    topology = payload["topology"]
+    if not isinstance(topology, str):
+        raise ValueError("'topology' must be a string")
+    shape: Optional[Tuple[int, ...]] = None
+    if payload.get("shape") is not None:
+        shape = _int_tuple(payload["shape"], "shape")
+    protocol = payload.get("protocol")
+    if protocol is not None and not isinstance(protocol, str):
+        raise ValueError("'protocol' must be a string")
+    return Query(
+        topology=topology,
+        source=_int_tuple(payload["source"], "source"),
+        shape=shape,
+        protocol=protocol,
+        completion=bool(payload.get("completion", True)),
+        repair=bool(payload.get("repair", True)),
+        include_schedule=bool(payload.get("include_schedule", False)),
+    )
+
+
+def query_to_dict(query: Query) -> dict:
+    """Inverse of :func:`query_from_dict` (used by the CLI client)."""
+    payload = {"topology": query.topology, "source": list(query.source)}
+    if query.shape is not None:
+        payload["shape"] = list(query.shape)
+    if query.protocol is not None:
+        payload["protocol"] = query.protocol
+    if not query.completion:
+        payload["completion"] = False
+    if not query.repair:
+        payload["repair"] = False
+    if query.include_schedule:
+        payload["include_schedule"] = True
+    return payload
+
+
+def result_to_dict(result: QueryResult) -> dict:
+    """Serialise one answer for the wire."""
+    metrics = result.metrics.as_row()
+    metrics["source"] = list(metrics["source"])
+    payload = {
+        "ok": True,
+        "via": result.via,
+        "topology": result.query.topology,
+        "source": list(result.query.source),
+        "metrics": metrics,
+    }
+    if result.schedule is not None:
+        payload["schedule"] = [[int(s), int(v)] for s, v in result.schedule]
+    return payload
+
+
+def error_to_dict(message: str) -> dict:
+    return {"ok": False, "error": message}

@@ -1,0 +1,299 @@
+"""The query service: engine tiers, coalescing, runtimes, wire, server.
+
+These are tier-1 tests: everything except the socket round-trip runs
+in-process through :class:`~repro.service.runtime.SimulationRuntime`
+(deterministic, no wall clock); the server test binds an ephemeral
+localhost port through asyncio and exercises the full NDJSON path.
+The ``perf_smoke``-marked test keeps a miniature of
+``benchmarks/perf_service.py``'s warm-vs-cold contract in every tier-1
+run.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.compiler import compile_call_count
+from repro.core.registry import protocol_for
+from repro.core.symmetry import group_sources
+from repro.radio.energy import PAPER_PACKET_BITS, PAPER_RADIO_MODEL
+from repro.service import (AsyncRuntime, Query, QueryEngine,
+                           SimulationRuntime, SyncRuntime, serve,
+                           query_from_dict, query_to_dict, result_to_dict)
+from repro.sim.metrics import compute_metrics
+from repro.topology import Mesh2D4
+from repro.topology.builder import make_topology
+
+SHAPE = (8, 8)
+
+
+def _query(source, **kwargs):
+    return Query(topology="2D-4", source=tuple(source), shape=SHAPE,
+                 **kwargs)
+
+
+def _direct_metrics(source):
+    topology = make_topology("2D-4", shape=SHAPE)
+    compiled = protocol_for(topology).compile(topology, tuple(source))
+    return compute_metrics(compiled.trace, topology, PAPER_RADIO_MODEL,
+                           PAPER_PACKET_BITS)
+
+
+def _same_class_sources(n):
+    topology = Mesh2D4(*SHAPE)
+    protocol = protocol_for(topology)
+    sources = [topology.coord(i) for i in range(topology.num_nodes)]
+    groups, _ = group_sources(topology, protocol, sources)
+    members = max(groups.values(), key=len)
+    return [sources[members[i % len(members)]] for i in range(n)]
+
+
+# -- SimulationRuntime: the deterministic in-process path -----------------
+
+@pytest.mark.perf_smoke
+def test_simulation_runtime_round_trip_matches_direct_compile(tmp_path):
+    engine = QueryEngine(tmp_path / "store")
+    runtime = SimulationRuntime(engine)
+    result = runtime.query(_query((3, 4)))
+    assert result.via == "compile"
+    assert result.metrics == _direct_metrics((3, 4))
+    runtime.advance(1.5)
+    # fresh engine on the same store: warm, served without compiling
+    warm = SimulationRuntime(QueryEngine(tmp_path / "store"))
+    calls0 = compile_call_count()
+    again = warm.query(_query((3, 4)))
+    assert compile_call_count() == calls0
+    assert again.via == "store"
+    assert again.metrics == result.metrics
+    assert runtime.timeline == [(0.0, "compile")]
+    assert warm.timeline == [(0.0, "store")]
+
+
+def test_simulation_clock_never_goes_backwards(tmp_path):
+    runtime = SimulationRuntime(QueryEngine(tmp_path / "store"))
+    runtime.advance(2.0)
+    assert runtime.now() == 2.0
+    with pytest.raises(ValueError):
+        runtime.advance(-0.5)
+
+
+def test_memory_tier_serves_repeat_queries(tmp_path):
+    engine = QueryEngine(tmp_path / "store")
+    first = engine.query(_query((5, 5)))
+    second = engine.query(_query((5, 5)))
+    assert first.via == "compile"
+    assert second.via == "memory"
+    assert second.metrics == first.metrics
+
+
+def test_include_schedule_returns_slot_node_pairs(tmp_path):
+    engine = QueryEngine(tmp_path / "store")
+    result = engine.query(_query((2, 2), include_schedule=True))
+    assert result.schedule, "schedule requested but not returned"
+    slots = [s for s, _ in result.schedule]
+    assert slots == sorted(slots)
+    assert len(result.schedule) == result.metrics.tx
+
+
+# -- coalescing -----------------------------------------------------------
+
+def test_batch_coalesces_same_class_queries_into_one_compile(tmp_path):
+    sources = _same_class_sources(16)
+    engine = QueryEngine(tmp_path / "store")
+    calls0 = compile_call_count()
+    results = engine.query_batch([_query(s) for s in sources])
+    assert compile_call_count() - calls0 == 1
+    assert engine.coalesced == len(sources) - 1
+    assert all(r.via.startswith("class:") for r in results)
+    # every member's metrics equal its direct compilation
+    assert results[0].metrics == _direct_metrics(sources[0])
+    assert results[-1].metrics == _direct_metrics(sources[-1])
+
+
+def test_single_flight_across_batches_via_class_profile(tmp_path):
+    sources = _same_class_sources(8)
+    store_dir = tmp_path / "store"
+    calls0 = compile_call_count()
+    QueryEngine(store_dir).query_batch([_query(s) for s in sources[:4]])
+    assert compile_call_count() - calls0 == 1
+    # a later engine on the same store reuses the persisted profile:
+    # zero further compiles even for unseen members of the class
+    calls1 = compile_call_count()
+    QueryEngine(store_dir).query_batch([_query(s) for s in sources[4:]])
+    assert compile_call_count() == calls1
+
+
+def test_async_runtime_gathers_concurrent_queries_into_one_compile(
+        tmp_path):
+    sources = _same_class_sources(12)
+    engine = QueryEngine(tmp_path / "store")
+
+    async def run():
+        async with AsyncRuntime(engine) as runtime:
+            return await asyncio.gather(
+                *(runtime.query(_query(s)) for s in sources))
+
+    calls0 = compile_call_count()
+    results = asyncio.run(run())
+    assert compile_call_count() - calls0 == 1
+    assert len(results) == len(sources)
+    assert results[0].metrics == _direct_metrics(sources[0])
+
+
+def test_async_runtime_propagates_errors_without_dying(tmp_path):
+    engine = QueryEngine(tmp_path / "store")
+
+    async def run():
+        async with AsyncRuntime(engine) as runtime:
+            with pytest.raises(Exception):
+                await runtime.query(Query(topology="no-such", source=(1,)))
+            return await runtime.query(_query((4, 4)))
+
+    result = asyncio.run(run())
+    assert result.metrics == _direct_metrics((4, 4))
+
+
+# -- LRU bound ------------------------------------------------------------
+
+def test_engine_lru_eviction_is_counted_and_bounded(tmp_path):
+    engine = QueryEngine(tmp_path / "store", max_entries=2)
+    for source in ((1, 1), (2, 2), (3, 3), (4, 4)):
+        engine.query(_query(source))
+    stats = engine.stats()
+    assert stats["memory_entries"] == 2
+    assert stats["evictions"] == 2
+    assert stats["max_entries"] == 2
+    # evicted entries come back from the store, not a recompile
+    calls0 = compile_call_count()
+    result = engine.query(_query((1, 1)))
+    assert compile_call_count() == calls0
+    assert result.via == "store"
+
+
+# -- wire format ----------------------------------------------------------
+
+def test_wire_round_trip():
+    query = _query((3, 7), include_schedule=True)
+    assert query_from_dict(query_to_dict(query)) == query
+
+
+@pytest.mark.parametrize("payload", [
+    [],                                      # not an object
+    {"source": [1, 1]},                      # missing topology
+    {"topology": "2D-4"},                    # missing source
+    {"topology": 7, "source": [1, 1]},       # topology not a string
+    {"topology": "2D-4", "source": "x"},     # source not a list
+    {"topology": "2D-4", "source": [1, 1], "bogus": True},  # unknown field
+])
+def test_wire_rejects_malformed_requests(payload):
+    with pytest.raises(ValueError):
+        query_from_dict(payload)
+
+
+def test_result_to_dict_carries_metrics_and_schedule(tmp_path):
+    engine = QueryEngine(tmp_path / "store")
+    result = engine.query(_query((2, 5), include_schedule=True))
+    payload = result_to_dict(result)
+    assert payload["ok"] is True
+    assert payload["via"] == "compile"
+    assert payload["metrics"]["tx"] == result.metrics.tx
+    assert len(payload["schedule"]) == result.metrics.tx
+
+
+# -- NDJSON server --------------------------------------------------------
+
+def test_ndjson_server_round_trip(tmp_path):
+    engine = QueryEngine(tmp_path / "store")
+
+    async def run():
+        ready = asyncio.Event()
+        server = asyncio.create_task(
+            serve(engine, "127.0.0.1", 0, ready=ready))
+        await ready.wait()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", ready.bound_port)
+        requests = [
+            {"topology": "2D-4", "shape": list(SHAPE), "source": [3, 4]},
+            {"topology": "2D-4", "shape": list(SHAPE), "source": [3, 4],
+             "include_schedule": True},
+            {"oops": True},
+        ]
+        for request in requests:
+            writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        lines = [await asyncio.wait_for(reader.readline(), timeout=30)
+                 for _ in requests]
+        writer.close()
+        await writer.wait_closed()
+        server.cancel()
+        try:
+            await server
+        except asyncio.CancelledError:
+            pass
+        return [json.loads(line) for line in lines]
+
+    responses = asyncio.run(run())
+    oks = [r for r in responses if r["ok"]]
+    errors = [r for r in responses if not r["ok"]]
+    assert len(oks) == 2 and len(errors) == 1
+    assert "unknown request fields" in errors[0]["error"]
+    direct = _direct_metrics((3, 4))
+    for response in oks:
+        assert response["metrics"]["tx"] == direct.tx
+        assert response["metrics"]["energy_J"] == direct.energy_j
+    with_schedule = [r for r in oks if "schedule" in r]
+    assert len(with_schedule) == 1
+    assert len(with_schedule[0]["schedule"]) == direct.tx
+
+
+# -- CLI ------------------------------------------------------------------
+
+def test_cli_query_and_cache_stats(tmp_path, capsys):
+    from repro.cli import main
+    store = str(tmp_path / "store")
+    args = ["query", "2D-4", "--shape", "8", "8", "--source", "3", "4",
+            "--store", store, "--cache-stats"]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "via            : compile" in cold
+    assert "cache-stats:" in cold and "misses=1" in cold
+    calls0 = compile_call_count()
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "via            : store" in warm
+    assert "disk_hits=1" in warm
+    assert compile_call_count() == calls0
+
+
+def test_cli_sweep_cache_stats_line(tmp_path, capsys):
+    from repro.cli import main
+    assert main(["sweep", "2D-4", "--shape", "8", "8", "--stride", "4",
+                 "--cache", str(tmp_path / "c"), "--cache-stats",
+                 "--cache-max-entries", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "cache-stats:" in out
+    assert "evictions=" in out
+
+
+# -- warm bulk precompute (miniature of benchmarks/perf_service.py) -------
+
+@pytest.mark.perf_smoke
+def test_warm_precompute_serves_every_source_without_compiling(tmp_path):
+    store_dir = tmp_path / "store"
+    warmer = QueryEngine(store_dir)
+    summary = warmer.warm([("2D-4", SHAPE)])
+    assert summary["entries"] == SHAPE[0] * SHAPE[1]
+    assert summary["compiles"] <= summary["classes"]
+
+    engine = QueryEngine(store_dir)  # fresh memory tier
+    topology = Mesh2D4(*SHAPE)
+    calls0 = compile_call_count()
+    sample = [topology.coord(i) for i in range(0, topology.num_nodes, 7)]
+    for source in sample:
+        result = engine.query(_query(source))
+        assert result.via == "store", source
+    assert compile_call_count() == calls0
+    # spot-check fidelity against a direct compile
+    assert engine.query(_query(sample[3])).metrics \
+        == _direct_metrics(sample[3])

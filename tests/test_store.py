@@ -1,0 +1,288 @@
+"""The sharded artifact store: round-trips, guards, migration, concurrency.
+
+The store's contract is deliberately forgiving on the read side — any
+kind of damage (stale format version, torn index, data file shorter
+than the index claims) must surface as a cache *miss*, never a
+mis-parse or a crash — and strict on the write side: concurrent
+writers may interleave freely without producing torn indexes or
+unreadable entries.
+"""
+
+import json
+import multiprocessing
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.cache import ScheduleCache
+from repro.core.registry import protocol_for
+from repro.core.store import (LEGACY_FORMAT_VERSION, STORE_FORMAT_VERSION,
+                              ArtifactStore, shard_id, trace_counts)
+from repro.radio.energy import PAPER_PACKET_BITS, PAPER_RADIO_MODEL
+from repro.sim.metrics import compute_metrics
+from repro.topology import Mesh2D4
+
+PROTO = "2D-4"
+
+
+def _mesh(m=8, n=8):
+    return Mesh2D4(m, n)
+
+
+def _compile(topology, source):
+    return protocol_for(topology).compile(topology, source)
+
+
+def _put_compiled(store, topology, compiled, source):
+    store.put(topology, PROTO, topology.index(source),
+              schedule=compiled.schedule,
+              counts=trace_counts(compiled.trace),
+              completions=compiled.completions,
+              repairs=compiled.repairs, rounds=compiled.rounds)
+
+
+def _shard_paths(store, topology):
+    sid = shard_id(topology.fingerprint, PROTO)
+    return store.path / f"{sid}.json", store.path / f"{sid}.bin"
+
+
+def test_entry_round_trip_and_counts_metrics(tmp_path):
+    topology = _mesh()
+    source = (3, 5)
+    compiled = _compile(topology, source)
+    store = ArtifactStore(tmp_path)
+    _put_compiled(store, topology, compiled, source)
+
+    entry = ArtifactStore(tmp_path).get(topology, PROTO,
+                                        topology.index(source))
+    assert entry is not None and entry.has_schedule
+    want_slots, want_nodes = compiled.schedule.to_arrays()
+    got_slots, got_nodes = entry.schedule().to_arrays()
+    assert np.array_equal(got_slots, want_slots)
+    assert np.array_equal(got_nodes, want_nodes)
+    # counts-derived metrics are field-for-field the direct metrics
+    direct = compute_metrics(compiled.trace, topology, PAPER_RADIO_MODEL,
+                             PAPER_PACKET_BITS)
+    assert entry.metrics(topology) == direct
+
+
+def test_replay_differential_matches_stored_counts(tmp_path):
+    """The verification path: replaying the stored schedule rebuilds a
+    trace whose metrics equal the counts-derived warm metrics."""
+    topology = _mesh()
+    source = (7, 2)
+    cache = ScheduleCache(tmp_path)
+    protocol = protocol_for(topology)
+    protocol.compile(topology, source, cache=cache)  # populates the store
+
+    warm = ScheduleCache(tmp_path)
+    counts_metrics = warm.cached_metrics(protocol, topology, source)
+    assert counts_metrics is not None
+    replayed = protocol.compile(topology, source,
+                                cache=ScheduleCache(tmp_path))
+    assert compute_metrics(replayed.trace, topology, PAPER_RADIO_MODEL,
+                           PAPER_PACKET_BITS) == counts_metrics
+
+
+def test_unknown_format_version_reads_as_miss_and_rebuilds(tmp_path):
+    topology = _mesh()
+    source = (1, 1)
+    store = ArtifactStore(tmp_path)
+    _put_compiled(store, topology, _compile(topology, source), source)
+    index_path, _ = _shard_paths(store, topology)
+
+    index = json.loads(index_path.read_text())
+    index["version"] = STORE_FORMAT_VERSION + 1
+    index_path.write_text(json.dumps(index))
+
+    fresh = ArtifactStore(tmp_path)
+    assert fresh.get(topology, PROTO, topology.index(source)) is None
+    # the next publish rebuilds the shard from scratch
+    other = (2, 2)
+    _put_compiled(fresh, topology, _compile(topology, other), other)
+    assert fresh.get(topology, PROTO, topology.index(other)) is not None
+    assert json.loads(index_path.read_text())["version"] \
+        == STORE_FORMAT_VERSION
+
+
+def test_torn_index_reads_as_miss_and_recovers(tmp_path):
+    topology = _mesh()
+    source = (4, 4)
+    store = ArtifactStore(tmp_path)
+    _put_compiled(store, topology, _compile(topology, source), source)
+    index_path, _ = _shard_paths(store, topology)
+
+    blob = index_path.read_bytes()
+    index_path.write_bytes(blob[:len(blob) // 2])  # torn mid-write
+
+    fresh = ArtifactStore(tmp_path)
+    assert fresh.get(topology, PROTO, topology.index(source)) is None
+    _put_compiled(fresh, topology, _compile(topology, source), source)
+    assert fresh.get(topology, PROTO, topology.index(source)) is not None
+
+
+def test_data_file_shorter_than_index_is_a_miss(tmp_path):
+    topology = _mesh()
+    source = (5, 3)
+    store = ArtifactStore(tmp_path)
+    _put_compiled(store, topology, _compile(topology, source), source)
+    index_path, data_path = _shard_paths(store, topology)
+
+    data_path.write_bytes(data_path.read_bytes()[:8])
+
+    fresh = ArtifactStore(tmp_path)
+    entry = fresh.get(topology, PROTO, topology.index(source))
+    assert entry is None  # offsets beyond the mapped size are not trusted
+
+
+def test_foreign_fingerprint_is_a_miss(tmp_path):
+    topology = _mesh()
+    source = (2, 6)
+    store = ArtifactStore(tmp_path)
+    _put_compiled(store, topology, _compile(topology, source), source)
+    index_path, _ = _shard_paths(store, topology)
+
+    index = json.loads(index_path.read_text())
+    index["fingerprint"] = "0" * len(index["fingerprint"])
+    index_path.write_text(json.dumps(index))
+
+    fresh = ArtifactStore(tmp_path)
+    assert fresh.get(topology, PROTO, topology.index(source)) is None
+
+
+# -- legacy migration -----------------------------------------------------
+
+def _legacy_payload(topology, compiled, source):
+    by_slot = {}
+    slots, nodes = compiled.schedule.to_arrays()
+    for slot, node in zip(slots.tolist(), nodes.tolist()):
+        by_slot.setdefault(str(slot), []).append(node)
+    return {
+        "version": LEGACY_FORMAT_VERSION,
+        "fingerprint": topology.fingerprint,
+        "protocol": PROTO,
+        "completion": True,
+        "repair": True,
+        "source_index": topology.index(source),
+        "schedule": by_slot,
+        "completions": [list(e) for e in compiled.completions],
+        "repairs": [list(e) for e in compiled.repairs],
+        "rounds": compiled.rounds,
+    }
+
+
+def test_legacy_per_entry_cache_is_imported(tmp_path):
+    topology = _mesh()
+    source = (6, 6)
+    compiled = _compile(topology, source)
+    legacy_name = "ab" * 32 + ".json"
+    (tmp_path / legacy_name).write_text(
+        json.dumps(_legacy_payload(topology, compiled, source)))
+
+    store = ArtifactStore(tmp_path)
+    assert store.migrated_entries == 1
+    # original parked, not re-scanned on the next open
+    assert not (tmp_path / legacy_name).exists()
+    assert (tmp_path / "legacy-imported" / legacy_name).exists()
+
+    entry = store.get(topology, PROTO, topology.index(source))
+    assert entry is not None and entry.has_schedule
+    assert entry.counts is None  # legacy entries never stored counts
+    assert entry.metrics(topology) is None  # callers fall back to replay
+    want_slots, want_nodes = compiled.schedule.to_arrays()
+    got_slots, got_nodes = entry.schedule().to_arrays()
+    assert np.array_equal(got_slots, want_slots)
+    assert np.array_equal(got_nodes, want_nodes)
+
+    # the cache serves it through the replay path as a disk hit
+    cache = ScheduleCache(tmp_path)
+    replayed = protocol_for(topology).compile(topology, source, cache=cache)
+    assert cache.disk_hits == 1
+    assert compute_metrics(replayed.trace, topology, PAPER_RADIO_MODEL,
+                           PAPER_PACKET_BITS) \
+        == compute_metrics(compiled.trace, topology, PAPER_RADIO_MODEL,
+                           PAPER_PACKET_BITS)
+
+
+def test_unreadable_legacy_entry_warns_and_never_crashes(tmp_path):
+    (tmp_path / ("cd" * 32 + ".json")).write_text("{ not json")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        store = ArtifactStore(tmp_path)
+    assert store.migrated_entries == 0
+    assert any("legacy" in str(w.message) for w in caught)
+    # the broken file is parked so the warning fires once, not per open
+    assert (tmp_path / "legacy-imported" / ("cd" * 32 + ".json")).exists()
+
+
+# -- concurrency ----------------------------------------------------------
+
+def _writer_job(store_dir, sources):
+    """Worker: compile and publish a batch of sources (module-level so
+    the fork-context pool can resolve it)."""
+    topology = _mesh()
+    store = ArtifactStore(store_dir)
+    for source in sources:
+        compiled = _compile(topology, source)
+        _put_compiled(store, topology, compiled, source)
+    return len(sources)
+
+
+def test_concurrent_writers_produce_a_consistent_shard(tmp_path):
+    """Overlapping multi-process writers: no torn index, every entry
+    readable, schedules identical to fresh compiles."""
+    topology = _mesh()
+    all_sources = [(r, c) for r in (1, 3, 5, 7) for c in (2, 4, 6, 8)]
+    # overlapping batches: both workers race on the shared middle slice
+    batches = [all_sources[:12], all_sources[4:]]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(2) as pool:
+        done = pool.starmap(_writer_job,
+                            [(str(tmp_path), b) for b in batches])
+    assert done == [len(b) for b in batches]
+
+    index_path, _ = _shard_paths(ArtifactStore(tmp_path), topology)
+    index = json.loads(index_path.read_text())  # parses => not torn
+    assert index["version"] == STORE_FORMAT_VERSION
+    assert len(index["entries"]) == len(all_sources)
+
+    store = ArtifactStore(tmp_path)
+    for source in all_sources:
+        entry = store.get(topology, PROTO, topology.index(source))
+        assert entry is not None and entry.has_schedule, source
+        compiled = _compile(topology, source)
+        want_slots, want_nodes = compiled.schedule.to_arrays()
+        got_slots, got_nodes = entry.schedule().to_arrays()
+        assert np.array_equal(got_slots, want_slots), source
+        assert np.array_equal(got_nodes, want_nodes), source
+        assert entry.metrics(topology) == compute_metrics(
+            compiled.trace, topology, PAPER_RADIO_MODEL, PAPER_PACKET_BITS)
+
+
+def test_lru_eviction_counts_and_bounds_memory(tmp_path):
+    topology = _mesh()
+    cache = ScheduleCache(tmp_path, max_entries=4)
+    protocol = protocol_for(topology)
+    sources = [(1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (6, 6)]
+    for source in sources:
+        protocol.compile(topology, source, cache=cache)
+    assert len(cache) == 4
+    assert cache.evictions == 2
+    assert cache.misses == len(sources)
+    # evicted entries are still store hits, not recompiles
+    protocol.compile(topology, sources[0], cache=cache)
+    assert cache.disk_hits == 1
+    assert cache.misses == len(sources)
+    stats = cache.stats()
+    assert stats["max_entries"] == 4
+    assert stats["memory_entries"] == 4
+    assert stats["evictions"] >= 2
+
+
+def test_store_rejects_file_path(tmp_path):
+    target = tmp_path / "not-a-dir"
+    target.write_text("x")
+    with pytest.raises(ValueError):
+        ArtifactStore(target)
