@@ -214,13 +214,18 @@ class ScheduleCache:
         return metrics
 
     def admit_member(self, protocol: BroadcastProtocol,
-                     topology: Topology, member) -> None:
+                     topology: Topology, member, *,
+                     completion: bool = True,
+                     repair: bool = True) -> None:
         """Persist one symmetry-class member result without a compile.
 
         Members carrying a full :class:`CompiledBroadcast` (class
         representatives, fixpoint/translated/fallback members) publish
         schedule + counts; summary-mode members publish counts only —
-        enough to answer every metrics query warm.  No-op without a
+        enough to answer every metrics query warm.  *completion* /
+        *repair* must be the options the class was compiled with — they
+        pick the shard, so a member admitted under the wrong options
+        would never be found by its own warm lookups.  No-op without a
         store.
         """
         if self.store is None:
@@ -230,6 +235,7 @@ class ScheduleCache:
             compiled = member.compiled
             self.store.put(
                 topology, protocol.name, compiled.source,
+                completion=completion, repair=repair,
                 schedule=compiled.schedule,
                 counts=trace_counts(compiled.trace),
                 completions=compiled.completions,
@@ -237,6 +243,7 @@ class ScheduleCache:
         elif member.first_rx is not None:
             self.store.put(
                 topology, protocol.name, member.source_index,
+                completion=completion, repair=repair,
                 counts=summary_counts(member.first_rx, member.tx_count,
                                       member.rx_count, member.collisions))
 

@@ -209,7 +209,7 @@ class _ShardReader:
     """Cached snapshot of one shard: parsed index + data memory map."""
 
     index: dict
-    stamp: Tuple[int, int]
+    stamp: Tuple[int, int, int]
     mm: Optional[mmap.mmap] = None
     mm_size: int = 0
     buf: Optional[bytes] = None  # non-mmap fallback for odd platforms
@@ -386,7 +386,11 @@ class ArtifactStore:
         except OSError:
             self._readers.pop(sid, None)
             return None
-        stamp = (st.st_mtime_ns, st.st_size)
+        # st_ino is the load-bearing part of the stamp: every index
+        # publish goes through tempfile + os.replace, so it lands on a
+        # fresh inode even when coarse mtime granularity and an equal
+        # byte size make (mtime, size) collide across rapid publishes.
+        stamp = (st.st_mtime_ns, st.st_size, st.st_ino)
         reader = self._readers.get(sid)
         if reader is not None and reader.stamp == stamp:
             return reader
@@ -487,8 +491,9 @@ class ArtifactStore:
             # index we just wrote would make a cold sweep quadratic.
             try:
                 st = self._index_path(sid).stat()
-                reader = _ShardReader(index=index,
-                                      stamp=(st.st_mtime_ns, st.st_size))
+                reader = _ShardReader(
+                    index=index,
+                    stamp=(st.st_mtime_ns, st.st_size, st.st_ino))
                 self._map_data(sid, reader)
                 self._readers[sid] = reader
             except OSError:  # pragma: no cover - stat raced a cleanup
@@ -502,8 +507,8 @@ class ArtifactStore:
         except OSError:
             return None
         reader = self._readers.get(sid)
-        if reader is not None \
-                and reader.stamp == (st.st_mtime_ns, st.st_size):
+        if reader is not None and reader.stamp == (
+                st.st_mtime_ns, st.st_size, st.st_ino):
             return reader.index
         return self._load_index(self._index_path(sid))
 

@@ -240,26 +240,33 @@ def compile_class(
     coords: Sequence,
     *,
     cache: Optional[ScheduleCache] = None,
+    completion: bool = True,
+    repair: bool = True,
 ) -> List[ClassMemberResult]:
     """Compile one equivalence class; results align with *coords*.
 
     The first coordinate acts as the class representative when no cached
     class profile exists; with a warm profile every member (representative
     included) takes the batched path and the class costs zero
-    ``compile_broadcast`` calls.
+    ``compile_broadcast`` calls.  *completion* / *repair* are the compile
+    options applied uniformly to the whole class (profiles and cache
+    entries are keyed on them, so option families never mix).
     """
     results: List[Optional[ClassMemberResult]] = [None] * len(coords)
     profile = None
     rep_compiled = None
     if cache is not None:
-        profile = cache.class_profile(topology, protocol.name, class_key)
+        profile = cache.class_profile(topology, protocol.name, class_key,
+                                      completion=completion, repair=repair)
     if profile is None:
-        rep_compiled = protocol.compile(topology, coords[0], cache=cache)
+        rep_compiled = protocol.compile(topology, coords[0], cache=cache,
+                                        completion=completion, repair=repair)
         profile = {"zero_fix": _zero_fix(rep_compiled),
                    "rounds": rep_compiled.rounds}
         if cache is not None:
             cache.store_class_profile(
-                topology, protocol.name, class_key, profile)
+                topology, protocol.name, class_key, profile,
+                completion=completion, repair=repair)
         results[0] = ClassMemberResult(
             source_index=rep_compiled.source, via="representative",
             compiled=rep_compiled)
@@ -302,7 +309,12 @@ def compile_class(
                 summary=True)
             reached = summary.all_reached
             for row, pos in enumerate(chunk):
-                if reached[row]:
+                # An unreached member defeats the zero-fix prediction:
+                # the serial compiler would enter its fix rounds, so hand
+                # the source to the direct path.  With both fix phases
+                # disabled the serial compiler finalises after the same
+                # single wave, so the summary row *is* the answer.
+                if reached[row] or (not completion and not repair):
                     results[pos] = ClassMemberResult(
                         source_index=src_idx[row], via="summary",
                         first_rx=summary.first_rx[row],
@@ -310,17 +322,17 @@ def compile_class(
                         rx_count=summary.rx_count[row],
                         collisions=int(summary.collisions[row]))
                 else:
-                    # The zero-fix prediction failed for this member: the
-                    # serial compiler would enter its fix rounds, so hand
-                    # the source to the direct path.
                     compiled = protocol.compile(
-                        topology, coords[pos], cache=cache)
+                        topology, coords[pos], cache=cache,
+                        completion=completion, repair=repair)
                     results[pos] = ClassMemberResult(
                         source_index=compiled.source, via="fallback",
                         compiled=compiled)
         else:
             for compiled, pos in zip(
-                    _compile_fixpoint_batch(topology, src_idx, plans),
+                    _compile_fixpoint_batch(topology, src_idx, plans,
+                                            completion=completion,
+                                            repair=repair),
                     chunk):
                 results[pos] = ClassMemberResult(
                     source_index=compiled.source, via="fixpoint",
@@ -334,6 +346,8 @@ def sweep_compile(
     sources: Sequence,
     *,
     cache: Optional[ScheduleCache] = None,
+    completion: bool = True,
+    repair: bool = True,
     progress=None,
 ) -> Optional[List[ClassMemberResult]]:
     """Symmetry-reduced compilation of a whole source sweep.
@@ -351,13 +365,16 @@ def sweep_compile(
         coords = [sources[p] for p in positions]
         for pos, res in zip(positions,
                             compile_class(topology, protocol, class_key,
-                                          coords, cache=cache)):
+                                          coords, cache=cache,
+                                          completion=completion,
+                                          repair=repair)):
             results[pos] = res
         done += len(positions)
         if progress is not None:
             progress(done, total)
     for pos in direct:
-        compiled = protocol.compile(topology, sources[pos], cache=cache)
+        compiled = protocol.compile(topology, sources[pos], cache=cache,
+                                    completion=completion, repair=repair)
         results[pos] = ClassMemberResult(
             source_index=compiled.source, via="direct", compiled=compiled)
         done += 1

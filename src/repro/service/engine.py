@@ -91,6 +91,8 @@ class _Group:
 
     topology: object
     protocol: object
+    completion: bool
+    repair: bool
     positions: List[int] = field(default_factory=list)
 
 
@@ -195,7 +197,9 @@ class QueryEngine:
             if group is None:
                 topology = self.topology(query.topology, query.shape)
                 group = _Group(topology=topology,
-                               protocol=self._protocol(query, topology))
+                               protocol=self._protocol(query, topology),
+                               completion=query.completion,
+                               repair=query.repair)
                 groups[gkey] = group
             group.positions.append(pos)
         for group in groups.values():
@@ -241,10 +245,14 @@ class QueryEngine:
                     coords.append(coord)
                 coord_pos[coord] = coord_pos.get(coord, []) + [pos]
             members = compile_class(topology, protocol, class_key,
-                                    coords, cache=self.cache)
+                                    coords, cache=self.cache,
+                                    completion=group.completion,
+                                    repair=group.repair)
             self.coalesced += len(positions) - 1
             for coord, member in zip(coords, members):
-                self.cache.admit_member(protocol, topology, member)
+                self.cache.admit_member(protocol, topology, member,
+                                        completion=group.completion,
+                                        repair=group.repair)
                 metrics = member.metrics(topology, self.model,
                                          self.packet_bits)
                 for pos in coord_pos[coord]:

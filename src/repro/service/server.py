@@ -51,7 +51,22 @@ async def _handle_connection(runtime: AsyncRuntime,
         while True:
             try:
                 line = await reader.readline()
-            except (ConnectionResetError, asyncio.LimitOverrunError):
+            except ConnectionResetError:
+                break
+            except ValueError:
+                # StreamReader.readline converts a limit overrun into
+                # ValueError: tell the client why before closing rather
+                # than tearing the connection down with a traceback.
+                payload = error_to_dict(
+                    f"request line exceeds {MAX_LINE_BYTES} bytes")
+                blob = (json.dumps(payload, separators=(",", ":"))
+                        + "\n").encode()
+                try:
+                    async with lock:
+                        writer.write(blob)
+                        await writer.drain()
+                except (ConnectionResetError, OSError):
+                    pass
                 break
             if not line:
                 break

@@ -124,6 +124,49 @@ def test_single_flight_across_batches_via_class_profile(tmp_path):
     assert compile_call_count() == calls1
 
 
+def test_batch_honors_non_default_compile_options(tmp_path):
+    """Regression: coalesced cold queries used to compile with default
+    completion/repair regardless of the query's flags and persist the
+    results under the default-options shard — wrong metrics, and warm
+    lookups keyed on the real options never hit."""
+    topology = make_topology("2D-8", shape=SHAPE)
+    protocol = protocol_for(topology)
+    sources = [topology.coord(i) for i in range(topology.num_nodes)]
+    groups, _ = group_sources(topology, protocol, sources)
+    # a multi-member class whose default compile needs fix phases, so
+    # rule-only metrics are genuinely distinguishable
+    coords = next(
+        [sources[p] for p in positions]
+        for positions in groups.values()
+        if len(positions) >= 2 and (lambda c: c.completions or c.repairs)(
+            protocol.compile(topology, sources[positions[0]])))
+
+    def _rule_only_query(coord):
+        return Query(topology="2D-8", source=tuple(coord), shape=SHAPE,
+                     completion=False, repair=False)
+
+    results = QueryEngine(tmp_path / "store").query_batch(
+        [_rule_only_query(c) for c in coords])
+    for coord, result in zip(coords, results):
+        compiled = protocol.compile(topology, tuple(coord),
+                                    completion=False, repair=False)
+        assert result.metrics == compute_metrics(
+            compiled.trace, topology, PAPER_RADIO_MODEL, PAPER_PACKET_BITS)
+    default = protocol.compile(topology, tuple(coords[0]))
+    assert results[0].metrics != compute_metrics(
+        default.trace, topology, PAPER_RADIO_MODEL, PAPER_PACKET_BITS)
+
+    # the entries landed in the options-keyed shard: a fresh engine
+    # answers the same queries warm, without compiling
+    warm = QueryEngine(tmp_path / "store")
+    calls0 = compile_call_count()
+    again = warm.query_batch([_rule_only_query(c) for c in coords])
+    assert compile_call_count() == calls0
+    for cold, hit in zip(results, again):
+        assert hit.via == "store"
+        assert hit.metrics == cold.metrics
+
+
 def test_async_runtime_gathers_concurrent_queries_into_one_compile(
         tmp_path):
     sources = _same_class_sources(12)
@@ -245,6 +288,45 @@ def test_ndjson_server_round_trip(tmp_path):
     with_schedule = [r for r in oks if "schedule" in r]
     assert len(with_schedule) == 1
     assert len(with_schedule[0]["schedule"]) == direct.tx
+
+
+def test_ndjson_server_rejects_oversized_request_line(tmp_path):
+    """A line longer than MAX_LINE_BYTES gets an error response and a
+    clean close, not a torn-down connection with a logged traceback
+    (StreamReader.readline surfaces the overrun as ValueError)."""
+    from repro.service.server import MAX_LINE_BYTES
+    engine = QueryEngine(tmp_path / "store")
+
+    async def run():
+        ready = asyncio.Event()
+        server = asyncio.create_task(
+            serve(engine, "127.0.0.1", 0, ready=ready))
+        await ready.wait()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", ready.bound_port)
+        writer.write(b"x" * (MAX_LINE_BYTES + 16))
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        line = await asyncio.wait_for(reader.readline(), timeout=30)
+        tail = await asyncio.wait_for(reader.read(), timeout=30)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+        server.cancel()
+        try:
+            await server
+        except asyncio.CancelledError:
+            pass
+        return json.loads(line), tail
+
+    response, tail = asyncio.run(run())
+    assert response["ok"] is False
+    assert "exceeds" in response["error"]
+    assert tail == b""  # server closed the connection after replying
 
 
 # -- CLI ------------------------------------------------------------------

@@ -10,6 +10,7 @@ unreadable entries.
 
 import json
 import multiprocessing
+import os
 import warnings
 from pathlib import Path
 
@@ -259,6 +260,31 @@ def test_concurrent_writers_produce_a_consistent_shard(tmp_path):
         assert np.array_equal(got_nodes, want_nodes), source
         assert entry.metrics(topology) == compute_metrics(
             compiled.trace, topology, PAPER_RADIO_MODEL, PAPER_PACKET_BITS)
+
+
+def test_reader_revalidates_despite_equal_mtime_and_size(tmp_path):
+    """Rapid republishes can leave (mtime, size) unchanged on coarse
+    filesystems; cached reader snapshots must still refresh (every
+    atomic index publish lands on a fresh inode, and st_ino is part of
+    the staleness stamp)."""
+    topology = _mesh()
+    key = "ab" * 32
+    writer = ArtifactStore(tmp_path)
+    writer.store_class_profile(topology, PROTO, key,
+                               {"zero_fix": True, "rounds": 1})
+    index_path, _ = _shard_paths(writer, topology)
+    st = index_path.stat()
+
+    reader = ArtifactStore(tmp_path)
+    assert reader.class_profile(topology, PROTO, key)["rounds"] == 1
+
+    # forge the collision: an equal-length index JSON with a pinned mtime
+    writer.store_class_profile(topology, PROTO, key,
+                               {"zero_fix": True, "rounds": 2})
+    os.utime(index_path, ns=(st.st_atime_ns, st.st_mtime_ns))
+    assert index_path.stat().st_size == st.st_size
+    assert index_path.stat().st_mtime_ns == st.st_mtime_ns
+    assert reader.class_profile(topology, PROTO, key)["rounds"] == 2
 
 
 def test_lru_eviction_counts_and_bounds_memory(tmp_path):
