@@ -168,7 +168,8 @@ def _fan_out(points_fn, parameters: Sequence, workers: Optional[int],
 def _loss_point(topology: Topology, src: int, plan: RelayPlan,
                 p: float, trials: int, seed: int, engine: str,
                 recovery: Optional[RecoveryPolicy] = None,
-                shards: int = 1) -> RobustnessPoint:
+                shards: int = 1,
+                threads: Optional[int] = None) -> RobustnessPoint:
     """One loss-rate point: *trials* Bernoulli channels, batched or not.
 
     The per-trial seeds mix the loss rate into the stream
@@ -183,7 +184,8 @@ def _loss_point(topology: Topology, src: int, plan: RelayPlan,
             extra_delay=plan.extra_delay,
             repeat_offsets=plan.repeat_offsets,
             loss=BernoulliBatchLoss(p, seeds), summary=True,
-            recovery=recovery, engine=engine, workers=shards)
+            recovery=recovery, engine=engine, workers=shards,
+            threads=threads)
         return _point(p, s.reachability, s.num_tx)
     reaches = np.empty(trials)
     txs = np.empty(trials)
@@ -218,6 +220,7 @@ def loss_degradation(
     workers: Optional[int] = None,
     engine: str = "batch",
     recovery: Optional[RecoveryPolicy] = None,
+    threads: Optional[int] = None,
 ) -> List[RobustnessPoint]:
     """Reachability of the (optionally hardened) protocol under Bernoulli
     loss, per loss rate.
@@ -237,7 +240,10 @@ def loss_degradation(
     points.  ``workers`` splits the **trial dimension** of each point
     over processes for the batched engines (and falls back to fanning
     the loss rates out, order-preserving, for ``serial``); either way
-    the curve is identical for any worker count.
+    the curve is identical for any worker count.  ``threads`` sets the
+    compiled tier's in-process kernel pool (``None`` = all cores when
+    running unsharded, 1 inside process shards) — bit-identical at any
+    width, like ``workers``.
     """
     _check_engine(engine)
     if protocol is None:
@@ -248,7 +254,7 @@ def loss_degradation(
     if engine != "serial":
         shards = effective_workers(workers, trials)
         return [_loss_point(topology, src, plan, p, trials, seed, engine,
-                            recovery, shards)
+                            recovery, shards, threads)
                 for p in loss_rates]
 
     def job_builder(chunk):
@@ -279,7 +285,8 @@ def _failure_point(topology: Topology, source, src: int,
                    k: int, trials: int, seed: int, recompile: bool,
                    engine: str,
                    recovery: Optional[RecoveryPolicy] = None,
-                   shards: int = 1) -> RobustnessPoint:
+                   shards: int = 1,
+                   threads: Optional[int] = None) -> RobustnessPoint:
     dead_masks = _failure_dead_masks(topology, k, trials, seed, src)
     live = ~dead_masks
     if recompile:
@@ -299,7 +306,7 @@ def _failure_point(topology: Topology, source, src: int,
         s = replay_batch_sharded(topology, baseline_schedule, src,
                                  dead_masks=dead_masks, summary=True,
                                  recovery=recovery, engine=engine,
-                                 workers=shards)
+                                 workers=shards, threads=threads)
         return _point(k, s.live_reachability(dead_masks), s.num_tx)
     reaches = np.empty(trials)
     txs = np.empty(trials)
@@ -333,6 +340,7 @@ def failure_degradation(
     cache: Optional[ScheduleCache] = None,
     engine: str = "batch",
     recovery: Optional[RecoveryPolicy] = None,
+    threads: Optional[int] = None,
 ) -> List[RobustnessPoint]:
     """Live-node reachability after k random node deaths.
 
@@ -366,7 +374,7 @@ def failure_degradation(
         shards = effective_workers(workers, trials)
         return [_failure_point(topology, source, src, baseline_schedule,
                                plan, k, trials, seed, recompile, engine,
-                               recovery, shards)
+                               recovery, shards, threads)
                 for k in failure_counts]
 
     def job_builder(chunk):
@@ -459,7 +467,8 @@ def _frontier_seeds(seed: int, p: float, k: int, trials: int) -> np.ndarray:
 
 def _frontier_cell(topology: Topology, src: int,
                    strategies, p: float, k: int, trials: int, seed: int,
-                   engine: str, shards: int = 1) -> List[FrontierPoint]:
+                   engine: str, shards: int = 1,
+                   threads: Optional[int] = None) -> List[FrontierPoint]:
     """All strategies of one (loss rate, failure count) cell."""
     seeds = _frontier_seeds(seed, p, k, trials)
     dead_masks = (_failure_dead_masks(topology, k, trials, seed, src)
@@ -476,7 +485,7 @@ def _frontier_cell(topology: Topology, src: int,
                 dead_masks=dead_masks,
                 loss=BernoulliBatchLoss(p, seeds) if p > 0 else None,
                 trials=trials, summary=True, recovery=policy,
-                engine=engine, workers=shards)
+                engine=engine, workers=shards, threads=threads)
             reaches = (s.live_reachability(dead_masks)
                        if dead_masks is not None else s.reachability)
             txs, rxs = s.num_tx.astype(float), s.num_rx.astype(float)
@@ -549,6 +558,7 @@ def recovery_frontier(
     seed: int = 0,
     workers: Optional[int] = None,
     engine: str = "batch",
+    threads: Optional[int] = None,
 ) -> List[FrontierPoint]:
     """Reachability-vs-energy Pareto sweep: blind hardening vs recovery.
 
@@ -579,7 +589,7 @@ def recovery_frontier(
     if engine != "serial":
         shards = effective_workers(workers, trials)
         cell_lists = [_frontier_cell(topology, src, strategies, p, k,
-                                     trials, seed, engine, shards)
+                                     trials, seed, engine, shards, threads)
                       for p, k in cells]
         return [point for cell in cell_lists for point in cell]
 

@@ -66,14 +66,15 @@ def _warm_fleet(specs):
     return fleet
 
 
-def _print_engine_decision(engine: str, topo) -> None:
+def _print_engine_decision(engine: str, topo, threads=None) -> None:
     """One line naming the tier that will actually run and why — the
     fallback rules are silent by design, so surface the decision."""
     if engine == "serial":
         print("engine: serial (one-trial reference loop)")
         return
     from .sim import resolve_engine
-    tier, reason = resolve_engine(engine, topo.num_nodes, explain=True)
+    tier, reason = resolve_engine(engine, topo.num_nodes, explain=True,
+                                  threads=threads)
     note = "" if tier == engine else f" (requested {engine})"
     print(f"engine: {tier}{note} — {reason}")
 
@@ -214,12 +215,13 @@ def cmd_robustness(args) -> int:
     source = (tuple(args.source) if args.source
               else _default_center_source(topo))
     recovery = _recovery_from_args(args)
-    _print_engine_decision(args.engine, topo)
+    _print_engine_decision(args.engine, topo, args.threads)
     rows = []
     for p in analysis.loss_degradation(
             topo, source, args.loss_rates, trials=args.trials,
             harden=args.harden, seed=args.seed, workers=args.workers,
-            engine=args.engine, recovery=recovery):
+            engine=args.engine, recovery=recovery,
+            threads=args.threads):
         rows.append({"impairment": f"loss p={p.parameter}",
                      "mean reach": round(p.mean_reachability, 3),
                      "min reach": round(p.min_reachability, 3),
@@ -228,7 +230,7 @@ def cmd_robustness(args) -> int:
             topo, source, args.failures, trials=args.trials,
             recompile=args.recompile, seed=args.seed, workers=args.workers,
             cache=_schedule_cache_from_args(args), engine=args.engine,
-            recovery=recovery):
+            recovery=recovery, threads=args.threads):
         mode = "recompiled" if args.recompile else "static"
         rows.append({"impairment": f"{int(p.parameter)} dead ({mode})",
                      "mean reach": round(p.mean_reachability, 3),
@@ -244,12 +246,13 @@ def cmd_frontier(args) -> int:
     topo = _topology_from_args(args)
     source = (tuple(args.source) if args.source
               else _default_center_source(topo))
-    _print_engine_decision(args.engine, topo)
+    _print_engine_decision(args.engine, topo, args.threads)
     points = analysis.recovery_frontier(
         topo, source, loss_rates=args.loss_rates,
         failure_counts=args.failures, trials=args.trials,
         hardening=args.hardening, seed=args.seed,
-        workers=args.workers, engine=args.engine)
+        workers=args.workers, engine=args.engine,
+        threads=args.threads)
     rows = []
     for p in points:
         rows.append({"strategy": p.strategy,
@@ -275,13 +278,13 @@ def cmd_lifetime(args) -> int:
     if args.rotate:
         sources = sources + [tuple(c)
                              for c in analysis.corner_sources(topo)]
-    _print_engine_decision(args.engine, topo)
+    _print_engine_decision(args.engine, topo, args.threads)
     res = analysis.simulate_lifetime(
         topo, sources, battery_j=args.battery,
         max_rounds=args.max_rounds, workers=args.workers,
         cache=_schedule_cache_from_args(args),
         loss_rate=args.loss, loss_trials=args.trials, seed=args.seed,
-        engine=args.engine)
+        engine=args.engine, threads=args.threads)
     channel = ("perfect" if args.loss is None
                else f"Bernoulli p={args.loss} ({args.trials} trials)")
     print(analysis.render_kv([
@@ -402,6 +405,23 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    from .core.store import ArtifactStore
+    if args.action == "gc":
+        store = ArtifactStore(args.store)
+        stats = store.gc()
+        print(analysis.render_kv([
+            ("store", str(store.path)),
+            ("shards compacted", stats["shards"]),
+            ("live entries kept", stats["entries"]),
+            ("unreadable entries dropped", stats["dropped"]),
+            ("bytes before", stats["bytes_before"]),
+            ("bytes after", stats["bytes_after"]),
+            ("bytes reclaimed", stats["reclaimed"]),
+        ], title="store gc"))
+    return 0
+
+
 def cmd_selfcheck(args) -> int:
     failures = 0
     for label, topo in paper_topologies().items():
@@ -492,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processes: batched engines shard the trial "
                         "dimension of each point, serial fans sweep "
                         "points out (results identical either way)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="compiled-tier kernel threads per process "
+                        "(default: all cores standalone, 1 inside "
+                        "--workers shards; results identical at any "
+                        "width)")
     p.add_argument("--cache", metavar="DIR", default=None,
                    help="schedule-cache directory shared across runs")
     _add_recovery_flags(p)
@@ -524,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "dimension of each cell, serial fans (loss, "
                         "failure) cells out (results identical either "
                         "way)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="compiled-tier kernel threads per process "
+                        "(default: all cores standalone, 1 inside "
+                        "--workers shards; results identical at any "
+                        "width)")
     p.set_defaults(func=cmd_frontier)
 
     p = sub.add_parser("lifetime",
@@ -550,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "tiers produce identical expectations)")
     p.add_argument("--workers", type=int, default=None,
                    help="compile distinct sources in parallel processes")
+    p.add_argument("--threads", type=int, default=None,
+                   help="compiled-tier kernel threads per process "
+                        "(default: all cores standalone, 1 inside "
+                        "--workers shards; results identical at any "
+                        "width)")
     p.add_argument("--cache", metavar="DIR", default=None,
                    help="schedule-cache directory shared across runs")
     p.set_defaults(func=cmd_lifetime)
@@ -630,6 +665,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="precompute a fleet shape into the store before "
                         "serving, e.g. --warm 2D-4:32x16 (repeatable)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("store",
+                       help="artifact-store maintenance")
+    p.add_argument("action", choices=["gc"],
+                   help="gc: compact shards — rewrite live bin records, "
+                        "reclaim bytes orphaned by crashed writers and "
+                        "shard rebuilds (safe under concurrent readers)")
+    p.add_argument("store", metavar="DIR",
+                   help="artifact-store directory to compact")
+    p.set_defaults(func=cmd_store)
 
     p = sub.add_parser("selfcheck", help="validate topologies and protocols")
     p.set_defaults(func=cmd_selfcheck)

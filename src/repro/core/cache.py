@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -108,6 +109,16 @@ class ScheduleCache:
     Profiles are predictions, never answers — every class member's result
     is still produced (and verified reached) by the engine, so a stale or
     wrong profile costs a fallback, not correctness.
+
+    Thread safety: the async service runtime serves per-class query
+    groups concurrently on executor threads, all sharing one cache, so
+    every public method guards the LRU dicts, counters and store calls
+    with an internal re-entrant lock.  The slow fixpoint compile in
+    :meth:`get_or_compile` deliberately runs *outside* the lock — that is
+    the whole point of concurrent groups.  Two threads racing to compile
+    the same key would simply both compile and last-write-wins, which is
+    harmless because compilation is deterministic (in the service this
+    cannot even happen: concurrent groups never share a query).
     """
 
     def __init__(self, path: Optional[os.PathLike] = None, *,
@@ -121,6 +132,7 @@ class ScheduleCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self._lock = threading.RLock()
         self._mem: "OrderedDict[str, CompiledBroadcast]" = OrderedDict()
         self._class_mem: Dict[str, dict] = {}
         self.hits = 0
@@ -145,35 +157,38 @@ class ScheduleCache:
             topology, protocol.name, source_index,
             completion=completion, repair=repair)
 
-        cached = self._mem.get(key)
-        if cached is not None:
-            self._mem.move_to_end(key)
-            self.hits += 1
-            return cached
-
-        if self.store is not None:
-            cached = self._load_store(protocol, topology, source,
-                                      source_index, completion, repair)
+        with self._lock:
+            cached = self._mem.get(key)
             if cached is not None:
-                self._remember(key, cached)
+                self._mem.move_to_end(key)
                 self.hits += 1
-                self.disk_hits += 1
                 return cached
 
-        self.misses += 1
+            if self.store is not None:
+                cached = self._load_store(protocol, topology, source,
+                                          source_index, completion, repair)
+                if cached is not None:
+                    self._remember(key, cached)
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return cached
+
+            self.misses += 1
         # Plain compile (no cache=) — get_or_compile is the only caching
-        # layer, so the delegation cannot recurse.
+        # layer, so the delegation cannot recurse.  Runs unlocked so
+        # concurrent service groups compile in parallel.
         compiled = protocol.compile(
             topology, source, completion=completion, repair=repair)
-        self._remember(key, compiled)
-        if self.store is not None:
-            self.store.put(
-                topology, protocol.name, source_index,
-                completion=completion, repair=repair,
-                schedule=compiled.schedule,
-                counts=trace_counts(compiled.trace),
-                completions=compiled.completions,
-                repairs=compiled.repairs, rounds=compiled.rounds)
+        with self._lock:
+            self._remember(key, compiled)
+            if self.store is not None:
+                self.store.put(
+                    topology, protocol.name, source_index,
+                    completion=completion, repair=repair,
+                    schedule=compiled.schedule,
+                    counts=trace_counts(compiled.trace),
+                    completions=compiled.completions,
+                    repairs=compiled.repairs, rounds=compiled.rounds)
         return compiled
 
     def cached_metrics(self, protocol: BroadcastProtocol,
@@ -194,24 +209,25 @@ class ScheduleCache:
         key = schedule_cache_key(
             topology, protocol.name, source_index,
             completion=completion, repair=repair)
-        cached = self._mem.get(key)
-        if cached is not None:
-            self._mem.move_to_end(key)
+        with self._lock:
+            cached = self._mem.get(key)
+            if cached is not None:
+                self._mem.move_to_end(key)
+                self.hits += 1
+                return compute_metrics(cached.trace, topology, model,
+                                       packet_bits)
+            if self.store is None:
+                return None
+            entry = self.store.get(topology, protocol.name, source_index,
+                                   completion=completion, repair=repair)
+            if entry is None:
+                return None
+            metrics = entry.metrics(topology, model, packet_bits)
+            if metrics is None:  # legacy import without counts
+                return None
             self.hits += 1
-            return compute_metrics(cached.trace, topology, model,
-                                   packet_bits)
-        if self.store is None:
-            return None
-        entry = self.store.get(topology, protocol.name, source_index,
-                               completion=completion, repair=repair)
-        if entry is None:
-            return None
-        metrics = entry.metrics(topology, model, packet_bits)
-        if metrics is None:  # legacy import without counts
-            return None
-        self.hits += 1
-        self.disk_hits += 1
-        return metrics
+            self.disk_hits += 1
+            return metrics
 
     def admit_member(self, protocol: BroadcastProtocol,
                      topology: Topology, member, *,
@@ -231,21 +247,23 @@ class ScheduleCache:
         if self.store is None:
             return
         from .store import summary_counts
-        if member.compiled is not None:
-            compiled = member.compiled
-            self.store.put(
-                topology, protocol.name, compiled.source,
-                completion=completion, repair=repair,
-                schedule=compiled.schedule,
-                counts=trace_counts(compiled.trace),
-                completions=compiled.completions,
-                repairs=compiled.repairs, rounds=compiled.rounds)
-        elif member.first_rx is not None:
-            self.store.put(
-                topology, protocol.name, member.source_index,
-                completion=completion, repair=repair,
-                counts=summary_counts(member.first_rx, member.tx_count,
-                                      member.rx_count, member.collisions))
+        with self._lock:
+            if member.compiled is not None:
+                compiled = member.compiled
+                self.store.put(
+                    topology, protocol.name, compiled.source,
+                    completion=completion, repair=repair,
+                    schedule=compiled.schedule,
+                    counts=trace_counts(compiled.trace),
+                    completions=compiled.completions,
+                    repairs=compiled.repairs, rounds=compiled.rounds)
+            elif member.first_rx is not None:
+                self.store.put(
+                    topology, protocol.name, member.source_index,
+                    completion=completion, repair=repair,
+                    counts=summary_counts(member.first_rx, member.tx_count,
+                                          member.rx_count,
+                                          member.collisions))
 
     def class_profile(self, topology: Topology, protocol_name: str,
                       class_key: Tuple, *,
@@ -254,17 +272,18 @@ class ScheduleCache:
         """Cached compile profile of one source class, or ``None``."""
         key = class_profile_key(topology, protocol_name, class_key,
                                 completion=completion, repair=repair)
-        profile = self._class_mem.get(key)
-        if profile is not None:
+        with self._lock:
+            profile = self._class_mem.get(key)
+            if profile is not None:
+                return profile
+            if self.store is None:
+                return None
+            profile = self.store.class_profile(
+                topology, protocol_name, key,
+                completion=completion, repair=repair)
+            if profile is not None:
+                self._class_mem[key] = profile
             return profile
-        if self.store is None:
-            return None
-        profile = self.store.class_profile(
-            topology, protocol_name, key,
-            completion=completion, repair=repair)
-        if profile is not None:
-            self._class_mem[key] = profile
-        return profile
 
     def store_class_profile(self, topology: Topology, protocol_name: str,
                             class_key: Tuple, profile: dict, *,
@@ -273,30 +292,34 @@ class ScheduleCache:
         """Record the compile profile of one source class."""
         key = class_profile_key(topology, protocol_name, class_key,
                                 completion=completion, repair=repair)
-        self._class_mem[key] = dict(profile)
-        if self.store is not None:
-            self.store.store_class_profile(
-                topology, protocol_name, key, profile,
-                completion=completion, repair=repair)
+        with self._lock:
+            self._class_mem[key] = dict(profile)
+            if self.store is not None:
+                self.store.store_class_profile(
+                    topology, protocol_name, key, profile,
+                    completion=completion, repair=repair)
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for ``--cache-stats`` style reporting."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-            "evictions": self.evictions,
-            "memory_entries": len(self._mem),
-            "max_entries": self.max_entries,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "evictions": self.evictions,
+                "memory_entries": len(self._mem),
+                "max_entries": self.max_entries,
+            }
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (disk entries survive)."""
-        self._mem.clear()
-        self._class_mem.clear()
+        with self._lock:
+            self._mem.clear()
+            self._class_mem.clear()
 
     def __len__(self) -> int:
-        return len(self._mem)
+        with self._lock:
+            return len(self._mem)
 
     # -- internals --------------------------------------------------------
 

@@ -29,6 +29,7 @@ degenerate cases.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -50,8 +51,11 @@ class CompilationError(RuntimeError):
 #: Monotone count of :func:`compile_broadcast` invocations in this
 #: process.  Benchmarks (``benchmarks/perf_symmetry.py``) diff it around a
 #: sweep to measure how many full fixpoint compilations the
-#: symmetry-reduced path avoided; it has no functional role.
+#: symmetry-reduced path avoided; it has no functional role.  The async
+#: service runtime compiles on executor threads, so the increment takes a
+#: lock to stay exact under concurrency.
 _compile_calls = 0
+_compile_calls_lock = threading.Lock()
 
 
 def compile_call_count() -> int:
@@ -81,7 +85,8 @@ def compile_broadcast(
     extension; the paper assumes a pristine network).
     """
     global _compile_calls
-    _compile_calls += 1
+    with _compile_calls_lock:
+        _compile_calls += 1
     # Memoised on the topology and lazily materialised per node
     # (LazyNeighborSets): the fix planner below only inspects the
     # neighbourhoods of unreached/border/collision nodes, so a large grid

@@ -370,6 +370,123 @@ class ArtifactStore:
             stats["shapes"] += 1
         return stats
 
+    # -- maintenance ------------------------------------------------------
+
+    def gc(self) -> Dict[str, int]:
+        """Compact every shard: rewrite live bin records, drop orphans.
+
+        The data files are append-only — a writer that crashes between
+        its ``.bin`` append and its index publish leaves a record no
+        index references, and a shard rebuild (fingerprint change)
+        rotates the whole file — so dead bytes accumulate across crashes
+        and rebuilds.  GC rewrites each shard's data file with exactly
+        the live records, in index order, and republishes the index with
+        the compacted offsets.
+
+        Concurrent readers survive: a reader snapshot pairs one index
+        parse with one data mmap taken at the same moment, and the old
+        data inode stays valid under the reader's map after the swap.
+        The swap itself is three-phase under the shard writer lock —
+        publish the index with every schedule offset *demoted* (a
+        schedule lookup in the window is a plain miss, which the store
+        contract allows), replace the data file, then publish the index
+        with the compacted offsets — so no index generation's offsets
+        are ever interpreted against the other generation's bytes.
+
+        Entries whose recorded bytes fall outside the current data file
+        (a crashed writer's published-but-truncated record, or a record
+        orphaned by an interrupted earlier GC) are demoted to
+        metrics-only when they carry counts and dropped otherwise.
+
+        Returns counters: ``shards`` compacted, live ``entries`` kept,
+        ``dropped`` unreadable entries, ``bytes_before`` /
+        ``bytes_after`` / ``reclaimed`` data-file byte totals.
+        """
+        stats = {"shards": 0, "entries": 0, "dropped": 0,
+                 "bytes_before": 0, "bytes_after": 0, "reclaimed": 0}
+        if not self.path.is_dir():
+            return stats
+        for index_path in sorted(self.path.glob("*.json")):
+            if self._load_index(index_path) is None:
+                continue  # foreign/legacy/stale file: not ours to touch
+            sid = index_path.stem
+            stats["shards"] += 1
+            with self._locked(sid):
+                index = self._current_index(sid)
+                if index is None:  # vanished or rewritten under us
+                    continue
+                data_path = self._data_path(sid)
+                try:
+                    old = data_path.read_bytes()
+                except OSError:
+                    old = b""
+                stats["bytes_before"] += len(old)
+                entries = index.get("entries", {})
+                chunks: List[bytes] = []
+                offset = 0
+                for key in sorted(entries):
+                    meta = dict(entries[key])
+                    ntx = int(meta.get("ntx", 0))
+                    if meta.get("offset") is None or ntx <= 0:
+                        continue
+                    lo = int(meta["offset"])
+                    hi = lo + 2 * ntx * 8
+                    if hi > len(old):
+                        # published index, truncated record: unreadable
+                        # now and forever — keep the warm counts if any.
+                        if meta.get("counts") is not None:
+                            meta["offset"] = None
+                            meta["ntx"] = 0
+                            entries[key] = meta
+                        else:
+                            del entries[key]
+                        stats["dropped"] += 1
+                        continue
+                    chunks.append(old[lo:hi])
+                    meta["offset"] = offset
+                    offset += hi - lo
+                    entries[key] = meta
+                demoted = {
+                    key: ({**meta, "offset": None, "ntx": 0}
+                          if meta.get("offset") is not None else meta)
+                    for key, meta in entries.items()}
+                # Phase 1: no index generation may point into the bin
+                # while it is being swapped.
+                index["entries"] = demoted
+                self._write_index(sid, index)
+                # Phase 2: swap in the compacted data file atomically.
+                blob = b"".join(chunks)
+                fd, tmp = tempfile.mkstemp(dir=str(self.path),
+                                           prefix=f".{sid[:16]}-",
+                                           suffix=".bin.tmp")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(blob)
+                    os.replace(tmp, data_path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+                # Phase 3: publish the compacted offsets and refresh the
+                # in-process snapshot (same idiom as _publish).
+                index["entries"] = entries
+                self._write_index(sid, index)
+                stats["entries"] += len(chunks)
+                stats["bytes_after"] += len(blob)
+                try:
+                    st = self._index_path(sid).stat()
+                    reader = _ShardReader(
+                        index=index,
+                        stamp=(st.st_mtime_ns, st.st_size, st.st_ino))
+                    self._map_data(sid, reader)
+                    self._readers[sid] = reader
+                except OSError:  # pragma: no cover - stat raced cleanup
+                    self._readers.pop(sid, None)
+        stats["reclaimed"] = stats["bytes_before"] - stats["bytes_after"]
+        return stats
+
     # -- internals --------------------------------------------------------
 
     def _index_path(self, sid: str) -> Path:

@@ -25,6 +25,7 @@ calls.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -99,8 +100,16 @@ class _Group:
 class QueryEngine:
     """Long-lived broadcast query service core.
 
-    Thread-compatibility: the engine is plain single-threaded code; the
-    async runtime serialises access through one dispatcher task.
+    Thread-compatibility: the async runtime serves per-class query
+    groups of one tick concurrently on the executor thread pool, so the
+    engine's shared mutable state — the request counters and the
+    topology LRU — is guarded by a small internal lock, and the
+    :class:`~repro.core.cache.ScheduleCache` underneath locks its own
+    tiers.  The slow work (fixpoint compiles) runs unlocked; concurrent
+    groups never share a query, so no compile is ever duplicated.  The
+    ``via`` label infers its tier from cache-counter deltas, so under
+    concurrency a simultaneous hit elsewhere can turn a ``memory`` label
+    into ``store`` — a cosmetic race; metrics are never affected.
     """
 
     def __init__(self, store_path=None, *,
@@ -112,6 +121,7 @@ class QueryEngine:
                                    max_entries=max_entries)
         self.model = model
         self.packet_bits = packet_bits
+        self._lock = threading.Lock()
         self._topologies: "OrderedDict[Tuple, object]" = OrderedDict()
         self.queries = 0
         self.batches = 0
@@ -122,14 +132,19 @@ class QueryEngine:
     def topology(self, label: str, shape: Optional[Tuple[int, ...]]):
         """Resolve (and LRU-cache) a topology instance."""
         key = (label, None if shape is None else tuple(shape))
-        topo = self._topologies.get(key)
-        if topo is None:
-            topo = make_topology(label, shape=key[1])
+        with self._lock:
+            topo = self._topologies.get(key)
+            if topo is not None:
+                self._topologies.move_to_end(key)
+                return topo
+        # Build outside the lock (adjacency + kernels are the heavy
+        # part); concurrent groups ask for different keys, and a rare
+        # duplicate build is idempotent.
+        topo = make_topology(label, shape=key[1])
+        with self._lock:
             self._topologies[key] = topo
             while len(self._topologies) > MAX_TOPOLOGIES:
                 self._topologies.popitem(last=False)
-        else:
-            self._topologies.move_to_end(key)
         return topo
 
     def _protocol(self, query: Query, topology):
@@ -141,7 +156,8 @@ class QueryEngine:
 
     def query(self, query: Query) -> QueryResult:
         """Answer one query through the cheapest available tier."""
-        self.queries += 1
+        with self._lock:
+            self.queries += 1
         topology = self.topology(query.topology, query.shape)
         protocol = self._protocol(query, topology)
         if not query.include_schedule:
@@ -183,7 +199,8 @@ class QueryEngine:
         ``compile_call_count`` moves by the number of distinct cold
         classes, not the number of queries.
         """
-        self.batches += 1
+        with self._lock:
+            self.batches += 1
         results: List[Optional[QueryResult]] = [None] * len(queries)
         groups: Dict[Tuple, _Group] = {}
         for pos, query in enumerate(queries):
@@ -211,7 +228,8 @@ class QueryEngine:
         cold: List[int] = []
         for pos in group.positions:
             query = queries[pos]
-            self.queries += 1
+            with self._lock:
+                self.queries += 1
             d0 = self.cache.disk_hits
             metrics = self.cache.cached_metrics(
                 protocol, topology, query.source, model=self.model,
@@ -248,7 +266,8 @@ class QueryEngine:
                                     coords, cache=self.cache,
                                     completion=group.completion,
                                     repair=group.repair)
-            self.coalesced += len(positions) - 1
+            with self._lock:
+                self.coalesced += len(positions) - 1
             for coord, member in zip(coords, members):
                 self.cache.admit_member(protocol, topology, member,
                                         completion=group.completion,
@@ -260,7 +279,8 @@ class QueryEngine:
                         query=queries[pos], metrics=metrics,
                         via=f"class:{member.via}")
         for pos in direct:
-            self.queries -= 1  # self.query() recounts it
+            with self._lock:
+                self.queries -= 1  # self.query() recounts it
             results[pos] = self.query(queries[pos])
 
     # -- warmup and stats -------------------------------------------------

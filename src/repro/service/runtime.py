@@ -19,10 +19,22 @@ All three expose the same surface — ``query`` / ``query_batch`` /
 
 The async runtime is where request coalescing becomes *temporal*:
 queries issued by concurrent tasks funnel through one dispatcher, which
-drains everything currently queued into a single
-:meth:`~repro.service.engine.QueryEngine.query_batch` call — so N
-same-class queries in flight cost one representative compile, and later
-stragglers ride the persisted class profile (zero further compiles).
+drains everything currently queued each tick — so N same-class queries
+in flight cost one representative compile, and later stragglers ride
+the persisted class profile (zero further compiles).
+
+One tick may mix query *classes* (different shapes, topologies or
+compile options — a fleet warming several grids at once).  The
+dispatcher splits the drained batch into per-class groups and serves
+each group as its own
+:meth:`~repro.service.engine.QueryEngine.query_batch` call on the
+executor thread pool, concurrently: cold representatives of different
+shapes compile on different cores instead of queueing behind each
+other, and a slow cold class no longer adds latency to the warm hits
+that happened to share its tick.  Splitting costs nothing in compiles —
+``query_batch`` coalesces within a class family, and the groups *are*
+the class families, so k classes cost exactly k representative compiles
+whether they arrive in one tick or k.
 """
 
 from __future__ import annotations
@@ -112,15 +124,17 @@ class SimulationRuntime(Runtime):
 
 
 class AsyncRuntime(Runtime):
-    """Asyncio runtime with micro-batching single-flight dispatch.
+    """Asyncio runtime with micro-batching, group-parallel dispatch.
 
     Concurrent ``await runtime.query(...)`` calls enqueue onto one
-    dispatcher task, which drains the queue into a single
-    ``query_batch`` per tick (run on the default executor so the event
-    loop stays responsive while the engine compiles).  This serialises
-    all engine access — the sync engine needs no locks — and gives
-    symmetry-class coalescing across whatever requests are concurrently
-    in flight.
+    dispatcher task.  Each tick drains the queue, splits the batch into
+    per-class groups (same topology, shape, protocol and compile
+    options), and runs every group as its own ``query_batch`` on the
+    default executor concurrently — the event loop stays responsive
+    while cold classes compile in parallel on the engine's locked
+    shared tiers.  Failures are group-scoped: an error in one class
+    rejects that group's futures and leaves the rest of the tick (and
+    the dispatcher) running.
     """
 
     name = "async"
@@ -173,6 +187,23 @@ class AsyncRuntime(Runtime):
         return list(await asyncio.gather(
             *(self.query(q) for q in queries)))
 
+    @staticmethod
+    def _split_groups(batch):
+        """Partition one tick's ``(query, future)`` pairs into per-class
+        groups — the same key :meth:`QueryEngine.query_batch` coalesces
+        on, plus ``include_schedule`` (schedule requests bypass
+        coalescing anyway).  Insertion-ordered, so result delivery stays
+        deterministic per group."""
+        groups: "dict[tuple, list]" = {}
+        for item in batch:
+            query = item[0]
+            key = (query.topology,
+                   None if query.shape is None else tuple(query.shape),
+                   query.protocol, query.completion, query.repair,
+                   query.include_schedule)
+            groups.setdefault(key, []).append(item)
+        return list(groups.values())
+
     async def _dispatch(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
@@ -184,20 +215,29 @@ class AsyncRuntime(Runtime):
             while (not self._queue.empty()
                    and len(batch) < self.max_batch):
                 batch.append(self._queue.get_nowait())
-            queries = [q for q, _ in batch]
+            groups = self._split_groups(batch)
             try:
-                results = await loop.run_in_executor(
-                    None, self.engine.query_batch, queries)
-            except BaseException as exc:  # propagate to every waiter
-                if isinstance(exc, asyncio.CancelledError):
-                    for _, future in batch:
-                        if not future.done():
-                            future.cancel()
-                    raise
+                outcomes = await asyncio.gather(
+                    *(loop.run_in_executor(
+                        None, self.engine.query_batch, [q for q, _ in group])
+                      for group in groups),
+                    return_exceptions=True)
+            except asyncio.CancelledError:  # runtime.close()
                 for _, future in batch:
                     if not future.done():
-                        future.set_exception(exc)
-                continue
-            for (_, future), result in zip(batch, results):
-                if not future.done():
-                    future.set_result(result)
+                        future.cancel()
+                raise
+            for group, outcome in zip(groups, outcomes):
+                if isinstance(outcome, BaseException):
+                    # Group-scoped failure: reject these waiters, keep
+                    # serving the other groups and later ticks.
+                    for _, future in group:
+                        if not future.done():
+                            if isinstance(outcome, asyncio.CancelledError):
+                                future.cancel()
+                            else:
+                                future.set_exception(outcome)
+                    continue
+                for (_, future), result in zip(group, outcome):
+                    if not future.done():
+                        future.set_result(result)

@@ -116,14 +116,18 @@ def _packable(num_nodes: int,
 
 def resolve_engine(engine: str, num_nodes: int,
                    loss: Optional[BatchLoss] = None,
-                   explain: bool = False
+                   explain: bool = False,
+                   threads: Optional[int] = None
                    ) -> Union[str, Tuple[str, str]]:
     """The tier that would actually run for this request.
 
     Applies the fallback rules without building anything heavier than
     the native-availability probe.  With ``explain=True`` returns
     ``(tier, reason)`` — the reason names which fallback rule (if any)
-    decided the tier, for CLI output and benchmarks.
+    decided the tier, for CLI output and benchmarks; for the compiled
+    tier it also reports the kernel thread count the ``threads=``
+    request resolves to (``None`` meaning "all allowed cores", see
+    :func:`~repro.sim.native.resolve_native_threads`).
     """
     check_engine(engine)
 
@@ -139,7 +143,10 @@ def resolve_engine(engine: str, num_nodes: int,
         return result("packed", "packed tier requested")
     # "compiled" or "auto": take the native tier when it builds.
     if native.native_available():
-        return result("compiled", "native kernel available")
+        width = native.resolve_native_threads(threads)
+        return result("compiled",
+                      f"native kernel available ({width} thread"
+                      f"{'s' if width != 1 else ''})")
     return result("packed", f"native unavailable "
                             f"({native.native_reason()})")
 
@@ -244,13 +251,17 @@ class NativeBackend:
     def __init__(self, kernel: SlotKernel, batch: int,
                  loss: Optional[BatchLoss],
                  alive_masks: Optional[np.ndarray],
-                 need_senders: bool, need_coll_pairs: bool) -> None:
+                 need_senders: bool, need_coll_pairs: bool,
+                 threads: Optional[int] = None) -> None:
         module = native.native_kernel()
         if module is None:  # pragma: no cover - guarded by make_backend
             raise RuntimeError(f"native tier unavailable: "
                                f"{native.native_reason()}")
         self._module = module
         self._ffi, self._lib = module.ffi, module.lib
+        #: Kernel pool width; resolved once (None -> env/affinity) so
+        #: a backend's tier choice is stable for its lifetime.
+        self.threads = native.resolve_native_threads(threads)
         self.last_epos: Optional[np.ndarray] = None
         pk = kernel.packed()
         self._n = kernel.num_nodes
@@ -303,7 +314,7 @@ class NativeBackend:
                       trials: int) -> NativeRecoveryState:
         """The recovery state matching this tier (C inner loops)."""
         return NativeRecoveryState(topology, policy, relay_like, trials,
-                                   self._module)
+                                   self._module, threads=self.threads)
 
     def resolve(self, t: int, tr: np.ndarray, nd: np.ndarray
                 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray],
@@ -332,7 +343,8 @@ class NativeBackend:
             counts[:] = 0
         with profiling.phase("resolve"):
             lib.resolve_slot(
-                self._n, self._words,
+                self.threads,
+                self._n, self._words, self._max_degree,
                 self._indptr[1], self._indices[1], self._nbr_words[1],
                 ffi.cast("int64_t *", ffi.from_buffer(tr)),
                 ffi.cast("int64_t *", ffi.from_buffer(nd)), len(nd),
@@ -360,18 +372,26 @@ class NativeBackend:
 def make_backend(kernel: SlotKernel, batch: int, engine: str,
                  loss: Optional[BatchLoss],
                  alive_masks: Optional[np.ndarray],
-                 need_senders: bool, need_coll_pairs: bool
+                 need_senders: bool, need_coll_pairs: bool,
+                 threads: Optional[int] = None
                  ) -> Optional[Union[PackedBackend, NativeBackend]]:
     """Build the backend for *engine*, or ``None`` for the dense tier.
 
     ``None`` (i.e. "use :meth:`~repro.radio.channel.SlotKernel.
     resolve_batch`") is returned both for ``engine="batch"`` and for
     any request the word-space tiers cannot serve — see the module
-    docstring for the fallback rules.
+    docstring for the fallback rules.  ``threads`` reaches only the
+    compiled tier (the numpy tiers have no kernel pool): ``None``
+    means "all allowed cores" per
+    :func:`~repro.sim.native.resolve_native_threads`; results are
+    bit-identical at every width.
     """
     tier = resolve_engine(engine, kernel.num_nodes, loss)
     if tier == "batch":
         return None
-    cls = NativeBackend if tier == "compiled" else PackedBackend
-    return cls(kernel, batch, loss, alive_masks,
-               need_senders, need_coll_pairs)
+    if tier == "compiled":
+        return NativeBackend(kernel, batch, loss, alive_masks,
+                             need_senders, need_coll_pairs,
+                             threads=threads)
+    return PackedBackend(kernel, batch, loss, alive_masks,
+                         need_senders, need_coll_pairs)

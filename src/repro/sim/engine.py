@@ -494,6 +494,7 @@ def run_reactive_batch(
     summary: bool = False,
     recovery: Optional[RecoveryPolicy] = None,
     engine: str = "batch",
+    threads: Optional[int] = None,
 ) -> Union[TraceSummary, List[BroadcastTrace]]:
     """Run B independent reactive relay waves batched slot-by-slot.
 
@@ -515,7 +516,10 @@ def run_reactive_batch(
 
     *engine* selects the slot-resolve tier (see :mod:`repro.sim.
     backend`): ``"batch"`` (dense, default), ``"packed"``,
-    ``"compiled"``, or ``"auto"`` — all bit-identical.
+    ``"compiled"``, or ``"auto"`` — all bit-identical.  *threads* sets
+    the compiled tier's in-process kernel pool width (``None`` = all
+    allowed cores; ignored by the numpy tiers); every width is
+    bit-identical too.
     """
     check_engine(engine)
     n = topology.num_nodes
@@ -556,7 +560,8 @@ def run_reactive_batch(
     backend = make_backend(kernel, batch, engine, loss, alive_masks,
                            need_senders=not summary
                            or recovery is not None,
-                           need_coll_pairs=not summary)
+                           need_coll_pairs=not summary,
+                           threads=threads)
 
     pending: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {}
     horizon = max(forced, default=0)
@@ -860,14 +865,16 @@ def replay_batch(
     recovery: Optional[RecoveryPolicy] = None,
     max_slots: Optional[int] = None,
     engine: str = "batch",
+    threads: Optional[int] = None,
 ) -> Union[TraceSummary, List[BroadcastTrace]]:
     """Execute a fixed schedule for B fault realisations batched together.
 
     Trial *b* is trace-for-trace identical to
     ``replay(topology, schedule, source, dead_mask=dead_masks[b],
     loss=loss.trial_loss(b), recovery=recovery)``; see
-    :func:`run_reactive_batch` for the batch-size, output and *engine*
-    conventions and :func:`replay` for the recovery semantics.
+    :func:`run_reactive_batch` for the batch-size, output, *engine* and
+    *threads* conventions and :func:`replay` for the recovery
+    semantics.
     """
     check_engine(engine)
     n = topology.num_nodes
@@ -880,7 +887,8 @@ def replay_batch(
     backend = make_backend(kernel, batch, engine, loss, alive_masks,
                            need_senders=not summary
                            or recovery is not None,
-                           need_coll_pairs=not summary)
+                           need_coll_pairs=not summary,
+                           threads=threads)
     faulty = dead_masks is not None or loss is not None
     all_trials = np.arange(batch, dtype=np.int64)
     rec = None

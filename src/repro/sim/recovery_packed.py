@@ -318,11 +318,20 @@ class NativeRecoveryState(PackedRecoveryState):
     """:class:`PackedRecoveryState` with the two hot inner loops — the
     per-decode known-bit/heard update and the per-check
     covered/suppression/reschedule pass — dispatched to the cffi
-    kernel.  Election bookkeeping stays the shared numpy path."""
+    kernel.  Election bookkeeping stays the shared numpy path.
+
+    ``threads`` is the kernel pool width (see
+    :func:`~repro.sim.native.resolve_native_threads`); the C side
+    splits decodes at trial boundaries and checks into contiguous
+    unique-pair spans, so the updated state and emitted pairs are
+    bit-identical at every width."""
 
     def __init__(self, topology: Topology, policy: RecoveryPolicy,
-                 relay_like: np.ndarray, trials: int, module) -> None:
+                 relay_like: np.ndarray, trials: int, module,
+                 threads: Optional[int] = None) -> None:
         super().__init__(topology, policy, relay_like, trials)
+        from .native import resolve_native_threads
+        self.threads = resolve_native_threads(threads)
         self._ffi, self._lib = module.ffi, module.lib
         ffi = self._ffi
 
@@ -351,6 +360,7 @@ class NativeRecoveryState(PackedRecoveryState):
         kn, pn = self._as_i64(rn)
         ke, pe = self._as_i64(epos)
         self._lib.recovery_post_slot(
+            self.threads,
             len(kn), pt, pn, pe, self._c_rev[1],
             self.n, self.words_e, self._c_known[1], self._c_heard[1])
 
@@ -368,6 +378,7 @@ class NativeRecoveryState(PackedRecoveryState):
         ffi, out = self._ffi, self._c_counts
         cast = lambda a: ffi.cast("int64_t *", ffi.from_buffer(a))
         self._lib.recovery_checks(
+            self.threads,
             t, k, pb, pv, self.n, self.words_e, self._c_indptr[1],
             self._c_known[1], self._c_chk_slot[1], self._c_chk_base[1],
             self._c_retries[1], self._c_heard[1],

@@ -32,6 +32,15 @@ fan-out machinery as the analysis layers); callers pick the count —
 the analysis layers pass it through
 :func:`~repro.analysis.sweep.effective_workers`, which degrades to
 serial on single-CPU hosts and caps at the trial count.
+
+Threads × processes composition: when a batch actually fans out, the
+shard jobs default the compiled tier's kernel pool to ``threads=1`` —
+process sharding already claims the cores, and k processes × k
+threads would oversubscribe k-fold.  An explicit ``threads=`` is
+passed through untouched (and the single-range path keeps the
+caller's value, including the all-cores ``None`` default), so callers
+who want k × m can say so.  Kernel pools re-arm after ``fork`` inside
+the extension, so the composition is safe in either order.
 """
 
 from __future__ import annotations
@@ -123,6 +132,8 @@ def run_reactive_batch_sharded(
     ranges = shard_ranges(batch, workers or 1)
     if len(ranges) <= 1:
         return run_reactive_batch(topology, source, relay_mask, **kwargs)
+    if kwargs.get("threads") is None:  # shards own the cores
+        kwargs["threads"] = 1
     jobs = [(topology, source, relay_mask, _slice_kwargs(kwargs, lo, hi))
             for lo, hi in ranges]
     return _merge(_fan_out(_reactive_worker, jobs, len(ranges)))
@@ -138,6 +149,8 @@ def replay_batch_sharded(
     ranges = shard_ranges(batch, workers or 1)
     if len(ranges) <= 1:
         return replay_batch(topology, schedule, source, **kwargs)
+    if kwargs.get("threads") is None:  # shards own the cores
+        kwargs["threads"] = 1
     jobs = [(topology, schedule, source, _slice_kwargs(kwargs, lo, hi))
             for lo, hi in ranges]
     return _merge(_fan_out(_replay_worker, jobs, len(ranges)))

@@ -203,6 +203,31 @@ def _validate_kernel(payload):
     assert rec["packed_speedup_vs_batch"] >= floors["packed"]
     if payload["native_available"]:
         assert rec["compiled_speedup_vs_batch"] >= floors["compiled"]
+    # v3: the compiled tier's intra-process thread pool.  The artefact
+    # records the effective thread/core configuration, and the
+    # multi-thread contract is conditional on it: a multi-core host
+    # must carry compiled-mt entries (threads=1 baseline + default
+    # width) and meet the floors once it has min_cores to scale
+    # across; a single-core host must carry *no* compiled-mt entry —
+    # absence is the honest "not measurable here", never a silent pass.
+    assert isinstance(payload["threads"], int) and payload["threads"] >= 1
+    assert payload["cores_available"] >= 1
+    mt_floors = payload["mt_speedup_floors"]
+    assert mt_floors["min_cores"] >= 2
+    multi = payload["native_available"] and payload["threads"] >= 2
+    for section in ("large_grid", "recovery_grid"):
+        grid = payload[section]
+        if multi:
+            assert grid["entries"]["compiled"]["threads"] == 1
+            assert grid["entries"]["compiled-mt"]["threads"] \
+                == payload["threads"]
+            assert grid["mt_speedup_vs_compiled"] > 0
+            if payload["cores_available"] >= mt_floors["min_cores"]:
+                assert grid["mt_speedup_vs_compiled"] \
+                    >= mt_floors[section]
+        else:
+            assert "compiled-mt" not in grid["entries"]
+            assert "mt_speedup_vs_compiled" not in grid
 
 
 #: Declared-schema string -> structural validator.  The glob guard
@@ -213,7 +238,7 @@ VALIDATORS = {
     "repro-wsn/bench-symmetry/v1": _validate_symmetry,
     "repro-wsn/bench-recovery/v1": _validate_recovery,
     "repro-wsn/bench-scaling/v1": _validate_scaling,
-    "repro-wsn/bench-kernel/v2": _validate_kernel,
+    "repro-wsn/bench-kernel/v3": _validate_kernel,
     "repro-wsn/bench-service/v1": _validate_service,
 }
 
@@ -223,7 +248,7 @@ _ARTIFACTS = [
     (SYMMETRY_ARTIFACT, "repro-wsn/bench-symmetry/v1"),
     (RECOVERY_ARTIFACT, "repro-wsn/bench-recovery/v1"),
     (SCALING_ARTIFACT, "repro-wsn/bench-scaling/v1"),
-    (KERNEL_ARTIFACT, "repro-wsn/bench-kernel/v2"),
+    (KERNEL_ARTIFACT, "repro-wsn/bench-kernel/v3"),
     (SERVICE_ARTIFACT, "repro-wsn/bench-service/v1"),
 ]
 

@@ -40,8 +40,8 @@ def _direct_metrics(source):
                            PAPER_PACKET_BITS)
 
 
-def _same_class_sources(n):
-    topology = Mesh2D4(*SHAPE)
+def _same_class_sources(n, shape=SHAPE):
+    topology = Mesh2D4(*shape)
     protocol = protocol_for(topology)
     sources = [topology.coord(i) for i in range(topology.num_nodes)]
     groups, _ = group_sources(topology, protocol, sources)
@@ -182,6 +182,59 @@ def test_async_runtime_gathers_concurrent_queries_into_one_compile(
     assert compile_call_count() - calls0 == 1
     assert len(results) == len(sources)
     assert results[0].metrics == _direct_metrics(sources[0])
+
+
+def test_async_tick_batches_mixed_shapes_without_extra_compiles(tmp_path):
+    """One tick mixing query classes (two shapes here) splits into
+    per-class groups served concurrently on the executor — and the
+    split costs zero extra compiles: k cold classes in one mixed tick
+    compile exactly k representatives, the same as k pure single-class
+    ticks would."""
+    shapes = [(8, 8), (6, 6)]
+    per_shape = {shape: _same_class_sources(6, shape) for shape in shapes}
+    engine = QueryEngine(tmp_path / "store")
+
+    async def run():
+        async with AsyncRuntime(engine) as runtime:
+            queries = [Query(topology="2D-4", source=tuple(s), shape=shape)
+                       for shape, sources in per_shape.items()
+                       for s in sources]
+            return await asyncio.gather(
+                *(runtime.query(q) for q in queries))
+
+    calls0 = compile_call_count()
+    results = asyncio.run(run())
+    assert compile_call_count() - calls0 == len(shapes)
+    assert len(results) == sum(len(s) for s in per_shape.values())
+    # per-group query_batch calls, not one monolithic batch per tick
+    assert engine.batches >= len(shapes)
+    # fidelity per shape against a direct compile
+    pos = 0
+    for shape, sources in per_shape.items():
+        topology = make_topology("2D-4", shape=shape)
+        compiled = protocol_for(topology).compile(topology,
+                                                  tuple(sources[0]))
+        expect = compute_metrics(compiled.trace, topology,
+                                 PAPER_RADIO_MODEL, PAPER_PACKET_BITS)
+        assert results[pos].metrics == expect
+        pos += len(sources)
+
+
+def test_async_tick_error_is_scoped_to_its_group(tmp_path):
+    """A failing class in a mixed tick rejects only its own waiters;
+    queries of other classes in the same tick still get answers."""
+    engine = QueryEngine(tmp_path / "store")
+
+    async def run():
+        async with AsyncRuntime(engine) as runtime:
+            return await asyncio.gather(
+                runtime.query(Query(topology="no-such", source=(1,))),
+                runtime.query(_query((4, 4))),
+                return_exceptions=True)
+
+    bad, good = asyncio.run(run())
+    assert isinstance(bad, Exception)
+    assert good.metrics == _direct_metrics((4, 4))
 
 
 def test_async_runtime_propagates_errors_without_dying(tmp_path):
