@@ -356,19 +356,54 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_hostport(value: str):
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def _remote_query(args, query) -> int:
+    from .service import RetryPolicy, ServiceClient
+    host, port = _parse_hostport(args.connect)
+    policy = RetryPolicy(attempts=max(1, args.retries))
+    with ServiceClient(host, port, retry=policy) as client:
+        response = client.query(query)
+        if not response.get("ok"):
+            print(f"error ({response.get('error_type', 'error')}): "
+                  f"{response.get('error')}")
+            return 1
+        pairs = [("via", response.get("via"))]
+        pairs += list(response.get("metrics", {}).items())
+        pairs += [("retries", client.retries),
+                  ("reconnects", client.reconnects)]
+    print(analysis.render_kv(
+        pairs, title=f"query: {query.topology} source {query.source} "
+                     f"@ {host}:{port}"))
+    schedule = response.get("schedule")
+    if schedule is not None:
+        print(f"schedule ({len(schedule)} transmissions):")
+        for slot, node in schedule:
+            print(f"  slot {slot:4d}  node {node}")
+    return 0
+
+
 def cmd_query(args) -> int:
     from .service import Query, QueryEngine, SyncRuntime
-    kwargs = {}
-    if args.max_entries is not None:
-        kwargs["max_entries"] = args.max_entries or None
-    engine = QueryEngine(args.store, **kwargs)
-    runtime = SyncRuntime(engine)
     query = Query(
         topology=args.label,
         source=tuple(args.source),
         shape=tuple(args.shape) if args.shape else None,
         protocol=args.protocol,
-        include_schedule=args.schedule)
+        include_schedule=args.schedule,
+        timeout_ms=args.timeout_ms)
+    if args.connect:
+        return _remote_query(args, query)
+    kwargs = {}
+    if args.max_entries is not None:
+        kwargs["max_entries"] = args.max_entries or None
+    engine = QueryEngine(args.store, **kwargs)
+    runtime = SyncRuntime(engine)
     result = runtime.query(query)
     row = result.metrics.as_row()
     pairs = [("via", result.via)]
@@ -400,8 +435,45 @@ def cmd_serve(args) -> int:
               f"{summary['shapes']} shape(s): {summary['classes']} classes, "
               f"{summary['compiles']} compiles")
     print(f"serving NDJSON queries on {args.host}:{args.port} "
-          "(Ctrl-C to stop)")
-    run_server(engine, args.host, args.port)
+          "(SIGTERM/Ctrl-C drains in-flight queries, "
+          f"{args.drain_timeout:g} s budget)")
+    run_server(engine, args.host, args.port,
+               drain_timeout=args.drain_timeout)
+    return 0
+
+
+def cmd_health(args) -> int:
+    from .service import ServiceClient
+    host, port = _parse_hostport(args.connect)
+    with ServiceClient(host, port, timeout=args.timeout) as client:
+        health = client.health()
+    if not health.get("ok"):
+        print(f"error ({health.get('error_type', 'error')}): "
+              f"{health.get('error')}")
+        return 1
+    engine = health.get("engine", {})
+    native = health.get("native", {})
+    store = health.get("store", {})
+    breaker = health.get("breaker", {})
+    pairs = [
+        ("status", health.get("status")),
+        ("queries", engine.get("queries")),
+        ("shed", engine.get("shed")),
+        ("rejected", engine.get("rejected")),
+        ("queued", engine.get("queued")),
+        ("compile calls", engine.get("compile_calls")),
+        ("store shards", store.get("shards")),
+        ("store path", store.get("path") or "(memory only)"),
+        ("native available", native.get("available")),
+        ("native reason", native.get("reason") or "-"),
+    ]
+    for tier in sorted(breaker):
+        state = breaker[tier]
+        label = "open" if state.get("open") else "closed"
+        if state.get("open") and state.get("reason"):
+            label += f" ({state['reason']})"
+        pairs.append((f"breaker[{tier}]", label))
+    print(analysis.render_kv(pairs, title=f"health @ {host}:{port}"))
     return 0
 
 
@@ -647,6 +719,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the compiled transmission schedule")
     p.add_argument("--cache-stats", action="store_true",
                    help="print the engine counters line")
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="send the query to a running server instead of "
+                        "answering locally (retrying NDJSON client)")
+    p.add_argument("--timeout-ms", type=float, default=None,
+                   help="query deadline in milliseconds; expired queries "
+                        "are shed server-side before compiling")
+    p.add_argument("--retries", type=int, default=4,
+                   help="total --connect attempts incl. the first "
+                        "(exponential backoff between them; default 4)")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("serve",
@@ -664,7 +745,20 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="precompute a fleet shape into the store before "
                         "serving, e.g. --warm 2D-4:32x16 (repeatable)")
+    p.add_argument("--drain-timeout", type=float, default=5.0,
+                   help="seconds granted to in-flight queries on "
+                        "SIGTERM/SIGINT before connections drop "
+                        "(default 5)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("health",
+                       help="probe a running server's health/stats "
+                            "endpoint (never triggers a compile)")
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="server address, e.g. 127.0.0.1:8765")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="socket timeout in seconds (default 10)")
+    p.set_defaults(func=cmd_health)
 
     p = sub.add_parser("store",
                        help="artifact-store maintenance")

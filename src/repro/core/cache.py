@@ -139,6 +139,12 @@ class ScheduleCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        #: Store operations that raised and were degraded to a miss
+        #: (reads) or a skipped publish (writes).  A flaky or torn disk
+        #: tier costs warmth, never answers: compilation is
+        #: deterministic, so everything the store would have served can
+        #: be recomputed.
+        self.store_errors = 0
 
     @property
     def path(self):
@@ -165,8 +171,9 @@ class ScheduleCache:
                 return cached
 
             if self.store is not None:
-                cached = self._load_store(protocol, topology, source,
-                                          source_index, completion, repair)
+                cached = self._store_call(
+                    self._load_store, protocol, topology, source,
+                    source_index, completion, repair)
                 if cached is not None:
                     self._remember(key, cached)
                     self.hits += 1
@@ -182,7 +189,8 @@ class ScheduleCache:
         with self._lock:
             self._remember(key, compiled)
             if self.store is not None:
-                self.store.put(
+                self._store_call(
+                    self.store.put,
                     topology, protocol.name, source_index,
                     completion=completion, repair=repair,
                     schedule=compiled.schedule,
@@ -218,8 +226,9 @@ class ScheduleCache:
                                        packet_bits)
             if self.store is None:
                 return None
-            entry = self.store.get(topology, protocol.name, source_index,
-                                   completion=completion, repair=repair)
+            entry = self._store_call(
+                self.store.get, topology, protocol.name, source_index,
+                completion=completion, repair=repair)
             if entry is None:
                 return None
             metrics = entry.metrics(topology, model, packet_bits)
@@ -250,7 +259,8 @@ class ScheduleCache:
         with self._lock:
             if member.compiled is not None:
                 compiled = member.compiled
-                self.store.put(
+                self._store_call(
+                    self.store.put,
                     topology, protocol.name, compiled.source,
                     completion=completion, repair=repair,
                     schedule=compiled.schedule,
@@ -258,7 +268,8 @@ class ScheduleCache:
                     completions=compiled.completions,
                     repairs=compiled.repairs, rounds=compiled.rounds)
             elif member.first_rx is not None:
-                self.store.put(
+                self._store_call(
+                    self.store.put,
                     topology, protocol.name, member.source_index,
                     completion=completion, repair=repair,
                     counts=summary_counts(member.first_rx, member.tx_count,
@@ -278,8 +289,8 @@ class ScheduleCache:
                 return profile
             if self.store is None:
                 return None
-            profile = self.store.class_profile(
-                topology, protocol_name, key,
+            profile = self._store_call(
+                self.store.class_profile, topology, protocol_name, key,
                 completion=completion, repair=repair)
             if profile is not None:
                 self._class_mem[key] = profile
@@ -295,7 +306,8 @@ class ScheduleCache:
         with self._lock:
             self._class_mem[key] = dict(profile)
             if self.store is not None:
-                self.store.store_class_profile(
+                self._store_call(
+                    self.store.store_class_profile,
                     topology, protocol_name, key, profile,
                     completion=completion, repair=repair)
 
@@ -309,6 +321,7 @@ class ScheduleCache:
                 "evictions": self.evictions,
                 "memory_entries": len(self._mem),
                 "max_entries": self.max_entries,
+                "store_errors": self.store_errors,
             }
 
     def clear_memory(self) -> None:
@@ -322,6 +335,21 @@ class ScheduleCache:
             return len(self._mem)
 
     # -- internals --------------------------------------------------------
+
+    def _store_call(self, op, *args, **kwargs):
+        """One disk-tier operation, failures degraded to ``None``.
+
+        The persistent tier is an optimisation; a raising store (torn
+        write, yanked filesystem, corrupt index) must cost a recompile,
+        not the query.  Failed reads report a miss, failed writes skip
+        the publish; both bump :attr:`store_errors` so operators can see
+        the disk tier misbehaving in ``stats()``/``health``.
+        """
+        try:
+            return op(*args, **kwargs)
+        except Exception:
+            self.store_errors += 1
+            return None
 
     def _remember(self, key: str, compiled: CompiledBroadcast) -> None:
         self._mem[key] = compiled

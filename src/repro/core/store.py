@@ -59,6 +59,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..radio.energy import (PAPER_PACKET_BITS, PAPER_RADIO_MODEL,
                             FirstOrderRadioModel)
 from ..sim.metrics import BroadcastMetrics
@@ -600,6 +601,19 @@ class ArtifactStore:
                     with open(self._data_path(sid), "ab") as fh:
                         meta = dict(meta)
                         meta["offset"] = fh.tell()
+                        if faults.fires(faults.STORE_TORN):
+                            # Injected writer crash between the bin
+                            # append and the index publish: leave a
+                            # partial payload as orphan bytes.  The
+                            # store's crash contract already covers this
+                            # (unindexed bytes are invisible to readers
+                            # and reclaimed by gc()); the seam exists to
+                            # prove callers survive the raised error.
+                            fh.write(payload[:max(8, len(payload) // 2)])
+                            fh.flush()
+                            raise faults.InjectedFault(
+                                faults.STORE_TORN,
+                                f"torn shard write for {key!r}")
                         fh.write(payload)
                         fh.flush()
             bucket[key] = meta

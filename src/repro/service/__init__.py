@@ -17,29 +17,45 @@ policy) -> schedule/metrics`` queries at high request rates:
   (``repro-wsn query``), and deterministic in-process tests with a
   virtual clock;
 * :mod:`~repro.service.wire` / :mod:`~repro.service.server` — the
-  newline-delimited-JSON protocol and the asyncio TCP server.
+  newline-delimited-JSON protocol and the asyncio TCP server;
+* :mod:`~repro.service.client` — the retrying client: reconnect/resend
+  with exponential backoff for idempotent queries, deadline-aware.
 
 Steady-state cost is cache warmth, not compile speed: a warmed store
 answers metrics queries from persisted counts without replaying or
-recompiling anything (see ``benchmarks/perf_service.py``).
+recompiling anything (see ``benchmarks/perf_service.py``).  The
+resilience layer — deadlines, bounded queues, circuit-breaker tier
+demotion, graceful shutdown — is exercised by the seeded chaos suite
+(``tests/test_faults.py``, driven by :mod:`repro.faults`).
 """
 
-from .engine import DEFAULT_MAX_ENTRIES, Query, QueryEngine, QueryResult
+from .client import RetriesExhausted, RetryPolicy, ServiceClient
+from .engine import (DEFAULT_MAX_ENTRIES, DeadlineExceeded, Overloaded,
+                     Query, QueryEngine, QueryResult)
 from .runtime import AsyncRuntime, Runtime, SimulationRuntime, SyncRuntime
-from .server import serve
-from .wire import query_from_dict, query_to_dict, result_to_dict
+from .server import BackgroundServer, run_server, serve
+from .wire import (query_from_dict, query_to_dict, request_from_dict,
+                   result_to_dict)
 
 __all__ = [
     "DEFAULT_MAX_ENTRIES",
+    "DeadlineExceeded",
+    "Overloaded",
     "Query",
     "QueryEngine",
     "QueryResult",
+    "RetriesExhausted",
+    "RetryPolicy",
     "Runtime",
     "AsyncRuntime",
     "SyncRuntime",
     "SimulationRuntime",
+    "ServiceClient",
+    "BackgroundServer",
+    "run_server",
     "serve",
     "query_from_dict",
     "query_to_dict",
+    "request_from_dict",
     "result_to_dict",
 ]

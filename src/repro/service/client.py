@@ -1,0 +1,212 @@
+"""Retrying NDJSON client: deadlines, backoff, reconnect.
+
+The server treats a connection as disposable (see
+:mod:`repro.service.server`); this client makes that safe to consume.
+Queries are **idempotent** — the engine is deterministic and caching,
+so resending a query can change nothing but the ``via`` tier of the
+answer — which makes retry-on-transport-failure unconditionally
+correct.
+
+The retry loop distinguishes two worlds:
+
+* **transport failures** — refused/reset connections, EOF before a
+  response, garbled (non-JSON) response lines, injected drops — are
+  retried on a *fresh* connection with exponential backoff; a garbled
+  or dropped line also poisons request/response pairing on that
+  socket, so reconnecting is correctness, not just hygiene;
+* **structured refusals** — ``{"ok": false, ...}`` — are authoritative
+  answers.  They are returned (not raised) as-is, except
+  ``overloaded``, which is the server asking the client to back off
+  and is retried within the attempt budget.
+
+Backoff jitter is drawn from a seeded counter hash
+(:mod:`repro.faults` uses the same construction), so a chaos run's
+client behaviour is exactly replayable.  When the request carries
+``timeout_ms``, the whole retry loop — connects, resends, backoff
+sleeps — stays inside that budget.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from .engine import Query
+from .wire import query_to_dict
+
+__all__ = ["ClientError", "RetriesExhausted", "RetryPolicy",
+           "ServiceClient"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class ClientError(RuntimeError):
+    """Base class of client-side failures."""
+
+
+class RetriesExhausted(ClientError):
+    """Every attempt failed at the transport (or overload) level."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``attempts`` counts total tries (first send included).  The delay
+    before retry *k* (1-based) is ``base_delay * multiplier**(k-1)``
+    capped at ``max_delay``, scaled by a jitter factor in
+    ``[1 - jitter/2, 1 + jitter/2)`` drawn from ``seed`` and the
+    client's retry counter — deterministic, so two identical chaos
+    runs back off identically, while distinct retries still spread.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, retry_index: int, counter: int) -> float:
+        raw = min(self.max_delay,
+                  self.base_delay * self.multiplier ** retry_index)
+        if self.jitter <= 0:
+            return raw
+        u = _splitmix64((self.seed & _MASK64)
+                        ^ zlib.crc32(b"client-backoff")
+                        ^ counter) / float(1 << 64)
+        return raw * (1.0 + self.jitter * (u - 0.5))
+
+
+class ServiceClient:
+    """Synchronous NDJSON client with reconnect/resend semantics.
+
+    One in-flight request at a time (the service's batching happens
+    server-side across connections, so a simple client still gets
+    coalesced compiles).  Counters (:attr:`retries`,
+    :attr:`reconnects`) feed the chaos benchmark's report.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, *,
+                 timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.retries = 0
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _connect(self, deadline: Optional[float]) -> None:
+        if self._sock is not None:
+            return
+        timeout = self.timeout
+        if deadline is not None:
+            timeout = max(0.001, min(timeout, deadline - time.monotonic()))
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=timeout)
+        self._sock.settimeout(self.timeout)
+        self._rfile = self._sock.makefile("rb")
+        self.reconnects += 1
+
+    # -- request plumbing -------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """One request/response round trip with bounded retries.
+
+        Returns the decoded response object (which may be a structured
+        ``ok: false`` refusal); raises :class:`RetriesExhausted` when
+        the attempt budget (or the request's ``timeout_ms``) runs out
+        with nothing but transport failures or overload sheds.
+        """
+        blob = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        deadline = None
+        timeout_ms = payload.get("timeout_ms")
+        if timeout_ms:
+            deadline = time.monotonic() + float(timeout_ms) / 1000.0
+        policy = self.retry
+        last_failure = "no attempt made"
+        for attempt in range(max(1, policy.attempts)):
+            if attempt:
+                delay = policy.delay(attempt - 1, self.retries)
+                self.retries += 1
+                if deadline is not None:
+                    budget = deadline - time.monotonic()
+                    if budget <= 0:
+                        break
+                    delay = min(delay, budget)
+                time.sleep(delay)
+            try:
+                response = self._attempt(blob, deadline)
+            except (OSError, ValueError) as exc:
+                # Transport failure (connect/reset/EOF/garbled line):
+                # the socket's pairing is unreliable now — reconnect.
+                last_failure = f"{type(exc).__name__}: {exc}"
+                self.close()
+                continue
+            if (isinstance(response, dict)
+                    and response.get("ok") is False
+                    and response.get("error_type") == "overloaded"):
+                # The server shed us to protect itself; backing off and
+                # retrying is exactly what it is asking for.
+                last_failure = f"overloaded: {response.get('error')}"
+                continue
+            return response
+        raise RetriesExhausted(
+            f"request failed after {policy.attempts} attempts "
+            f"(last failure: {last_failure})")
+
+    def _attempt(self, blob: bytes, deadline: Optional[float]) -> dict:
+        self._connect(deadline)
+        self._sock.sendall(blob)
+        line = self._rfile.readline(1 << 21)
+        if not line:
+            raise ConnectionResetError("server closed the connection "
+                                       "before responding")
+        return json.loads(line)  # ValueError on a garbled response
+
+    # -- typed surface ----------------------------------------------------
+
+    def query(self, query: Query) -> dict:
+        """Send one :class:`Query`; return the wire response object."""
+        return self.request(query_to_dict(query))
+
+    def health(self) -> dict:
+        """The server's ``health`` snapshot (never triggers a compile)."""
+        return self.request({"type": "health"})

@@ -25,11 +25,14 @@ calls.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..core.cache import ScheduleCache
 from ..core.registry import protocol_for
 from ..core.store import ArtifactStore
@@ -49,6 +52,22 @@ DEFAULT_MAX_ENTRIES = 4096
 MAX_TOPOLOGIES = 32
 
 
+class DeadlineExceeded(Exception):
+    """The query's deadline passed before (or while) it was served.
+
+    Shedding happens *before* the expensive step — an expired query
+    never burns a compile on an answer nobody is waiting for.
+    """
+
+    error_type = "deadline_exceeded"
+
+
+class Overloaded(Exception):
+    """The service shed this query to protect itself under load."""
+
+    error_type = "overloaded"
+
+
 @dataclass(frozen=True)
 class Query:
     """One service request.
@@ -58,6 +77,12 @@ class Query:
     ``protocol=None`` selects the paper protocol of the topology.
     ``include_schedule`` additionally returns the compiled transmission
     schedule as ``(slot, node)`` pairs.
+
+    ``timeout_ms`` is the client's patience; the serving side stamps it
+    into ``deadline`` (a ``time.monotonic()`` instant, never serialized
+    — wall clocks don't cross the wire) on arrival via :meth:`stamped`,
+    and every expensive step downstream sheds the query once the
+    deadline passes.
     """
 
     topology: str
@@ -67,6 +92,24 @@ class Query:
     completion: bool = True
     repair: bool = True
     include_schedule: bool = False
+    timeout_ms: Optional[float] = None
+    deadline: Optional[float] = None
+
+    def stamped(self, now: Optional[float] = None) -> "Query":
+        """This query with ``deadline`` fixed from ``timeout_ms``."""
+        if self.timeout_ms is None or self.deadline is not None:
+            return self
+        if now is None:
+            now = time.monotonic()
+        return dataclasses.replace(
+            self, deadline=now + self.timeout_ms / 1000.0)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        if now is None:
+            now = time.monotonic()
+        return now > self.deadline
 
 
 @dataclass
@@ -74,15 +117,29 @@ class QueryResult:
     """Answer to one :class:`Query`.
 
     ``via`` records the serving tier: ``"memory"`` / ``"store"`` (warm
-    hits), ``"compile"`` (cold fixpoint), or ``"class:<mode>"`` for
+    hits), ``"compile"`` (cold fixpoint), ``"class:<mode>"`` for
     batch-coalesced members (``mode`` is the class engine's execution
-    path, e.g. ``summary`` or ``representative``).
+    path, e.g. ``summary`` or ``representative``), or ``"shed"`` for a
+    query the engine declined — then ``metrics`` is ``None`` and
+    ``error``/``error_type`` say why.
     """
 
     query: Query
-    metrics: BroadcastMetrics
+    metrics: Optional[BroadcastMetrics]
     via: str
     schedule: Optional[List[Tuple[int, int]]] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _shed_result(query: Query, exc: Exception) -> QueryResult:
+    return QueryResult(query=query, metrics=None, via="shed",
+                       error=str(exc) or type(exc).__name__,
+                       error_type=getattr(exc, "error_type", "error"))
 
 
 @dataclass
@@ -126,6 +183,7 @@ class QueryEngine:
         self.queries = 0
         self.batches = 0
         self.coalesced = 0
+        self.shed = 0
 
     # -- resolution -------------------------------------------------------
 
@@ -152,12 +210,26 @@ class QueryEngine:
             return protocol_for(topology)
         return protocol_for(query.protocol)
 
+    def _check_deadline(self, query: Query) -> None:
+        if query.expired():
+            with self._lock:
+                self.shed += 1
+            raise DeadlineExceeded(
+                f"deadline exceeded (timeout_ms={query.timeout_ms})")
+
     # -- single queries ---------------------------------------------------
 
     def query(self, query: Query) -> QueryResult:
-        """Answer one query through the cheapest available tier."""
+        """Answer one query through the cheapest available tier.
+
+        Raises :class:`DeadlineExceeded` (after counting the query as
+        shed) when the stamped deadline has passed — checked on entry
+        and again right before the compile, the step worth shedding.
+        """
+        query = query.stamped()
         with self._lock:
             self.queries += 1
+        self._check_deadline(query)
         topology = self.topology(query.topology, query.shape)
         protocol = self._protocol(query, topology)
         if not query.include_schedule:
@@ -169,6 +241,8 @@ class QueryEngine:
             if metrics is not None:
                 via = "store" if self.cache.disk_hits > d0 else "memory"
                 return QueryResult(query=query, metrics=metrics, via=via)
+        self._check_deadline(query)  # a compile may follow: last exit
+        faults.sleep_if(faults.COMPILE_SLOW)
         m0, d0 = self.cache.misses, self.cache.disk_hits
         compiled = protocol.compile(
             topology, query.source, cache=self.cache,
@@ -201,9 +275,18 @@ class QueryEngine:
         """
         with self._lock:
             self.batches += 1
+        now = time.monotonic()
+        queries = [query.stamped(now) for query in queries]
         results: List[Optional[QueryResult]] = [None] * len(queries)
         groups: Dict[Tuple, _Group] = {}
         for pos, query in enumerate(queries):
+            if query.expired(now):
+                with self._lock:
+                    self.queries += 1
+                    self.shed += 1
+                results[pos] = _shed_result(query, DeadlineExceeded(
+                    "deadline exceeded before serving"))
+                continue
             if query.include_schedule:
                 results[pos] = self.query(query)  # schedule => full path
                 continue
@@ -243,6 +326,22 @@ class QueryEngine:
                 cold.append(pos)
         if not cold:
             return
+        # The warm sweep is cheap; what follows is not.  Re-check the
+        # cold remainder's deadlines so an expired query sheds *before*
+        # its class burns a compile on it.
+        now = time.monotonic()
+        live: List[int] = []
+        for pos in cold:
+            if queries[pos].expired(now):
+                with self._lock:
+                    self.shed += 1
+                results[pos] = _shed_result(queries[pos], DeadlineExceeded(
+                    "deadline exceeded before compile"))
+            else:
+                live.append(pos)
+        cold = live
+        if not cold:
+            return
         # Group the cold remainder by symmetry class; each class costs at
         # most one representative compile for the whole batch.
         by_class: Dict[Tuple, List[int]] = {}
@@ -262,6 +361,7 @@ class QueryEngine:
                 if coord not in coord_pos:
                     coords.append(coord)
                 coord_pos[coord] = coord_pos.get(coord, []) + [pos]
+            faults.sleep_if(faults.COMPILE_SLOW)
             members = compile_class(topology, protocol, class_key,
                                     coords, cache=self.cache,
                                     completion=group.completion,
@@ -281,7 +381,10 @@ class QueryEngine:
         for pos in direct:
             with self._lock:
                 self.queries -= 1  # self.query() recounts it
-            results[pos] = self.query(queries[pos])
+            try:
+                results[pos] = self.query(queries[pos])
+            except DeadlineExceeded as exc:
+                results[pos] = _shed_result(queries[pos], exc)
 
     # -- warmup and stats -------------------------------------------------
 
@@ -304,8 +407,37 @@ class QueryEngine:
             "queries": self.queries,
             "batches": self.batches,
             "coalesced": self.coalesced,
+            "shed": self.shed,
             "compile_calls": compile_call_count(),
             "topologies": len(self._topologies),
         }
         out.update(self.cache.stats())
         return out
+
+    def health(self) -> Dict[str, object]:
+        """Liveness snapshot for the wire ``health`` request.
+
+        Deliberately cheap: the native probe reports the cached build
+        verdict (:func:`~repro.sim.native.native_state`) without
+        triggering the lazy C build, and nothing here compiles.
+        """
+        from ..sim.backend import BREAKER
+        from ..sim.native import native_state
+        available, reason = native_state()
+        store = self.cache.store
+        shards = 0
+        if store is not None:
+            try:
+                shards = sum(1 for p in store.path.glob("*.json"))
+            except OSError:  # pragma: no cover - racing a cleanup
+                shards = 0
+        return {
+            "status": "ok",
+            "engine": self.stats(),
+            "native": {"available": available, "reason": reason},
+            "breaker": BREAKER.state(),
+            "store": {
+                "path": None if store is None else str(store.path),
+                "shards": shards,
+            },
+        }

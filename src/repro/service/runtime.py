@@ -44,10 +44,18 @@ import asyncio
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from .engine import Query, QueryEngine, QueryResult
+from .engine import (DeadlineExceeded, Overloaded, Query, QueryEngine,
+                     QueryResult)
 
 #: Upper bound on one async dispatch batch (bounds per-tick latency).
 MAX_BATCH = 1024
+
+#: Default bound on queries waiting for a dispatch tick; beyond it the
+#: overflow policy applies (reject the newcomer, or shed the oldest).
+MAX_QUEUE = 4096
+
+#: Overflow policies of the bounded async queue.
+OVERFLOW_POLICIES = ("reject", "shed-oldest")
 
 
 class Runtime(abc.ABC):
@@ -140,14 +148,42 @@ class AsyncRuntime(Runtime):
     name = "async"
 
     def __init__(self, engine: QueryEngine, *,
-                 max_batch: int = MAX_BATCH) -> None:
+                 max_batch: int = MAX_BATCH,
+                 max_queue: int = MAX_QUEUE,
+                 overflow: str = "reject") -> None:
         super().__init__(engine)
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(f"unknown overflow policy {overflow!r}; "
+                             f"expected one of {OVERFLOW_POLICIES}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.overflow = overflow
+        #: Overload-protection counters: queries refused at the door
+        #: ("reject") and queued queries displaced by newer arrivals
+        #: ("shed-oldest"), plus queries shed at dispatch because their
+        #: deadline expired while queued.
+        self.rejected = 0
+        self.shed_queued = 0
+        self.shed_expired = 0
         self._queue: Optional[asyncio.Queue] = None
         self._task: Optional[asyncio.Task] = None
 
     def now(self) -> float:
         return time.monotonic()
+
+    def stats(self):
+        out = dict(self.engine.stats())
+        out.update({
+            "rejected": self.rejected,
+            "shed_queued": self.shed_queued,
+            "shed_expired": self.shed_expired,
+            "queued": 0 if self._queue is None else self._queue.qsize(),
+            "max_queue": self.max_queue,
+            "overflow": self.overflow,
+        })
+        return out
 
     async def __aenter__(self) -> "AsyncRuntime":
         await self.start()
@@ -174,9 +210,29 @@ class AsyncRuntime(Runtime):
         self._task, self._queue = None, None
 
     async def query(self, query: Query) -> QueryResult:
-        """Answer one query (coalesced with everything else in flight)."""
+        """Answer one query (coalesced with everything else in flight).
+
+        The deadline is stamped *here*, at arrival — queue wait counts
+        against the client's timeout.  A full queue applies the overflow
+        policy: ``"reject"`` raises :class:`~repro.service.engine.
+        Overloaded` to the newcomer (classic load shedding — cheapest
+        possible refusal), ``"shed-oldest"`` fails the longest-waiting
+        queued query instead, on the theory that its client has the
+        least patience left anyway.
+        """
         if self._task is None:
             await self.start()
+        query = query.stamped(self.now())
+        if self._queue.qsize() >= self.max_queue:
+            if self.overflow == "reject":
+                self.rejected += 1
+                raise Overloaded(
+                    f"queue full ({self.max_queue} queries waiting)")
+            old_query, old_future = self._queue.get_nowait()
+            self.shed_queued += 1
+            if not old_future.done():
+                old_future.set_exception(Overloaded(
+                    "shed from a full queue by a newer arrival"))
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         await self._queue.put((query, future))
@@ -215,6 +271,21 @@ class AsyncRuntime(Runtime):
             while (not self._queue.empty()
                    and len(batch) < self.max_batch):
                 batch.append(self._queue.get_nowait())
+            # Shed queries whose deadline expired while they waited —
+            # before they reach the engine, let alone a compile.
+            now = time.monotonic()
+            live = []
+            for query, future in batch:
+                if query.expired(now):
+                    self.shed_expired += 1
+                    if not future.done():
+                        future.set_exception(DeadlineExceeded(
+                            "deadline exceeded while queued"))
+                else:
+                    live.append((query, future))
+            batch = live
+            if not batch:
+                continue
             groups = self._split_groups(batch)
             try:
                 outcomes = await asyncio.gather(

@@ -5,6 +5,7 @@ mirroring :class:`~repro.service.engine.Query`::
 
     {"topology": "2D-4", "shape": [32, 16], "source": [5, 5]}
     {"topology": "2D-8", "source": [7, 7], "include_schedule": true}
+    {"topology": "2D-4", "source": [5, 5], "timeout_ms": 2000}
 
 and a response carries the metrics row (the same fields as
 :meth:`~repro.sim.metrics.BroadcastMetrics.as_row`), the serving tier,
@@ -12,26 +13,84 @@ and optionally the schedule::
 
     {"ok": true, "via": "store", "metrics": {...}, "schedule": [[1, 17], ...]}
 
-Malformed requests produce ``{"ok": false, "error": "..."}`` instead of
-tearing down the connection.
+Besides queries the protocol has a tagged request form — ``{"type":
+"query", ...}`` is the explicit spelling of the above, ``{"type":
+"health"}`` (alias ``"stats"``) returns the
+:meth:`~repro.service.engine.QueryEngine.health` snapshot without
+compiling anything, and ``{"type": "batch", "queries": [...]}`` answers
+up to :data:`MAX_WIRE_BATCH` queries in one response line.
+
+Malformed requests produce ``{"ok": false, "error": "...",
+"error_type": "..."}`` instead of tearing down the connection — with a
+one-line message, never a traceback.  Validation is strict by design:
+an unknown field, a non-finite ``timeout_ms`` or an oversized
+coordinate list is a rejection, because a typo'd option silently
+ignored would be worse.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import dataclasses
+import math
+from typing import List, Optional, Tuple, Union
 
 from .engine import Query, QueryResult
 
 #: Request fields accepted on the wire (anything else is an error — a
 #: typo'd option silently ignored would be worse than a rejection).
 _QUERY_FIELDS = {"topology", "source", "shape", "protocol",
-                 "completion", "repair", "include_schedule"}
+                 "completion", "repair", "include_schedule",
+                 "timeout_ms", "type"}
+
+#: Longest coordinate list accepted for ``source`` / ``shape`` — the
+#: topologies are 2-D/3-D grids; anything longer is garbage (or an
+#: attack on the parser).
+MAX_COORDS = 8
+
+#: Largest absolute coordinate value accepted on the wire.
+MAX_COORD_VALUE = 10 ** 9
+
+#: Cap on ``timeout_ms`` (one day): beyond this a client should not
+#: bother sending a deadline at all.
+MAX_TIMEOUT_MS = 86_400_000.0
+
+#: Most queries accepted in one ``{"type": "batch"}`` request.
+MAX_WIRE_BATCH = 256
+
+#: Request types the wire dispatches on.
+REQUEST_TYPES = ("query", "batch", "health", "stats")
 
 
 def _int_tuple(value, name: str) -> Tuple[int, ...]:
     if not isinstance(value, (list, tuple)) or not value:
         raise ValueError(f"{name!r} must be a non-empty list of ints")
-    return tuple(int(v) for v in value)
+    if len(value) > MAX_COORDS:
+        raise ValueError(f"{name!r} has {len(value)} entries; "
+                         f"at most {MAX_COORDS} allowed")
+    out = []
+    for v in value:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise ValueError(f"{name!r} must contain only integers")
+        if abs(v) > MAX_COORD_VALUE:
+            raise ValueError(f"{name!r} entry {v} out of range")
+        out.append(int(v))
+    return tuple(out)
+
+
+def _timeout_ms(value) -> Optional[float]:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError("'timeout_ms' must be a number")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError("'timeout_ms' must be finite")
+    if value <= 0:
+        raise ValueError("'timeout_ms' must be positive")
+    if value > MAX_TIMEOUT_MS:
+        raise ValueError(f"'timeout_ms' exceeds the cap "
+                         f"{MAX_TIMEOUT_MS:.0f}")
+    return value
 
 
 def query_from_dict(payload: dict) -> Query:
@@ -42,6 +101,9 @@ def query_from_dict(payload: dict) -> Query:
     unknown = set(payload) - _QUERY_FIELDS
     if unknown:
         raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    if payload.get("type") not in (None, "query"):
+        raise ValueError(f"not a query request: "
+                         f"type={payload.get('type')!r}")
     if "topology" not in payload or "source" not in payload:
         raise ValueError("request needs 'topology' and 'source'")
     topology = payload["topology"]
@@ -61,11 +123,62 @@ def query_from_dict(payload: dict) -> Query:
         completion=bool(payload.get("completion", True)),
         repair=bool(payload.get("repair", True)),
         include_schedule=bool(payload.get("include_schedule", False)),
+        timeout_ms=_timeout_ms(payload.get("timeout_ms")),
     )
 
 
+def request_from_dict(payload: dict
+                      ) -> Tuple[str, Union[Query, List[Query], None]]:
+    """Dispatch one request object: ``(kind, parsed)``.
+
+    ``kind`` is ``"query"`` (parsed is the :class:`Query`),
+    ``"batch"`` (parsed is a list of queries) or ``"health"``
+    (parsed is ``None``; ``"stats"`` is an accepted alias).  Raises
+    ``ValueError`` on anything else — including unknown ``type`` tags,
+    so a protocol typo is a structured error, not a hang.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request must be a JSON object")
+    kind = payload.get("type", "query")
+    if not isinstance(kind, str) or kind not in REQUEST_TYPES:
+        raise ValueError(f"unknown request type {kind!r}; "
+                         f"expected one of {REQUEST_TYPES}")
+    if kind in ("health", "stats"):
+        extra = set(payload) - {"type"}
+        if extra:
+            raise ValueError(f"unknown request fields: {sorted(extra)}")
+        return "health", None
+    if kind == "batch":
+        extra = set(payload) - {"type", "queries", "timeout_ms"}
+        if extra:
+            raise ValueError(f"unknown request fields: {sorted(extra)}")
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ValueError("'queries' must be a non-empty list")
+        if len(queries) > MAX_WIRE_BATCH:
+            raise ValueError(f"batch of {len(queries)} queries exceeds "
+                             f"the cap {MAX_WIRE_BATCH}")
+        timeout = _timeout_ms(payload.get("timeout_ms"))
+        parsed = []
+        for i, entry in enumerate(queries):
+            try:
+                query = query_from_dict(entry)
+            except ValueError as exc:
+                raise ValueError(f"queries[{i}]: {exc}") from None
+            if query.timeout_ms is None and timeout is not None:
+                query = dataclasses.replace(query, timeout_ms=timeout)
+            parsed.append(query)
+        return "batch", parsed
+    return "query", query_from_dict(payload)
+
+
 def query_to_dict(query: Query) -> dict:
-    """Inverse of :func:`query_from_dict` (used by the CLI client)."""
+    """Inverse of :func:`query_from_dict` (used by the CLI client).
+
+    ``deadline`` never crosses the wire — it is a local
+    ``time.monotonic`` instant, meaningless on another host; the
+    receiver re-stamps from ``timeout_ms`` on arrival.
+    """
     payload = {"topology": query.topology, "source": list(query.source)}
     if query.shape is not None:
         payload["shape"] = list(query.shape)
@@ -77,11 +190,19 @@ def query_to_dict(query: Query) -> dict:
         payload["repair"] = False
     if query.include_schedule:
         payload["include_schedule"] = True
+    if query.timeout_ms is not None:
+        payload["timeout_ms"] = query.timeout_ms
     return payload
 
 
 def result_to_dict(result: QueryResult) -> dict:
-    """Serialise one answer for the wire."""
+    """Serialise one answer for the wire (shed answers included)."""
+    if result.error is not None:
+        payload = error_to_dict(result.error,
+                                error_type=result.error_type or "error")
+        payload["topology"] = result.query.topology
+        payload["source"] = list(result.query.source)
+        return payload
     metrics = result.metrics.as_row()
     metrics["source"] = list(metrics["source"])
     payload = {
@@ -96,5 +217,5 @@ def result_to_dict(result: QueryResult) -> dict:
     return payload
 
 
-def error_to_dict(message: str) -> dict:
-    return {"ok": False, "error": message}
+def error_to_dict(message: str, error_type: str = "bad_request") -> dict:
+    return {"ok": False, "error": message, "error_type": error_type}

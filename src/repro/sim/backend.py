@@ -45,11 +45,13 @@ instead of re-deriving them per slot.
 from __future__ import annotations
 
 import os
-from typing import Optional, Tuple, Union
+import threading
+import time
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from .. import profiling
+from .. import faults, profiling
 from ..radio import bitpack
 from ..radio.channel import SlotKernel
 from ..radio.impairments import (BatchLoss, BernoulliBatchLoss,
@@ -60,7 +62,8 @@ from . import native
 from .recovery import RecoveryPolicy
 from .recovery_packed import NativeRecoveryState, PackedRecoveryState
 
-__all__ = ["ENGINES", "make_backend", "packed_max_nodes",
+__all__ = ["BREAKER", "BackendFault", "CircuitBreaker", "ENGINES",
+           "demote_tier", "make_backend", "packed_max_nodes",
            "resolve_engine"]
 
 #: Engine names accepted by the batched entry points.
@@ -77,6 +80,121 @@ def check_engine(engine: str) -> None:
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+class BackendFault(RuntimeError):
+    """A word-space backend failed mid-run.
+
+    Raised by the engine loops when ``backend.resolve`` (or backend
+    construction inside a run) throws; carries the tier that failed so
+    the demotion wrapper can retry one tier down.  Tier bit-identity
+    makes the retried run's answer equal to what the failed tier would
+    have produced.
+    """
+
+    def __init__(self, tier: str, cause: BaseException):
+        self.tier = tier
+        self.cause = cause
+        super().__init__(f"{tier} backend fault: "
+                         f"{type(cause).__name__}: {cause}")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the word-space tiers.
+
+    One failure demotes only the run that saw it; *repeated* failures
+    (``threshold`` in a row, per tier) open the breaker so subsequent
+    runs skip the flaky tier for ``cooldown_s`` seconds without paying
+    a doomed construction or a mid-run retry.  After the cooldown the
+    tier is probed again (half-open: one more failure re-opens it
+    immediately).  :func:`resolve_engine` consults the breaker, so the
+    demotion reason lands in the CLI engine-decision line.
+    """
+
+    TIERS = ("compiled", "packed")
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0,
+                 clock=time.monotonic):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures: Dict[str, int] = {}
+        self._open_until: Dict[str, float] = {}
+        self._reason: Dict[str, str] = {}
+
+    def record_failure(self, tier: str, reason: str = "") -> None:
+        with self._lock:
+            count = self._failures.get(tier, 0) + 1
+            self._failures[tier] = count
+            if reason:
+                self._reason[tier] = reason
+            if count >= self.threshold:
+                self._open_until[tier] = self._clock() + self.cooldown_s
+
+    def record_success(self, tier: str) -> None:
+        with self._lock:
+            self._failures[tier] = 0
+            self._open_until.pop(tier, None)
+
+    def force_open(self, tier: str, reason: str = "forced open") -> None:
+        """Open the breaker by hand (ops escape hatch / tests)."""
+        with self._lock:
+            self._failures[tier] = self.threshold
+            self._reason[tier] = reason
+            self._open_until[tier] = self._clock() + self.cooldown_s
+
+    def allowed(self, tier: str) -> bool:
+        with self._lock:
+            until = self._open_until.get(tier)
+            if until is None:
+                return True
+            if self._clock() >= until:
+                # Half-open: allow one probe; a failure re-opens at once.
+                self._open_until.pop(tier, None)
+                self._failures[tier] = self.threshold - 1
+                return True
+            return False
+
+    def reason(self, tier: str) -> str:
+        with self._lock:
+            return self._reason.get(tier, "repeated failures")
+
+    def state(self) -> Dict[str, Dict[str, object]]:
+        """Wire-friendly snapshot, one entry per word-space tier."""
+        with self._lock:
+            now = self._clock()
+            out: Dict[str, Dict[str, object]] = {}
+            for tier in self.TIERS:
+                until = self._open_until.get(tier)
+                is_open = until is not None and now < until
+                out[tier] = {
+                    "open": is_open,
+                    "failures": self._failures.get(tier, 0),
+                    "reason": self._reason.get(tier, "") if is_open else "",
+                }
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._failures.clear()
+            self._open_until.clear()
+            self._reason.clear()
+
+
+#: Process-global breaker guarding the word-space tiers; surfaced in
+#: the ``health`` wire response and the CLI engine-decision line.
+BREAKER = CircuitBreaker()
+
+#: Demotion ladder.  ``batch`` has no entry: the dense kernel is the
+#: floor and has no backend object to fault.
+_DEMOTION = {"compiled": "packed", "packed": "batch"}
+
+
+def demote_tier(tier: str, reason: str = "") -> str:
+    """Record *tier*'s failure in the breaker; return the tier below."""
+    BREAKER.record_failure(tier, reason)
+    return _DEMOTION[tier]
 
 
 def packed_max_nodes() -> int:
@@ -140,15 +258,26 @@ def resolve_engine(engine: str, num_nodes: int,
     if not ok:
         return result("batch", why)
     if engine == "packed":
+        if not BREAKER.allowed("packed"):
+            return result("batch", f"circuit breaker open: packed "
+                                   f"({BREAKER.reason('packed')})")
         return result("packed", "packed tier requested")
-    # "compiled" or "auto": take the native tier when it builds.
-    if native.native_available():
+    # "compiled" or "auto": take the native tier when it builds and the
+    # breaker lets it; degrade down the ladder otherwise.
+    if not BREAKER.allowed("compiled"):
+        blame = (f"circuit breaker open: compiled "
+                 f"({BREAKER.reason('compiled')})")
+    elif native.native_available():
         width = native.resolve_native_threads(threads)
         return result("compiled",
                       f"native kernel available ({width} thread"
                       f"{'s' if width != 1 else ''})")
-    return result("packed", f"native unavailable "
-                            f"({native.native_reason()})")
+    else:
+        blame = f"native unavailable ({native.native_reason()})"
+    if not BREAKER.allowed("packed"):
+        return result("batch", f"{blame}; circuit breaker open: packed "
+                               f"({BREAKER.reason('packed')})")
+    return result("packed", blame)
 
 
 class _LossSpec:
@@ -209,6 +338,8 @@ class PackedBackend:
         node) order, their senders (or ``None`` when not requested),
         and collisions as ``(ct, cn)`` pairs or per-trial counts.
         """
+        faults.check(faults.BACKEND_RESOLVE, key=(self.name,),
+                     detail="packed word-space resolve")
         pk = self._pk
         with profiling.phase("resolve"):
             active, received, collided, txw = pk.resolve_words(nd, tr)
@@ -253,6 +384,8 @@ class NativeBackend:
                  alive_masks: Optional[np.ndarray],
                  need_senders: bool, need_coll_pairs: bool,
                  threads: Optional[int] = None) -> None:
+        faults.check(faults.NATIVE_BUILD,
+                     detail="native kernel build/dlopen failure")
         module = native.native_kernel()
         if module is None:  # pragma: no cover - guarded by make_backend
             raise RuntimeError(f"native tier unavailable: "
@@ -322,6 +455,8 @@ class NativeBackend:
                                  Tuple[np.ndarray, np.ndarray]]]:
         """See :meth:`PackedBackend.resolve`; returned arrays are views
         into reused scratch, valid until the next call."""
+        faults.check(faults.BACKEND_RESOLVE, key=(self.name,),
+                     detail="native slot resolve")
         ffi, lib = self._ffi, self._lib
         tr = np.ascontiguousarray(tr, dtype=np.int64)
         nd = np.ascontiguousarray(nd, dtype=np.int64)
@@ -387,11 +522,17 @@ def make_backend(kernel: SlotKernel, batch: int, engine: str,
     bit-identical at every width.
     """
     tier = resolve_engine(engine, kernel.num_nodes, loss)
-    if tier == "batch":
-        return None
-    if tier == "compiled":
-        return NativeBackend(kernel, batch, loss, alive_masks,
-                             need_senders, need_coll_pairs,
-                             threads=threads)
-    return PackedBackend(kernel, batch, loss, alive_masks,
-                         need_senders, need_coll_pairs)
+    while tier != "batch":
+        try:
+            if tier == "compiled":
+                return NativeBackend(kernel, batch, loss, alive_masks,
+                                     need_senders, need_coll_pairs,
+                                     threads=threads)
+            return PackedBackend(kernel, batch, loss, alive_masks,
+                                 need_senders, need_coll_pairs)
+        except Exception as exc:
+            # A tier that cannot even construct (dlopen/build failure,
+            # injected or organic) demotes this run and feeds the
+            # breaker; the run itself still happens, one tier down.
+            tier = demote_tier(tier, f"{type(exc).__name__}: {exc}")
+    return None

@@ -41,6 +41,8 @@ the differential test-suite proves the two produce identical traces.
 
 from __future__ import annotations
 
+import functools
+
 from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Set,
                     Tuple, Union)
 
@@ -49,7 +51,8 @@ import numpy as np
 from .. import profiling
 from ..radio.impairments import BatchLoss, LossProcess
 from ..topology.base import Topology
-from .backend import check_engine, make_backend
+from .backend import (BREAKER, BackendFault, check_engine, demote_tier,
+                      make_backend)
 from .recovery import (BatchRecoveryState, RecoveryPolicy, RecoveryState,
                        relay_like_from_schedule, relay_like_mask)
 from .schedule import BroadcastSchedule
@@ -479,7 +482,22 @@ class _BatchState:
         return traces
 
 
-def run_reactive_batch(
+def _backend_resolve(backend, t, tr, nd):
+    """One backend slot-resolve, faults tagged with the tier that died.
+
+    Any exception out of a word-space backend mid-run (injected via
+    :data:`repro.faults.BACKEND_RESOLVE` or organic — a dlopen gone bad,
+    a C kernel segfault surfacing as an ffi error) becomes a
+    :class:`~repro.sim.backend.BackendFault` so the demotion wrapper can
+    rerun the whole batch one tier down.
+    """
+    try:
+        return backend.resolve(t, tr, nd)
+    except Exception as exc:
+        raise BackendFault(backend.name, exc) from exc
+
+
+def _run_reactive_batch_impl(
     topology: Topology,
     source: int,
     relay_mask: np.ndarray,
@@ -655,7 +673,7 @@ def run_reactive_batch(
         if len(nd) == 0:
             continue
         if backend is not None:
-            rt, rn, sv, coll = backend.resolve(t, tr, nd)
+            rt, rn, sv, coll = _backend_resolve(backend, t, tr, nd)
             with profiling.phase("commit"):
                 nt, nn = state.commit_sparse(t, tr, nd, rt, rn, sv, coll)
         else:
@@ -684,6 +702,8 @@ def run_reactive_batch(
                                   epos=backend.last_epos)
                 else:
                     rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
+    if backend is not None:
+        BREAKER.record_success(backend.name)
     return state.finish()
 
 
@@ -854,7 +874,7 @@ def run_reactive_multi(
     return state.finish()
 
 
-def replay_batch(
+def _replay_batch_impl(
     topology: Topology,
     schedule: BroadcastSchedule,
     source: int,
@@ -933,7 +953,7 @@ def replay_batch(
         if len(nd) == 0:
             continue
         if backend is not None:
-            rt, rn, sv, coll = backend.resolve(t, tr, nd)
+            rt, rn, sv, coll = _backend_resolve(backend, t, tr, nd)
             with profiling.phase("commit"):
                 nt, nn = state.commit_sparse(t, tr, nd, rt, rn, sv, coll)
         else:
@@ -956,7 +976,41 @@ def replay_batch(
                                   epos=backend.last_epos)
                 else:
                     rec.post_slot(t, tr, nd, rt, rn, sv, nt, nn)
+    if backend is not None:
+        BREAKER.record_success(backend.name)
     return state.finish()
+
+
+def _with_tier_demotion(impl):
+    """Public face of a batched run: retry one tier down on backend fault.
+
+    The engine tiers are bit-identical, so rerunning a faulted batch at
+    the demoted tier produces exactly the answer the failed tier would
+    have; the caller never sees the fault.  Each demotion feeds the
+    circuit breaker (:data:`~repro.sim.backend.BREAKER`), so a tier that
+    keeps dying gets skipped up front by :func:`~repro.sim.backend.
+    resolve_engine` — with the reason surfaced in the CLI
+    engine-decision line.  The ladder is finite (compiled -> packed ->
+    batch, and the dense tier has no backend to fault), so the loop
+    terminates.
+    """
+    @functools.wraps(impl)
+    def run(*args, **kwargs):
+        while True:
+            try:
+                return impl(*args, **kwargs)
+            except BackendFault as fault:
+                kwargs["engine"] = demote_tier(
+                    fault.tier, f"{type(fault.cause).__name__}: "
+                                f"{fault.cause}")
+    return run
+
+
+run_reactive_batch = _with_tier_demotion(_run_reactive_batch_impl)
+run_reactive_batch.__name__ = run_reactive_batch.__qualname__ = \
+    "run_reactive_batch"
+replay_batch = _with_tier_demotion(_replay_batch_impl)
+replay_batch.__name__ = replay_batch.__qualname__ = "replay_batch"
 
 
 def _execute_slot(kernel, t: int, tx_set: Set[int],

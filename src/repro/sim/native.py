@@ -67,7 +67,7 @@ from typing import Optional, Tuple
 
 __all__ = ["MAX_NATIVE_THREADS", "default_native_threads",
            "native_available", "native_kernel", "native_reason",
-           "resolve_native_threads"]
+           "native_state", "resolve_native_threads"]
 
 #: Hard cap on kernel pool width; mirrors ``KERNEL_MAX_THREADS`` in the
 #: C source (the pool's static bookkeeping is sized to it).
@@ -815,6 +815,19 @@ def native_reason() -> Optional[str]:
     """Why the compiled tier is unavailable (``None`` when it is)."""
     native_kernel()
     return _state[1]
+
+
+def native_state() -> Tuple[Optional[bool], Optional[str]]:
+    """(available?, reason) without forcing the lazy build.
+
+    The health endpoint's view of the compiled tier: ``(None, ...)``
+    before the first build attempt (probing would trigger a C compile —
+    exactly what a cheap liveness probe must not do), then the cached
+    verdict of :func:`native_kernel`.
+    """
+    if _state is None:
+        return None, "not yet probed (build is lazy)"
+    return _state[0] is not None, _state[1]
 
 
 def default_native_threads() -> int:

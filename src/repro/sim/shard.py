@@ -45,17 +45,28 @@ the extension, so the composition is safe in either order.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import faults
 from .engine import replay_batch, run_reactive_batch
 from .summary import TraceSummary, merge_summaries
 from .trace import BroadcastTrace
 
-__all__ = ["replay_batch_sharded", "run_reactive_batch_sharded",
-           "shard_ranges"]
+__all__ = ["MAX_SHARD_ATTEMPTS", "ShardFailure", "replay_batch_sharded",
+           "run_reactive_batch_sharded", "shard_ranges"]
+
+#: Per-shard submit attempts before :class:`ShardFailure`; the first
+#: attempt plus two pool rebuilds.
+MAX_SHARD_ATTEMPTS = 3
+
+
+class ShardFailure(RuntimeError):
+    """A shard's worker process kept dying after every retry."""
 
 
 def shard_ranges(trials: int, shards: int) -> List[Tuple[int, int]]:
@@ -82,17 +93,62 @@ def _slice_kwargs(kwargs: dict, lo: int, hi: int) -> dict:
 
 def _reactive_worker(args):
     topology, source, relay_mask, kw = args
+    if kw.pop("_fault_kill", False):  # injected worker murder
+        os._exit(113)
     return run_reactive_batch(topology, source, relay_mask, **kw)
 
 
 def _replay_worker(args):
     topology, schedule, source, kw = args
+    if kw.pop("_fault_kill", False):  # injected worker murder
+        os._exit(113)
     return replay_batch(topology, schedule, source, **kw)
 
 
+def _armed_job(job, index: int, attempt: int):
+    """Tag the job when the fault plan kills this (shard, attempt)."""
+    if not faults.fires(faults.SHARD_KILL, key=(index, attempt)):
+        return job
+    kw = dict(job[-1])
+    kw["_fault_kill"] = True
+    return job[:-1] + (kw,)
+
+
 def _fan_out(worker, jobs, workers: int):
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, jobs))
+    """Run every job, resubmitting only the shards whose worker died.
+
+    A worker that dies (``os._exit``, OOM kill, segfault) breaks the
+    whole ``ProcessPoolExecutor``: its own job and every job still
+    pending there fail with ``BrokenProcessPool``, while jobs that
+    already returned keep their results.  Shards are therefore
+    submitted individually; the survivors' results are kept, the pool
+    is rebuilt, and **only the dead shards** are resubmitted — cheap,
+    and bit-identical, because the job's trial slice (and through it
+    every counter-RNG draw) is a pure function of the shard bounds,
+    not of which attempt ran it.  Worker exceptions that are *not*
+    pool breakage (a bad argument, say) propagate immediately: retry
+    is for dead processes, not for bugs.
+    """
+    results: List[object] = [None] * len(jobs)
+    remaining = list(range(len(jobs)))
+    for attempt in range(MAX_SHARD_ATTEMPTS):
+        failed: List[int] = []
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining))) as pool:
+            futures = [(i, pool.submit(worker,
+                                       _armed_job(jobs[i], i, attempt)))
+                       for i in remaining]
+            for i, future in futures:
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool:
+                    failed.append(i)
+        if not failed:
+            return results
+        remaining = failed
+    raise ShardFailure(
+        f"shards {remaining} lost their worker process in "
+        f"{MAX_SHARD_ATTEMPTS} consecutive attempts")
 
 
 def _merge(parts) -> Union[TraceSummary, List[BroadcastTrace]]:

@@ -2,7 +2,8 @@
 
 ``benchmarks/perf_sweep.py`` / ``perf_robustness.py`` /
 ``perf_scaling.py`` / ``perf_recovery.py`` / ``perf_symmetry.py`` /
-``perf_kernel.py`` / ``perf_service.py`` regenerate the artefacts; these tier-1 checks only
+``perf_kernel.py`` / ``perf_service.py`` / ``perf_faults.py``
+regenerate the artefacts; these tier-1 checks only
 validate their structure (cheap, no timing), so a hand-edited or
 truncated file is caught before it misleads anyone reading the
 numbers.
@@ -27,6 +28,7 @@ SYMMETRY_ARTIFACT = _ROOT / "BENCH_symmetry.json"
 RECOVERY_ARTIFACT = _ROOT / "BENCH_recovery.json"
 KERNEL_ARTIFACT = _ROOT / "BENCH_kernel.json"
 SERVICE_ARTIFACT = _ROOT / "BENCH_service.json"
+FAULTS_ARTIFACT = _ROOT / "BENCH_faults.json"
 
 
 def _validate_sweep(payload):
@@ -230,6 +232,36 @@ def _validate_kernel(payload):
             assert "mt_speedup_vs_compiled" not in grid
 
 
+def _validate_faults(payload):
+    # The resilience floors: asserted by the benchmark before writing,
+    # checked again here so a hand-edited artefact cannot claim them.
+    assert payload["availability"] >= payload["availability_floor"]
+    assert payload["availability_floor"] >= 0.99
+    assert payload["answers_equal"] is True
+    assert payload["shard_retry"]["identical"] is True
+    assert payload["demotion"]["answers_equal"] is True
+    # The chaos must actually have happened — an artefact showing 100%
+    # availability with zero fired faults measured nothing.
+    assert payload["faults_fired_total"] > 0
+    fired = {seam: s["fired"] for seam, s in payload["faults"].items()}
+    assert fired.get("server.drop_connection", 0) >= 1
+    assert fired.get("shard.worker_kill", 0) >= 1
+    assert fired.get("store.torn_write", 0) >= 1
+    assert payload["store_errors"] >= 1
+    # Deadline sheds must cost zero compiles.
+    assert payload["deadline"]["shed"] >= 1
+    assert payload["deadline"]["compiles_burned"] == 0
+    for label, entry in payload["entries"].items():
+        assert entry["seconds"] > 0, label
+        assert entry["queries_per_second"] > 0, label
+        assert entry["queries"] == payload["sources"]
+    assert payload["sources"] == payload["shape"][0] * payload["shape"][1]
+    # The client's retry loop is what bought the availability: under
+    # the canonical drop/garble schedule it must have retried.
+    assert payload["client"]["retries"] >= 1
+    assert payload["client"]["reconnects"] >= 2
+
+
 #: Declared-schema string -> structural validator.  The glob guard
 #: below keeps this registry complete.
 VALIDATORS = {
@@ -240,6 +272,7 @@ VALIDATORS = {
     "repro-wsn/bench-scaling/v1": _validate_scaling,
     "repro-wsn/bench-kernel/v3": _validate_kernel,
     "repro-wsn/bench-service/v1": _validate_service,
+    "repro-wsn/bench-faults/v1": _validate_faults,
 }
 
 _ARTIFACTS = [
@@ -250,6 +283,7 @@ _ARTIFACTS = [
     (SCALING_ARTIFACT, "repro-wsn/bench-scaling/v1"),
     (KERNEL_ARTIFACT, "repro-wsn/bench-kernel/v3"),
     (SERVICE_ARTIFACT, "repro-wsn/bench-service/v1"),
+    (FAULTS_ARTIFACT, "repro-wsn/bench-faults/v1"),
 ]
 
 
